@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 2 (42-model trade-off scatter)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig02_tradeoffs
+
+
+def test_fig02(once):
+    result = once(fig02_tradeoffs.run, n_inputs=20)
+    # Paper: ~18x latency, ~7.8x error, >20x energy spreads.
+    assert 15.0 < result.latency_spread < 22.0
+    assert 7.0 < result.error_spread < 9.0
+    assert result.energy_spread > 18.0
+    # A real frontier: several hull vertices, many dominated models.
+    assert len(result.hull) >= 4
+    assert result.n_dominated >= 10

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 3 (ResNet50 power sweep on CPU2)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig03_power_sweep
+from repro.hw.machine import CPU2
+
+
+def test_fig03(once):
+    result = once(fig03_power_sweep.run, n_powers=31, n_inputs=20)
+    assert len(result.points) == 31
+    # Paper: fastest cap >2x faster than slowest; ~1.3x energy spread.
+    assert result.latency_ratio > 2.0
+    assert 1.15 < result.energy_spread < 1.6
+    midpoint = (CPU2.power_min_w + CPU2.power_max_w) / 2
+    assert result.min_energy_power_w < midpoint
+    assert result.max_energy_power_w > midpoint
+    # Latency decreases monotonically with the cap; energy does not
+    # (the non-smooth trade-off of Section 2.1).
+    latencies = [p.latency_s for p in result.points]
+    energies = [p.period_energy_j for p in result.points]
+    assert latencies == sorted(latencies, reverse=True)
+    assert energies != sorted(energies) and energies != sorted(
+        energies, reverse=True
+    )

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 4 (latency variance, quiet environment)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_variability
+
+
+def test_fig04(once):
+    result = once(fig04_variability.run, n_samples=60)
+    # Out-of-memory combinations on the Embedded board.
+    assert ("IMG1", "Embedded") in result.skipped
+    assert ("NLP2", "Embedded") in result.skipped
+    # Image inputs vary little; NLP1 varies a lot (sentence lengths).
+    nlp = result.box("NLP1", "CPU1")
+    img = result.box("IMG2", "CPU1")
+    assert nlp.iqr_ratio > 1.3
+    assert img.iqr_ratio < 1.2
+    # Platform ordering: GPU << CPUs << Embedded on CNNs.
+    assert (
+        result.box("IMG2", "GPU").median_s
+        < result.box("IMG2", "CPU2").median_s
+        < result.box("IMG2", "Embedded").median_s
+    )

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 5 (latency variance with co-located jobs)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig05_contention
+
+
+def test_fig05(once):
+    result = once(fig05_contention.run, n_samples=60)
+    # Paper: co-location raises the median, the tail, and their gap,
+    # for all tasks on all platforms.
+    for task, platform in result.combinations():
+        assert result.median_inflation(task, platform) > 1.1
+        assert result.tail_inflation(task, platform) > 1.1
+    # CPUs suffer more than the GPU (contention profiles).
+    assert result.median_inflation("IMG2", "CPU1") > result.median_inflation(
+        "IMG2", "GPU"
+    )

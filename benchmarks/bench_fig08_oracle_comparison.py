@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 8 (ALERT vs Oracle/OracleStatic whiskers)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_oracle_comparison
+
+
+def test_fig08(once):
+    result = once(
+        fig08_oracle_comparison.run,
+        envs=("default", "memory"),
+        settings_stride=4,
+        n_inputs=80,
+    )
+    for env in ("default", "memory"):
+        static = result.whisker("OracleStatic", env)
+        oracle = result.whisker("Oracle", env)
+        alert = result.whisker("ALERT", env)
+        # Oracle is the floor; ALERT tracks it closely.
+        assert oracle.mean_j <= static.mean_j * 1.02
+        assert alert.mean_j <= oracle.mean_j * 1.25
+        assert alert.min_j >= oracle.min_j * 0.8
+    # Dynamic adaptation pays more under contention than in the quiet
+    # environment (paper Section 5.2: more variance, more benefit).
+    quiet_gap = result.whisker("OracleStatic", "default").mean_j / result.whisker(
+        "Oracle", "default"
+    ).mean_j
+    memory_gap = result.whisker("OracleStatic", "memory").mean_j / result.whisker(
+        "Oracle", "memory"
+    ).mean_j
+    assert memory_gap >= quiet_gap * 0.98

@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 9 (the contention-burst trace)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig09_trace
+
+
+def test_fig09(once):
+    result = once(fig09_trace.run, n_inputs=160)
+    alert = result.alert
+    trad = result.alert_trad
+    start, stop = result.contention_start, result.contention_stop
+
+    # Quiet prefix: both runs use the big traditional network.
+    assert alert.model[20].startswith("sparse_resnet50")
+    assert trad.model[20].startswith("sparse_resnet50")
+
+    # Both adapt during contention: the belief tracks the slowdown.
+    assert np.mean(alert.xi_mean[start + 10 : stop]) > 1.3
+    # ALERT can and does reach for the anytime network in the window;
+    # ALERT-Trad cannot (no anytime candidate).
+    window_share = float(np.mean(alert.is_anytime[start + 5 : stop]))
+    prefix_share = float(np.mean(alert.is_anytime[:start]))
+    assert window_share >= prefix_share
+    assert not any(trad.is_anytime)
+
+    # ALERT's accuracy through the window matches or beats ALERT-Trad.
+    assert result.window_mean_quality(alert) >= (
+        result.window_mean_quality(trad) - 0.01
+    )
+
+    # Both recover after the burst: back to the big traditional model.
+    assert alert.model[-5].startswith("sparse_resnet50")
+    assert np.mean(alert.xi_mean[-10:]) < 1.3

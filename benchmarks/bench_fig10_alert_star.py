@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 10 (ALERT vs the mean-only ALERT*)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_alert_star
+
+
+def test_fig10(once):
+    result = once(
+        fig10_alert_star.run,
+        envs=("default", "memory"),
+        candidate_sets=("standard", "trad", "any"),
+        settings_stride=6,
+        n_inputs=80,
+    )
+    # Paper: "ALERT (blue circles) always performs better than ALERT*".
+    for env in ("default", "memory"):
+        for candidate_set in ("standard", "trad", "any"):
+            assert result.advantage(candidate_set, env) > -1.0
+    # The advantage is substantial when traditional networks are in
+    # the candidate set (their step-function accuracy needs the
+    # distribution, not the mean).
+    assert result.advantage("standard", "memory") > 10.0
+    assert result.advantage("trad", "memory") > 10.0
+    # Perplexities land in a plausible PTB range.
+    bar = result.bar("ALERT", "standard", "default")
+    assert 75.0 < bar.mean_perplexity < 300.0

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 5 (ALERT's DNN candidate sets)."""
+
+from __future__ import annotations
+
+from repro.experiments import table5_dnn_sets
+
+
+def test_table5(once):
+    result = once(
+        table5_dnn_sets.run,
+        platforms=("CPU1",),
+        envs=("default", "memory"),
+        objectives=("min_energy",),
+        settings_stride=3,
+        n_inputs=100,
+    )
+    # "ALERT works well with all three DNN sets": every variant's
+    # normalised energy is in the same band as OracleStatic.
+    for cell in result.cells.values():
+        for scheme in ("ALERT", "ALERT-Any", "ALERT-Trad"):
+            value = cell[scheme].normalized_objective
+            if value == value:  # skip NaN (all-violated cells)
+                assert 0.5 < value < 1.8
+    # The mixed set never violates more than both restricted sets.
+    assert result.violated_settings("ALERT") <= max(
+        result.violated_settings("ALERT-Any"),
+        result.violated_settings("ALERT-Trad"),
+    )

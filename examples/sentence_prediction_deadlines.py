@@ -1,0 +1,54 @@
+"""Sentence prediction with shared per-sentence deadlines.
+
+The NLP1 workload: an RNN processes a sentence word by word and all
+words share one sentence-wide deadline, so a slow early word shrinks
+the budget of the rest (paper Section 3.2, goal-adjustment step).
+ALERT maximises accuracy (minimises perplexity) under a power budget.
+
+Run:  python examples/sentence_prediction_deadlines.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import make_alert, make_alert_star
+from repro.core.goals import Goal, ObjectiveKind
+from repro.runtime.loop import ServingLoop
+from repro.workloads.scenarios import build_scenario
+
+
+def main() -> None:
+    scenario = build_scenario("CPU1", "sentence", "memory", "standard")
+    per_word_deadline = 1.2 * scenario.anchor_latency_s()
+    budget_power_w = 30.0
+    goal = Goal(
+        objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+        deadline_s=per_word_deadline,
+        energy_budget_j=budget_power_w * per_word_deadline,
+    )
+    print(
+        f"per-word deadline {per_word_deadline * 1e3:.0f} ms "
+        f"(shared per sentence), budget {budget_power_w:g} W\n"
+    )
+
+    for factory in (make_alert, make_alert_star):
+        scheduler = factory(scenario.profile())
+        loop = ServingLoop(
+            engine=scenario.make_engine(),
+            stream=scenario.make_stream(),  # word items grouped by sentence
+            scheduler=scheduler,
+            goal=goal,
+        )
+        result = loop.run(n_inputs=400)
+        print(
+            f"{scheduler.name:7s}: mean perplexity {result.mean_metric:7.1f}, "
+            f"energy {result.mean_energy_j:6.3f} J/word, "
+            f"violations {result.violation_fraction * 100:4.1f}%"
+        )
+    print(
+        "\nALERT's variance-aware estimates beat the mean-only ALERT* "
+        "(the paper's Figure 10), most visibly under contention."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Analysis utilities: statistics, hulls, distributions, and tables.
+
+* :mod:`repro.analysis.stats` — harmonic means, normalisation against
+  OracleStatic, and the Table 4 violation bookkeeping.
+* :mod:`repro.analysis.hull` — the lower convex hull of the
+  error/latency frontier (Figure 2).
+* :mod:`repro.analysis.distributions` — Gaussian fits of the observed
+  ξ samples (Figure 11).
+* :mod:`repro.analysis.tables` — plain-text table rendering used by
+  the experiment drivers and examples.
+"""
+
+from repro.analysis.distributions import GaussianFit, fit_gaussian, histogram
+from repro.analysis.hull import lower_convex_hull
+from repro.analysis.stats import (
+    SchemeCell,
+    harmonic_mean,
+    normalize_to_baseline,
+    summarize_runs,
+)
+from repro.analysis.tables import render_table
+
+__all__ = [
+    "GaussianFit",
+    "fit_gaussian",
+    "histogram",
+    "lower_convex_hull",
+    "SchemeCell",
+    "harmonic_mean",
+    "normalize_to_baseline",
+    "summarize_runs",
+    "render_table",
+]

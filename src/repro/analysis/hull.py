@@ -1,0 +1,60 @@
+"""Lower convex hull of a latency/error frontier (Figure 2).
+
+Figure 2 draws the "lower bound of top5 error-latency": the subset of
+models no other model dominates in both dimensions, connected by a
+convex curve.  Models above that hull offer sub-optimal trade-offs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["lower_convex_hull", "dominated_points"]
+
+
+def _cross(o: tuple[float, float], a: tuple[float, float], b: tuple[float, float]):
+    """Z-component of the cross product (OA x OB)."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def lower_convex_hull(
+    points: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """The lower-left convex hull of (x, y) points.
+
+    Returns hull vertices sorted by x.  The hull is "lower" in the
+    Figure 2 sense: it bounds the point cloud from below, tracing the
+    best achievable error at every latency.
+
+    >>> lower_convex_hull([(0, 1), (1, 0.5), (2, 0.45), (1, 2)])
+    [(0, 1), (1, 0.5), (2, 0.45)]
+    """
+    if len(points) < 2:
+        raise ConfigurationError("a hull needs at least two points")
+    ordered = sorted(set(points))
+    hull: list[tuple[float, float]] = []
+    for point in ordered:
+        while len(hull) >= 2 and _cross(hull[-2], hull[-1], point) <= 0:
+            hull.pop()
+        hull.append(point)
+    return hull
+
+
+def dominated_points(
+    points: list[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Points strictly dominated by another point in both dimensions.
+
+    A model is dominated when some other model is simultaneously
+    faster (smaller x) and more accurate (smaller y) — the Figure 2
+    points sitting strictly inside the frontier.
+    """
+    dominated: list[tuple[float, float]] = []
+    for candidate in points:
+        for other in points:
+            if other is candidate:
+                continue
+            if other[0] < candidate[0] and other[1] < candidate[1]:
+                dominated.append(candidate)
+                break
+    return dominated

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment drivers and examples.
+
+Keeps formatting out of the experiment logic so results stay
+machine-readable (lists of rows) while still printing nicely from the
+examples and benches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    formatted: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        formatted.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in formatted)) if formatted
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for cells in formatted:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Baseline schedulers the paper compares against (Table 3, bottom).
+
+* :mod:`repro.baselines.oracle` — the impractical perfect-knowledge
+  schemes: **Oracle** (per-input optimal configuration) and
+  **OracleStatic** (best single fixed configuration).
+* :mod:`repro.baselines.app_only` — **App-only**: anytime DNN
+  adaptation at the default power setting [5].
+* :mod:`repro.baselines.sys_only` — **Sys-only**: the fastest
+  traditional DNN plus a CALOREE-style feedback power manager [63].
+* :mod:`repro.baselines.no_coord` — **No-coord**: anytime adaptation
+  and the power manager running independently, each with its own
+  (mutually oblivious) latency filter.
+* :mod:`repro.baselines.mean_only` — **ALERT\\***: ALERT with the ξ
+  variance ignored (the Section 5.3 ablation).
+"""
+
+from repro.baselines.app_only import AppOnlyScheduler
+from repro.baselines.mean_only import make_alert, make_alert_star
+from repro.baselines.no_coord import NoCoordScheduler
+from repro.baselines.oracle import (
+    OracleScheduler,
+    best_static_config,
+    make_oracle_static,
+)
+from repro.baselines.sys_only import SysOnlyScheduler
+
+__all__ = [
+    "AppOnlyScheduler",
+    "SysOnlyScheduler",
+    "NoCoordScheduler",
+    "OracleScheduler",
+    "best_static_config",
+    "make_oracle_static",
+    "make_alert",
+    "make_alert_star",
+]

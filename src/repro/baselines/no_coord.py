@@ -1,0 +1,116 @@
+"""No-coord: application and system adaptation without coordination.
+
+The cautionary baseline (paper Table 3): the anytime network adapts
+itself *and* the CALOREE-style power manager adapts the cap, but each
+keeps its own model of the world and neither knows what the other just
+did:
+
+* the **application side** picks how far down the anytime ladder to
+  run, predicting rung latencies with its own Kalman filter calibrated
+  against the *default power* profile — it has no idea the system may
+  have capped power far below that;
+* the **system side** picks the cheapest cap whose predicted latency
+  meets the deadline, predicting with its own filter against the *full
+  ladder* profile — it has no idea the application may stop early.
+
+Each side's feedback is polluted by the other's action (the app
+attributes cap-induced slowdowns to the environment and vice versa), so
+"the two levels can work at cross purposes; e.g., the application
+switches to a faster DNN to save energy while the system makes more
+power available" — producing both energy waste and violations
+(Table 4's No-coord column).
+"""
+
+from __future__ import annotations
+
+from repro.core.config_space import Configuration
+from repro.core.goals import Goal, ObjectiveKind
+from repro.core.slowdown import GlobalSlowdownEstimator
+from repro.errors import ConfigurationError
+from repro.models.anytime import AnytimeDnn
+from repro.models.inference import InferenceOutcome
+from repro.models.profiles import ProfileTable
+from repro.workloads.inputs import InputItem
+
+__all__ = ["NoCoordScheduler"]
+
+
+class NoCoordScheduler:
+    """Independent app-level and system-level adaptation."""
+
+    def __init__(
+        self,
+        profile: ProfileTable,
+        anytime: AnytimeDnn,
+        powers: list[float] | None = None,
+        name: str = "No-coord",
+    ) -> None:
+        if not isinstance(anytime, AnytimeDnn):
+            raise ConfigurationError("No-coord requires an anytime network")
+        self.profile = profile
+        self.model = anytime
+        self.powers = (
+            tuple(sorted(powers)) if powers is not None else tuple(profile.powers)
+        )
+        self.default_power = self.powers[-1]
+        self._app_filter = GlobalSlowdownEstimator()
+        self._sys_filter = GlobalSlowdownEstimator()
+        self._last_power = self.default_power
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Application side: pick the stop rung, assuming default power.
+    # ------------------------------------------------------------------
+    def _app_decide_rung(self, goal: Goal) -> int:
+        xi = self._app_filter.mean
+        rungs = self.profile.rung_latencies(self.model.name, self.default_power)
+        chosen = 0
+        for k, rung_latency in enumerate(rungs):
+            if xi * rung_latency <= goal.deadline_s:
+                chosen = k
+        return chosen
+
+    # ------------------------------------------------------------------
+    # System side: pick the cheapest cap, assuming the full ladder.
+    # ------------------------------------------------------------------
+    def _sys_decide_power(self, goal: Goal) -> float:
+        xi = self._sys_filter.mean
+        feasible: list[float] = []
+        for power in self.powers:
+            t_full = self.profile.latency(self.model.name, power)
+            if xi * t_full <= goal.deadline_s:
+                feasible.append(power)
+        if goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY:
+            budget = goal.energy_budget_j
+            if budget is not None:
+                affordable = [
+                    p
+                    for p in feasible
+                    if self.profile.power(self.model.name, p)
+                    * min(xi * self.profile.latency(self.model.name, p), goal.deadline_s)
+                    <= budget
+                ]
+                if affordable:
+                    return max(affordable)
+            return max(feasible) if feasible else self.powers[-1]
+        # Minimise energy: cheapest cap that still meets the deadline.
+        if feasible:
+            return min(feasible)
+        return self.powers[-1]
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def decide(self, item: InputItem, goal: Goal) -> Configuration:
+        rung = self._app_decide_rung(goal)
+        power = self._sys_decide_power(goal)
+        self._last_power = power
+        return Configuration(model=self.model, power_w=power, rung_cap=rung)
+
+    def observe(self, outcome: InferenceOutcome) -> None:
+        # Each side interprets the measurement through its own (wrong)
+        # frame of reference — this is the lack of coordination.
+        app_reference = self.profile.latency(self.model.name, self.default_power)
+        self._app_filter.observe(outcome.full_latency_s, app_reference)
+        sys_reference = self.profile.latency(self.model.name, outcome.power_cap_w)
+        self._sys_filter.observe(outcome.full_latency_s, sys_reference)

@@ -1,0 +1,203 @@
+"""Perfect-knowledge oracles (paper Section 5.1).
+
+The paper builds oracles "by running 90 inputs in all possible DNN and
+system configurations, from which we find the best configuration for
+each input".  Our engine's :meth:`evaluate` is pure and shares one
+per-input environment draw across configurations, so the oracles can do
+exactly that:
+
+* :class:`OracleScheduler` — per input, evaluate every configuration
+  under the true realised environment and pick the best feasible one
+  ("Oracle": dynamic optimal, impractical);
+* :func:`best_static_config` / :func:`make_oracle_static` — evaluate
+  every configuration over the whole horizon and fix the best single
+  one ("OracleStatic": the best any non-adaptive deployment could do,
+  and the normalisation baseline of Table 4).
+
+Infeasible inputs degrade through the same latency > accuracy > power
+hierarchy ALERT uses, so comparisons stay apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.models.inference import InferenceEngine, InferenceOutcome
+from repro.runtime.results import VIOLATION_SETTING_THRESHOLD
+from repro.runtime.scheduler import StaticScheduler
+from repro.workloads.inputs import InputItem, InputStream
+
+__all__ = ["OracleScheduler", "best_static_config", "make_oracle_static"]
+
+
+def _outcome_feasible(outcome: InferenceOutcome, goal: Goal) -> bool:
+    """True constraint satisfaction of one realised outcome."""
+    if not outcome.met_deadline:
+        return False
+    if (
+        goal.objective is ObjectiveKind.MINIMIZE_ENERGY
+        and goal.accuracy_min is not None
+        and outcome.quality < goal.accuracy_min - 1e-9
+    ):
+        return False
+    if (
+        goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY
+        and goal.energy_budget_j is not None
+        and outcome.energy_j > goal.energy_budget_j * (1.0 + 1e-9)
+    ):
+        return False
+    return True
+
+
+def _objective_key(outcome: InferenceOutcome, goal: Goal):
+    """Smaller-is-better ranking of realised outcomes."""
+    if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+        return (outcome.energy_j, -outcome.quality, outcome.power_cap_w)
+    return (-outcome.quality, outcome.energy_j, outcome.power_cap_w)
+
+
+class OracleScheduler:
+    """Per-input optimal configuration with perfect knowledge.
+
+    Parameters
+    ----------
+    engine:
+        The *same* engine instance the serving loop uses, so the oracle
+        sees the true environment draw of each input.
+    space:
+        The candidate configuration space.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        space: ConfigurationSpace,
+        name: str = "Oracle",
+    ) -> None:
+        self.engine = engine
+        self.space = space
+        self.name = name
+
+    def decide(self, item: InputItem, goal: Goal) -> Configuration:
+        outcomes: list[tuple[Configuration, InferenceOutcome]] = []
+        for config in self.space:
+            outcome = self.engine.evaluate(
+                model=config.model,
+                power_cap_w=config.power_w,
+                index=item.index,
+                deadline_s=goal.deadline_s,
+                period_s=goal.period,
+                work_factor=item.work_factor,
+                rung_cap=config.rung_cap,
+            )
+            outcomes.append((config, outcome))
+
+        feasible = [
+            (config, outcome)
+            for config, outcome in outcomes
+            if _outcome_feasible(outcome, goal)
+        ]
+        if feasible:
+            best = min(feasible, key=lambda pair: _objective_key(pair[1], goal))
+            return best[0]
+
+        # Latency > accuracy > power fallback, on true outcomes.
+        met = [
+            (config, outcome)
+            for config, outcome in outcomes
+            if outcome.met_deadline
+        ]
+        if met:
+            best = min(
+                met,
+                key=lambda pair: (
+                    -pair[1].quality,
+                    pair[1].energy_j,
+                    pair[0].power_w,
+                ),
+            )
+            return best[0]
+        best = min(
+            outcomes,
+            key=lambda pair: (pair[1].latency_s, -pair[1].quality, pair[0].power_w),
+        )
+        return best[0]
+
+    def observe(self, outcome: InferenceOutcome) -> None:
+        """Oracles need no feedback."""
+
+
+def best_static_config(
+    engine: InferenceEngine,
+    space: ConfigurationSpace,
+    goal: Goal,
+    stream: InputStream,
+    n_inputs: int,
+    violation_threshold: float = VIOLATION_SETTING_THRESHOLD,
+) -> Configuration:
+    """The best single configuration over a whole horizon.
+
+    Evaluates every configuration on every input (with the true
+    environment draws) and picks the one optimising the goal among
+    those whose violation fraction stays within the 10% rule; when none
+    qualifies, the least-violating configuration wins (ties broken by
+    the objective).
+    """
+    if n_inputs < 1:
+        raise ConfigurationError(f"need at least one input, got {n_inputs}")
+    scored: list[tuple[float, float, Configuration]] = []
+    for config in self_configs(space):
+        violations = 0
+        objective_total = 0.0
+        for index in range(n_inputs):
+            item = stream.item(index)
+            outcome = engine.evaluate(
+                model=config.model,
+                power_cap_w=config.power_w,
+                index=index,
+                deadline_s=goal.deadline_s,
+                period_s=goal.period,
+                work_factor=item.work_factor,
+                rung_cap=config.rung_cap,
+            )
+            if not _outcome_feasible(outcome, goal):
+                violations += 1
+            if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+                objective_total += outcome.energy_j
+            else:
+                objective_total += 1.0 - outcome.quality
+        violation_fraction = violations / n_inputs
+        scored.append((violation_fraction, objective_total / n_inputs, config))
+
+    qualifying = [
+        entry for entry in scored if entry[0] <= violation_threshold
+    ]
+    pool = qualifying if qualifying else scored
+    best = min(pool, key=lambda entry: (entry[1], entry[0], entry[2].power_w))
+    if not qualifying:
+        # Nothing meets the 10% rule; prefer the least violating.
+        best = min(scored, key=lambda entry: (entry[0], entry[1], entry[2].power_w))
+    return best[2]
+
+
+def self_configs(space: ConfigurationSpace) -> list[Configuration]:
+    """All configurations of a space (indirection point for tests)."""
+    return list(space)
+
+
+def make_oracle_static(
+    engine: InferenceEngine,
+    space: ConfigurationSpace,
+    goal: Goal,
+    stream: InputStream,
+    n_inputs: int,
+) -> StaticScheduler:
+    """Build the OracleStatic scheduler for one setting."""
+    config = best_static_config(engine, space, goal, stream, n_inputs)
+    return StaticScheduler(
+        model=config.model,
+        power_w=config.power_w,
+        rung_cap=config.rung_cap,
+        name="OracleStatic",
+    )

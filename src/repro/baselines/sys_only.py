@@ -1,0 +1,70 @@
+"""Sys-only: fixed fastest DNN + a feedback power manager.
+
+The system-level state of the art (paper Table 3): following the
+CALOREE/POET line of work [38, 63], a Kalman-filter latency predictor
+drives the power cap to minimise energy under a soft latency
+constraint, while the application is pinned to "the fastest candidate
+DNN to avoid latency violations".
+
+Because the DNN never changes, the scheme cannot trade accuracy for
+anything: it violates accuracy floors it could have met with a bigger
+network (minimise-energy mode) and leaves accuracy on the table when
+energy is plentiful (minimise-error mode) — the Table 4 pattern.
+
+The implementation reuses ALERT's estimator/selector machinery
+restricted to a single model and mean-only prediction, which is
+faithful to [63]'s mean-latency Kalman feedback.
+"""
+
+from __future__ import annotations
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.estimator import AlertEstimator
+from repro.core.goals import Goal
+from repro.core.selector import ConfigSelector
+from repro.core.slowdown import GlobalSlowdownEstimator
+from repro.errors import ConfigurationError
+from repro.models.base import DnnModel
+from repro.models.inference import InferenceOutcome
+from repro.models.profiles import ProfileTable
+from repro.workloads.inputs import InputItem
+
+__all__ = ["SysOnlyScheduler"]
+
+
+class SysOnlyScheduler:
+    """Power-only adaptation around a pinned fastest DNN."""
+
+    def __init__(
+        self,
+        profile: ProfileTable,
+        models: list[DnnModel],
+        powers: list[float] | None = None,
+        name: str = "Sys-only",
+    ) -> None:
+        traditional = [m for m in models if not m.is_anytime]
+        if not traditional:
+            raise ConfigurationError(
+                "Sys-only needs at least one traditional candidate"
+            )
+        fastest = min(traditional, key=lambda m: m.base_latency_s)
+        power_list = list(powers) if powers is not None else list(profile.powers)
+        self.model = fastest
+        self.space = ConfigurationSpace(models=[fastest], powers=power_list)
+        self.estimator = AlertEstimator(profile, variance_aware=False)
+        self.selector = ConfigSelector(self.space, self.estimator)
+        self.slowdown = GlobalSlowdownEstimator()
+        self.profile = profile
+        self.name = name
+
+    def decide(self, item: InputItem, goal: Goal) -> Configuration:
+        xi_mean, xi_sigma = self.slowdown.snapshot()
+        phi = self.profile.idle_power_w / self.profile.power(
+            self.model.name, self.space.powers[-1]
+        )
+        result = self.selector.select(goal, xi_mean, xi_sigma, phi)
+        return result.config
+
+    def observe(self, outcome: InferenceOutcome) -> None:
+        t_prof = self.profile.latency(outcome.model_name, outcome.power_cap_w)
+        self.slowdown.observe(outcome.full_latency_s, t_prof)

@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map 1:1 onto the experiment drivers so every paper artifact
+can be regenerated from a shell::
+
+    python -m repro fig02              # trade-off scatter
+    python -m repro fig03              # power sweep
+    python -m repro fig06              # single-layer oracles
+    python -m repro fig09              # contention-burst trace
+    python -m repro fig10              # ALERT vs ALERT*
+    python -m repro fig11              # xi distributions
+    python -m repro table4 --platform CPU1 --env memory
+    python -m repro table5
+    python -m repro serve --platform CPU1 --env memory --inputs 200
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import experiments
+from repro._version import __version__
+from repro.baselines import make_alert
+from repro.core.goals import Goal, ObjectiveKind
+from repro.runtime.loop import ServingLoop
+from repro.workloads.scenarios import build_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of ALERT (USENIX ATC 2020)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("fig02", "fig03", "fig06", "fig09", "fig10", "fig11"):
+        sub.add_parser(name, help=f"regenerate {name} of the paper")
+
+    table4 = sub.add_parser("table4", help="regenerate a Table 4 cell")
+    table4.add_argument("--platform", default="CPU1")
+    table4.add_argument("--task", default="image")
+    table4.add_argument("--env", default="memory")
+    table4.add_argument("--inputs", type=int, default=100)
+    table4.add_argument("--stride", type=int, default=3)
+
+    table5 = sub.add_parser("table5", help="regenerate Table 5")
+    table5.add_argument("--platform", default="CPU1")
+    table5.add_argument("--inputs", type=int, default=100)
+    table5.add_argument("--stride", type=int, default=3)
+
+    serve = sub.add_parser("serve", help="run ALERT over one scenario")
+    serve.add_argument("--platform", default="CPU1")
+    serve.add_argument("--task", default="image")
+    serve.add_argument("--env", default="memory")
+    serve.add_argument("--inputs", type=int, default=200)
+    serve.add_argument("--deadline-factor", type=float, default=1.25)
+    serve.add_argument("--accuracy-min", type=float, default=0.90)
+    serve.add_argument("--seed", type=int, default=20200417)
+    return parser
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    scenario = build_scenario(
+        args.platform, args.task, args.env, "standard", args.seed
+    )
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=args.deadline_factor * scenario.anchor_latency_s(),
+        accuracy_min=args.accuracy_min,
+    )
+    scheduler = make_alert(scenario.profile())
+    result = ServingLoop(
+        scenario.make_engine(), scenario.make_stream(), scheduler, goal
+    ).run(args.inputs)
+    return f"{goal.describe()}\n{result.describe()}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig02":
+        print(experiments.fig02_tradeoffs.run().describe())
+    elif args.command == "fig03":
+        print(experiments.fig03_power_sweep.run().describe())
+    elif args.command == "fig06":
+        print(experiments.fig06_single_layer.run(n_inputs=30).describe())
+    elif args.command == "fig09":
+        print(experiments.fig09_trace.run().describe())
+    elif args.command == "fig10":
+        print(
+            experiments.fig10_alert_star.run(
+                settings_stride=6, n_inputs=80
+            ).describe()
+        )
+    elif args.command == "fig11":
+        print(experiments.fig11_xi_distribution.run().describe())
+    elif args.command == "table4":
+        print(
+            experiments.table4_overall.run(
+                platforms=(args.platform,),
+                tasks=(args.task,),
+                envs=(args.env,),
+                settings_stride=args.stride,
+                n_inputs=args.inputs,
+            ).describe()
+        )
+    elif args.command == "table5":
+        print(
+            experiments.table5_dnn_sets.run(
+                platforms=(args.platform,),
+                settings_stride=args.stride,
+                n_inputs=args.inputs,
+            ).describe()
+        )
+    elif args.command == "serve":
+        print(_run_serve(args))
+    else:  # pragma: no cover - argparse enforces the choices
+        return 2
+    return 0

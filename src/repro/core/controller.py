@@ -1,0 +1,193 @@
+"""The ALERT feedback controller (paper Section 3.2).
+
+:class:`AlertController` owns the online state — the global-slowdown
+Kalman filter and the idle-power filter — and exposes the two calls the
+serving loop makes per input:
+
+* :meth:`observe` — step 1, fold in the previous input's measurements;
+* :meth:`decide` — steps 3-4, estimate every configuration under the
+  (already goal-adjusted) requirements and pick the best one.
+
+Goal adjustment (step 2) lives in :class:`repro.core.goals.GoalAdjuster`
+and is owned by the serving loop, because it needs the input-group
+structure the controller is agnostic to.
+
+The controller also models its own cost: the paper measures ALERT's
+scheduler at 0.6-1.7% of an input's inference time, and subtracts its
+worst case from the deadline so the scheduler never causes the
+violation it is preventing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.estimator import AlertEstimator
+from repro.core.goals import Goal
+from repro.core.kalman import IdlePowerFilter
+from repro.core.selector import ConfigSelector, SelectionResult
+from repro.core.slowdown import GlobalSlowdownEstimator
+from repro.errors import ConfigurationError
+from repro.models.base import DnnModel
+from repro.models.profiles import ProfileTable
+
+__all__ = ["ControllerState", "AlertController"]
+
+#: Fraction of the mean profiled latency charged as worst-case
+#: scheduler overhead (the paper's measured range is 0.6-1.7%).
+DEFAULT_OVERHEAD_FRACTION = 0.017
+
+
+@dataclass(frozen=True)
+class ControllerState:
+    """Snapshot of the controller's filter state (for traces/tests)."""
+
+    xi_mean: float
+    xi_sigma: float
+    phi: float
+    observations: int
+
+
+class AlertController:
+    """ALERT: joint DNN / power-cap selection with feedback.
+
+    Parameters
+    ----------
+    profile:
+        Offline profile of every candidate configuration.
+    models:
+        Candidate networks; defaults to everything in the profile.
+    powers:
+        Candidate power caps; defaults to the profiled levels.
+    variance_aware:
+        False reproduces the mean-only ALERT* ablation.
+    expand_anytime_rungs:
+        Whether anytime models may be stopped at intermediate rungs
+        (Section 3.5's energy saving); on by default.
+    q0:
+        Process-noise floor of the ξ filter (Section 3.6's robustness
+        knob for heavy-tailed environments).
+    overhead_fraction:
+        Worst-case scheduler overhead as a fraction of the mean
+        profiled latency, reserved out of every deadline.
+    confidence:
+        Per-constraint confidence floor for feasibility (see
+        :class:`repro.core.estimator.AlertEstimator`).
+    """
+
+    def __init__(
+        self,
+        profile: ProfileTable,
+        models: list[DnnModel] | None = None,
+        powers: list[float] | None = None,
+        variance_aware: bool = True,
+        expand_anytime_rungs: bool = True,
+        q0: float = 0.1,
+        overhead_fraction: float = DEFAULT_OVERHEAD_FRACTION,
+        confidence: float = 0.95,
+    ) -> None:
+        if overhead_fraction < 0 or overhead_fraction > 0.2:
+            raise ConfigurationError(
+                f"overhead fraction {overhead_fraction} outside [0, 0.2]"
+            )
+        self.profile = profile
+        model_list = list(models) if models is not None else list(profile.models)
+        power_list = list(powers) if powers is not None else list(profile.powers)
+        self.space = ConfigurationSpace(
+            models=model_list,
+            powers=power_list,
+            expand_anytime_rungs=expand_anytime_rungs,
+        )
+        self.estimator = AlertEstimator(
+            profile, variance_aware=variance_aware, confidence=confidence
+        )
+        self.selector = ConfigSelector(self.space, self.estimator)
+        self.slowdown = GlobalSlowdownEstimator(q0=q0)
+        idle_ratio = profile.idle_power_w / max(
+            profile.inference_power_w.values()
+        )
+        self.idle_filter = IdlePowerFilter(phi0=idle_ratio)
+        mean_latency = sum(profile.latency_s.values()) / len(profile.latency_s)
+        self._overhead_s = overhead_fraction * mean_latency
+        self._last_selection: SelectionResult | None = None
+
+    # ------------------------------------------------------------------
+    # Step 1: measurement feedback
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        model_name: str,
+        power_w: float,
+        full_latency_s: float,
+        idle_power_w: float | None = None,
+    ) -> float:
+        """Fold in the previous input's measurements.
+
+        Parameters
+        ----------
+        model_name / power_w:
+            The configuration that served the input.
+        full_latency_s:
+            The run-to-completion latency (extrapolated from the last
+            completed rung for anytime runs stopped early).
+        idle_power_w:
+            Measured package power during the idle phase, if there was
+            one.
+
+        Returns the observed slowdown ratio.
+        """
+        t_prof = self.profile.latency(model_name, power_w)
+        ratio = self.slowdown.observe(full_latency_s, t_prof)
+        if idle_power_w is not None:
+            inference_power = self.profile.power(model_name, power_w)
+            self.idle_filter.update(idle_power_w, inference_power)
+        return ratio
+
+    # ------------------------------------------------------------------
+    # Steps 3-4: estimate and pick
+    # ------------------------------------------------------------------
+    def decide(self, goal: Goal) -> SelectionResult:
+        """Select the configuration for the next input.
+
+        ``goal`` should already be group-adjusted (workflow step 2);
+        the controller additionally reserves its own worst-case
+        overhead from the deadline.
+        """
+        effective = goal
+        adjusted_deadline = max(1e-6, goal.deadline_s - self._overhead_s)
+        if adjusted_deadline != goal.deadline_s:
+            effective = goal.with_deadline(adjusted_deadline)
+        xi_mean, xi_sigma = self.slowdown.snapshot()
+        tail = (self.slowdown.tail_fraction, self.slowdown.tail_ratio)
+        result = self.selector.select(
+            effective, xi_mean, xi_sigma, self.idle_filter.phi, tail=tail
+        )
+        self._last_selection = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def worst_case_overhead_s(self) -> float:
+        """The per-decision overhead reserved from each deadline."""
+        return self._overhead_s
+
+    @property
+    def last_selection(self) -> SelectionResult | None:
+        """The most recent selection (None before the first decide)."""
+        return self._last_selection
+
+    def state(self) -> ControllerState:
+        """Snapshot of the filters for traces and tests."""
+        return ControllerState(
+            xi_mean=self.slowdown.mean,
+            xi_sigma=self.slowdown.sigma,
+            phi=self.idle_filter.phi,
+            observations=self.slowdown.observations,
+        )
+
+    def configurations(self) -> list[Configuration]:
+        """The full candidate space (for inspection)."""
+        return list(self.space)

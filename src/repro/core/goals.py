@@ -1,0 +1,185 @@
+"""User goals: constraints in two dimensions, optimise the third.
+
+ALERT "focuses on meeting constraints in any two dimensions while
+optimizing the third" (Section 1.2).  The two practically useful modes
+(Eqs. 1 and 2) are:
+
+* :attr:`ObjectiveKind.MAXIMIZE_ACCURACY` — maximise inference quality
+  subject to an energy budget and a deadline;
+* :attr:`ObjectiveKind.MINIMIZE_ENERGY` — minimise energy subject to a
+  quality floor and a deadline.
+
+:class:`GoalAdjuster` implements the paper's step 2 ("Goal
+adjustment"): shrinking per-word deadlines when earlier words of the
+same sentence overran, and reserving the scheduler's own worst-case
+overhead so ALERT never causes the violation it is trying to prevent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # avoid a core <-> workloads import cycle
+    from repro.workloads.inputs import InputItem
+
+__all__ = ["ObjectiveKind", "Goal", "GoalAdjuster"]
+
+
+class ObjectiveKind(enum.Enum):
+    """Which dimension is optimised (the other two are constrained)."""
+
+    MINIMIZE_ENERGY = "minimize_energy"
+    MAXIMIZE_ACCURACY = "maximize_accuracy"
+
+
+@dataclass(frozen=True)
+class Goal:
+    """A complete requirement specification for one input.
+
+    Parameters
+    ----------
+    objective:
+        The optimisation direction.
+    deadline_s:
+        Latency constraint ``T_goal`` (always required).
+    period_s:
+        Input inter-arrival period for energy accounting; defaults to
+        the deadline (the paper's periodic-sensor setting).
+    accuracy_min:
+        Quality floor ``Q_goal`` (required when minimising energy).
+    energy_budget_j:
+        Per-period energy budget ``E_goal`` (required when maximising
+        accuracy).
+    prob_threshold:
+        Optional ``Pr_th`` (Eqs. 10-12): reject configurations whose
+        probability of meeting the constraints falls below this; also
+        switches the energy estimate to the ``Pr_th`` latency
+        percentile (Eq. 12).  ``None`` keeps the default full-
+        expectation behaviour.
+    """
+
+    objective: ObjectiveKind
+    deadline_s: float
+    period_s: float | None = None
+    accuracy_min: float | None = None
+    energy_budget_j: float | None = None
+    prob_threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline_s}"
+            )
+        if self.period_s is not None and self.period_s <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period_s}")
+        if self.objective is ObjectiveKind.MINIMIZE_ENERGY:
+            if self.accuracy_min is None:
+                raise ConfigurationError(
+                    "minimising energy requires an accuracy_min constraint"
+                )
+        if self.objective is ObjectiveKind.MAXIMIZE_ACCURACY:
+            if self.energy_budget_j is None:
+                raise ConfigurationError(
+                    "maximising accuracy requires an energy_budget_j constraint"
+                )
+        if self.accuracy_min is not None and not 0.0 <= self.accuracy_min <= 1.0:
+            raise ConfigurationError(
+                f"accuracy_min must lie in [0, 1], got {self.accuracy_min}"
+            )
+        if self.energy_budget_j is not None and self.energy_budget_j <= 0:
+            raise ConfigurationError(
+                f"energy budget must be positive, got {self.energy_budget_j}"
+            )
+        if self.prob_threshold is not None and not 0.0 < self.prob_threshold < 1.0:
+            raise ConfigurationError(
+                f"prob_threshold must lie in (0, 1), got {self.prob_threshold}"
+            )
+
+    @property
+    def period(self) -> float:
+        """Effective period: explicit period or the deadline."""
+        return self.period_s if self.period_s is not None else self.deadline_s
+
+    def with_deadline(self, deadline_s: float) -> "Goal":
+        """A copy of this goal with a different deadline."""
+        return replace(self, deadline_s=deadline_s)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and examples."""
+        parts = [f"{self.objective.value}", f"T<={self.deadline_s * 1e3:.0f}ms"]
+        if self.accuracy_min is not None:
+            parts.append(f"q>={self.accuracy_min:.3f}")
+        if self.energy_budget_j is not None:
+            parts.append(f"E<={self.energy_budget_j:.2f}J")
+        if self.prob_threshold is not None:
+            parts.append(f"Pr>={self.prob_threshold:.2f}")
+        return " ".join(parts)
+
+
+class GoalAdjuster:
+    """Per-input deadline adjustment (paper workflow step 2).
+
+    Two adjustments are applied:
+
+    * **Shared group deadlines.**  In the NLP1 task a whole sentence of
+      ``G`` words shares one deadline of ``G * deadline_s``.  If early
+      words overran, the remaining words split what is left:
+      ``remaining_budget / words_remaining``.
+    * **Scheduler overhead.**  ALERT compensates "for its own,
+      worst-case overhead so that ALERT itself will not cause
+      violations": the overhead is subtracted from every effective
+      deadline.
+
+    Parameters
+    ----------
+    overhead_s:
+        Worst-case per-decision scheduler overhead to reserve.
+    min_deadline_s:
+        Floor on the adjusted deadline so a badly overrun group still
+        leaves a schedulable (if tight) deadline for its last words.
+    """
+
+    def __init__(self, overhead_s: float = 0.0, min_deadline_s: float = 1e-4) -> None:
+        if overhead_s < 0:
+            raise ConfigurationError(f"overhead must be >= 0, got {overhead_s}")
+        if min_deadline_s <= 0:
+            raise ConfigurationError("min_deadline_s must be positive")
+        self.overhead_s = overhead_s
+        self.min_deadline_s = min_deadline_s
+        self._group_id: int | None = None
+        self._group_budget_s = 0.0
+        self._group_remaining = 0
+
+    def adjust(self, goal: Goal, item: InputItem) -> Goal:
+        """The effective goal for one input item."""
+        deadline = goal.deadline_s
+        if item.group_size > 1:
+            if item.is_group_start or item.group_id != self._group_id:
+                self._group_id = item.group_id
+                self._group_budget_s = goal.deadline_s * item.group_size
+                self._group_remaining = item.group_size
+            words_left = max(1, self._group_remaining)
+            deadline = self._group_budget_s / words_left
+        deadline = max(self.min_deadline_s, deadline - self.overhead_s)
+        if deadline == goal.deadline_s:
+            return goal
+        return goal.with_deadline(deadline)
+
+    def consume(self, item: InputItem, latency_s: float) -> None:
+        """Record how much of the group budget one word consumed."""
+        if latency_s < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
+        if item.group_size > 1 and item.group_id == self._group_id:
+            self._group_budget_s = max(0.0, self._group_budget_s - latency_s)
+            self._group_remaining = max(0, self._group_remaining - 1)
+            if item.is_group_end:
+                self._group_id = None
+
+    @property
+    def group_budget_s(self) -> float:
+        """Remaining budget of the active group (0 when none active)."""
+        return self._group_budget_s if self._group_id is not None else 0.0

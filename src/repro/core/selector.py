@@ -1,0 +1,204 @@
+"""Configuration selection (Eqs. 1/2/4/10/11) with priority fallback.
+
+The selector ranks every configuration by the goal's objective among
+those whose estimates satisfy all constraints.  When nothing is
+feasible it degrades gracefully through the paper's priority hierarchy
+— "If ALERT cannot meet all constraints, it prioritizes latency
+highest, then accuracy, then power" (Section 4) — so the runtime always
+has something to run:
+
+1. **all** — every applicable constraint (plus ``Pr_th`` if set);
+2. **drop the lowest-priority constraint** — the accuracy floor when
+   minimising energy, the energy budget when maximising accuracy;
+3. **drop Pr_th** — fall back to pure expectations;
+4. **best effort** — nothing meets the deadline: pick the
+   configuration most likely to, i.e. minimum expected latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.estimator import AlertEstimator, ConfigEstimate
+from repro.core.goals import Goal, ObjectiveKind
+
+__all__ = ["SelectionResult", "ConfigSelector"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one selection round.
+
+    Attributes
+    ----------
+    config / estimate:
+        The winning configuration and its estimate record.
+    feasible:
+        Whether the winner satisfied every constraint (stage 1).
+    relaxation:
+        Which fallback stage produced the winner: ``None`` (feasible),
+        ``"constraint"`` (lowest-priority constraint dropped),
+        ``"probability"`` (``Pr_th`` dropped too) or ``"latency"``
+        (best-effort minimum-latency pick).
+    n_candidates / n_feasible:
+        Search-space accounting, exposed for tests and traces.
+    """
+
+    config: Configuration
+    estimate: ConfigEstimate
+    feasible: bool
+    relaxation: str | None
+    n_candidates: int
+    n_feasible: int
+
+
+class ConfigSelector:
+    """Ranks configurations for a goal given the filter state."""
+
+    def __init__(self, space: ConfigurationSpace, estimator: AlertEstimator) -> None:
+        self.space = space
+        self.estimator = estimator
+
+    # ------------------------------------------------------------------
+    # Ranking keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _objective_key(goal: Goal, estimate: ConfigEstimate):
+        """Sort key: smaller is better for every objective."""
+        if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+            # Minimise energy; tie-break on higher quality, then lower
+            # power so results are deterministic.
+            return (
+                estimate.expected_energy_j,
+                -estimate.expected_quality,
+                estimate.config.power_w,
+                estimate.config.model.name,
+            )
+        return (
+            -estimate.expected_quality,
+            estimate.expected_energy_j,
+            estimate.config.power_w,
+            estimate.config.model.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        goal: Goal,
+        xi_mean: float,
+        xi_sigma: float,
+        phi: float,
+        tail: tuple[float, float] | None = None,
+    ) -> SelectionResult:
+        """Pick the best configuration for the current goal and state."""
+        estimates = [
+            self.estimator.estimate(config, goal, xi_mean, xi_sigma, phi, tail)
+            for config in self.space
+        ]
+
+        feasible = [e for e in estimates if e.feasible]
+        if feasible:
+            best = min(feasible, key=lambda e: self._objective_key(goal, e))
+            return SelectionResult(
+                config=best.config,
+                estimate=best,
+                feasible=True,
+                relaxation=None,
+                n_candidates=len(estimates),
+                n_feasible=len(feasible),
+            )
+
+        # Stage 2: drop the lowest-priority constraint but keep the
+        # latency constraint and Pr_th; optimise what was constrained.
+        relaxed = self._relax_constraint(goal, estimates, keep_prob=True)
+        if relaxed is not None:
+            return SelectionResult(
+                config=relaxed.config,
+                estimate=relaxed,
+                feasible=False,
+                relaxation="constraint",
+                n_candidates=len(estimates),
+                n_feasible=0,
+            )
+
+        # Stage 3: drop Pr_th as well.
+        relaxed = self._relax_constraint(goal, estimates, keep_prob=False)
+        if relaxed is not None:
+            return SelectionResult(
+                config=relaxed.config,
+                estimate=relaxed,
+                feasible=False,
+                relaxation="probability",
+                n_candidates=len(estimates),
+                n_feasible=0,
+            )
+
+        # Stage 4: nothing meets the deadline — chase latency.
+        best = min(
+            estimates,
+            key=lambda e: (
+                e.latency_mean_s,
+                -e.expected_quality,
+                e.config.power_w,
+                e.config.model.name,
+            ),
+        )
+        return SelectionResult(
+            config=best.config,
+            estimate=best,
+            feasible=False,
+            relaxation="latency",
+            n_candidates=len(estimates),
+            n_feasible=0,
+        )
+
+    def _relax_constraint(
+        self, goal: Goal, estimates: list[ConfigEstimate], keep_prob: bool
+    ) -> ConfigEstimate | None:
+        """Stage 2/3 candidate: keep latency, drop the weakest constraint.
+
+        When the accuracy floor (min-energy mode) or energy budget
+        (max-accuracy mode) is unreachable, ALERT still meets the
+        deadline and pushes the dropped dimension as far as it can:
+        maximise expected quality when the accuracy floor fell,
+        maximise quality within latency when the energy budget fell.
+        """
+        candidates = [
+            e
+            for e in estimates
+            if e.meets_latency_mean and (e.meets_prob or not keep_prob)
+        ]
+        if not candidates:
+            return None
+        if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+            # Accuracy floor dropped: chase the floor itself — maximise
+            # the probability of *delivering* at least ``accuracy_min``
+            # (the quantity the violation accounting checks), then
+            # expected quality, then energy.  Ranking by expected
+            # quality alone would favour a configuration that reliably
+            # delivers just *below* the floor over one that clears it
+            # on most inputs.
+            return min(
+                candidates,
+                key=lambda e: (
+                    -round(e.quality_meet_probability, 6),
+                    -e.expected_quality,
+                    e.expected_energy_j,
+                    e.config.power_w,
+                    e.config.model.name,
+                ),
+            )
+        # Energy budget dropped: maximise quality (the objective),
+        # breaking ties toward lower energy.
+        return min(
+            candidates,
+            key=lambda e: (
+                -e.expected_quality,
+                e.expected_energy_j,
+                e.config.power_w,
+                e.config.model.name,
+            ),
+        )

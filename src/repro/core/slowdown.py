@@ -1,0 +1,142 @@
+"""The global slowdown factor ξ (paper Section 3.3, Idea 1).
+
+ξ is a *virtual* quantity: the ratio of the current environment's
+latency to the profiled environment's latency, assumed common to all
+(DNN, power) configurations.  Tracking one scalar instead of one
+estimate per configuration is what makes the huge joint configuration
+space tractable — every observation, no matter which configuration
+produced it, refines the prediction for *all* configurations.
+
+The estimator wraps the adaptive Kalman filter and adds the
+bookkeeping the runtime needs: converting a measured latency plus the
+profiled latency of whatever configuration just ran into a ratio
+observation, and exposing the (mean, sigma) pair the estimators
+consume.
+"""
+
+from __future__ import annotations
+
+from repro.core.kalman import AdaptiveKalmanFilter
+from repro.errors import ConfigurationError
+
+__all__ = ["GlobalSlowdownEstimator"]
+
+
+class GlobalSlowdownEstimator:
+    """Online estimate of the global slowdown factor ξ.
+
+    Besides the Gaussian (mean, sigma) the Kalman filter provides, the
+    estimator tracks a light *tail model*: the EWMA frequency and
+    magnitude of observations far above the current mean.  Section 3.6
+    concedes that the Gaussian assumption "may not hold in practice";
+    a three-sigma-in-the-model event that actually happens a few
+    percent of the time makes traditional networks (which crash to a
+    random guess on a miss) look far safer than they are relative to
+    anytime networks (which just drop a rung).  The tail model lets the
+    accuracy estimator price that risk.
+
+    Parameters
+    ----------
+    q0:
+        Process-noise cap forwarded to the Kalman filter; raise it
+        for extremely heavy-tailed environments (Section 3.6).
+    min_sigma:
+        Numerical floor on the reported sigma so downstream CDFs stay
+        well-defined in perfectly quiet environments.
+    tail_threshold_sigmas:
+        How many sigmas above the mean an observation must land to
+        count as a tail event.
+    tail_ewma:
+        Smoothing factor of the tail frequency/magnitude EWMAs.
+    """
+
+    def __init__(
+        self,
+        q0: float = 0.1,
+        min_sigma: float = 1e-6,
+        tail_threshold_sigmas: float = 3.0,
+        tail_ewma: float = 0.05,
+    ) -> None:
+        if not 0.0 < tail_ewma <= 1.0:
+            raise ConfigurationError(
+                f"tail_ewma must lie in (0, 1], got {tail_ewma}"
+            )
+        self._filter = AdaptiveKalmanFilter(q0=q0)
+        self._min_sigma = min_sigma
+        self._tail_threshold = tail_threshold_sigmas
+        self._tail_ewma = tail_ewma
+        self._tail_fraction = 0.0
+        self._tail_ratio = 1.0
+        self._history: list[float] = []
+
+    def observe(self, measured_latency_s: float, profiled_latency_s: float) -> float:
+        """Fold in one finished inference; returns the observed ratio.
+
+        For traditional networks ``measured_latency_s`` is the full run
+        time.  For anytime networks stopped early the runtime passes
+        the *extrapolated* full latency (elapsed time divided by the
+        profiled latency fraction of the last completed rung) — every
+        rung completion is timestamped, so this is observable in a real
+        deployment too.
+        """
+        if measured_latency_s <= 0 or profiled_latency_s <= 0:
+            raise ConfigurationError(
+                "latencies must be positive "
+                f"(measured={measured_latency_s}, profiled={profiled_latency_s})"
+            )
+        ratio = measured_latency_s / profiled_latency_s
+        threshold = self._filter.mu + self._tail_threshold * max(
+            self._filter.sigma, self._min_sigma
+        )
+        is_tail = ratio > threshold and self._filter.updates > 0
+        alpha = self._tail_ewma
+        self._tail_fraction = (1 - alpha) * self._tail_fraction + alpha * float(
+            is_tail
+        )
+        if is_tail and self._filter.mu > 0:
+            observed_ratio = ratio / self._filter.mu
+            self._tail_ratio = (1 - alpha) * self._tail_ratio + alpha * max(
+                1.0, observed_ratio
+            )
+        self._filter.update(ratio)
+        self._history.append(ratio)
+        return ratio
+
+    @property
+    def mean(self) -> float:
+        """Current estimate of E[ξ]."""
+        return self._filter.mu
+
+    @property
+    def sigma(self) -> float:
+        """Current estimate of std[ξ] (floored for numerical safety)."""
+        return max(self._min_sigma, self._filter.sigma)
+
+    @property
+    def observations(self) -> int:
+        """Number of ratios folded in so far."""
+        return self._filter.updates
+
+    @property
+    def tail_fraction(self) -> float:
+        """EWMA frequency of far-above-mean slowdown observations."""
+        return self._tail_fraction
+
+    @property
+    def tail_ratio(self) -> float:
+        """EWMA magnitude of tail observations, relative to the mean."""
+        return self._tail_ratio
+
+    def history(self) -> list[float]:
+        """All observed ratios, in order (Figure 11's raw material)."""
+        return list(self._history)
+
+    def snapshot(self) -> tuple[float, float]:
+        """The (mean, sigma) pair estimators consume."""
+        return self.mean, self.sigma
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GlobalSlowdownEstimator(mean={self.mean:.4f}, "
+            f"sigma={self.sigma:.4f}, n={self.observations})"
+        )

@@ -1,0 +1,118 @@
+"""Figure 2: accuracy/latency/energy trade-offs of the 42-model zoo.
+
+The paper runs every TF-Slim ImageNet model on CPU2 and observes an
+~18x latency spread, ~7.8x top-5 error spread, >20x energy spread, and
+a convex error-latency frontier with many dominated models.  This
+driver measures the same quantities on the simulated CPU2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.hull import dominated_points, lower_convex_hull
+from repro.analysis.tables import render_table
+from repro.hw.contention import ContentionKind, ContentionProcess
+from repro.hw.machine import CPU2, MachineSpec
+from repro.models.inference import InferenceEngine
+from repro.models.zoo import imagenet_zoo
+from repro.rng import SeedSequenceFactory
+
+__all__ = ["ModelPoint", "Fig02Result", "run"]
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """One zoo model's measured operating point."""
+
+    name: str
+    latency_s: float
+    error_pct: float
+    energy_j: float
+
+
+@dataclass
+class Fig02Result:
+    """The Figure 2 scatter plus its headline spreads."""
+
+    machine: str
+    points: list[ModelPoint]
+    latency_spread: float
+    error_spread: float
+    energy_spread: float
+    hull: list[tuple[float, float]]
+    n_dominated: int
+
+    def describe(self) -> str:
+        """Figure 2 as a plain-text table plus the spread claims."""
+        rows = [
+            [p.name, p.latency_s, p.error_pct, p.energy_j] for p in self.points
+        ]
+        table = render_table(
+            ["model", "latency_s", "top5_err_%", "energy_J"],
+            rows,
+            title=f"Figure 2: 42-model zoo on {self.machine}",
+        )
+        summary = (
+            f"\nlatency spread {self.latency_spread:.1f}x, "
+            f"error spread {self.error_spread:.1f}x, "
+            f"energy spread {self.energy_spread:.1f}x, "
+            f"{self.n_dominated} dominated models"
+        )
+        return table + summary
+
+
+def run(
+    machine: MachineSpec = CPU2,
+    n_inputs: int = 30,
+    seed: int = 20200202,
+) -> Fig02Result:
+    """Measure every zoo model's latency/error/energy on ``machine``.
+
+    Inference energy is measured per image (run phase only), matching
+    the per-inference energy comparison of Section 2.1.
+    """
+    seeds = SeedSequenceFactory(seed)
+    contention = ContentionProcess(
+        kind=ContentionKind.NONE, machine=machine, rng=seeds.stream("contention")
+    )
+    engine = InferenceEngine(
+        machine=machine, contention=contention, noise_rng=seeds.stream("noise")
+    )
+    power = machine.default_power()
+    points: list[ModelPoint] = []
+    horizon = 1e6  # no deadline pressure: pure profiling sweep
+    for model in imagenet_zoo():
+        latencies = []
+        energies = []
+        for index in range(n_inputs):
+            outcome = engine.evaluate(
+                model=model,
+                power_cap_w=power,
+                index=index,
+                deadline_s=horizon,
+                period_s=horizon,
+            )
+            latencies.append(outcome.latency_s)
+            energies.append(outcome.energy.inference_j)
+        points.append(
+            ModelPoint(
+                name=model.name,
+                latency_s=sum(latencies) / n_inputs,
+                error_pct=(1.0 - model.quality) * 100.0,
+                energy_j=sum(energies) / n_inputs,
+            )
+        )
+    latencies = [p.latency_s for p in points]
+    errors = [p.error_pct for p in points]
+    energies = [p.energy_j for p in points]
+    scatter = [(p.latency_s, p.error_pct) for p in points]
+    return Fig02Result(
+        machine=machine.name,
+        points=points,
+        latency_spread=max(latencies) / min(latencies),
+        error_spread=max(errors) / min(errors),
+        energy_spread=max(energies) / min(energies),
+        hull=lower_convex_hull(scatter),
+        n_dominated=len(dominated_points(scatter)),
+    )

@@ -1,0 +1,125 @@
+"""Figure 3: ResNet50 energy/latency across power caps on CPU2.
+
+The paper sweeps 31 power settings from 40-100 W with a periodic
+sensor workload (period = the latency under the 40 W cap) and finds:
+the fastest cap is >2x faster than the slowest; whole-period energy
+spreads by ~1.3x; and the energy/latency curve is non-smooth, with no
+cap simultaneously best in both dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.hw.contention import ContentionKind, ContentionProcess
+from repro.hw.machine import CPU2, MachineSpec
+from repro.models.base import DnnModel
+from repro.models.families import resnet50_model
+from repro.models.inference import InferenceEngine
+from repro.rng import SeedSequenceFactory
+
+__all__ = ["PowerPoint", "Fig03Result", "run"]
+
+
+@dataclass(frozen=True)
+class PowerPoint:
+    """One power cap's measured operating point."""
+
+    power_w: float
+    latency_s: float
+    period_energy_j: float
+
+
+@dataclass
+class Fig03Result:
+    """The Figure 3 sweep plus its headline claims."""
+
+    machine: str
+    model: str
+    period_s: float
+    points: list[PowerPoint]
+    latency_ratio: float
+    energy_spread: float
+    min_energy_power_w: float
+    max_energy_power_w: float
+
+    def describe(self) -> str:
+        rows = [[p.power_w, p.latency_s, p.period_energy_j] for p in self.points]
+        table = render_table(
+            ["power_W", "latency_s", "period_energy_J"],
+            rows,
+            title=f"Figure 3: {self.model} power sweep on {self.machine}",
+        )
+        return table + (
+            f"\nlatency(min cap)/latency(max cap) = {self.latency_ratio:.2f}x, "
+            f"energy spread {self.energy_spread:.2f}x, "
+            f"min-energy cap {self.min_energy_power_w:g} W, "
+            f"max-energy cap {self.max_energy_power_w:g} W"
+        )
+
+
+def run(
+    machine: MachineSpec = CPU2,
+    model: DnnModel | None = None,
+    n_powers: int = 31,
+    n_inputs: int = 25,
+    seed: int = 20200303,
+) -> Fig03Result:
+    """Sweep ``n_powers`` caps across the feasible range."""
+    model = model if model is not None else resnet50_model()
+    seeds = SeedSequenceFactory(seed)
+    contention = ContentionProcess(
+        kind=ContentionKind.NONE, machine=machine, rng=seeds.stream("contention")
+    )
+    engine = InferenceEngine(
+        machine=machine, contention=contention, noise_rng=seeds.stream("noise")
+    )
+    powers = np.linspace(machine.power_min_w, machine.power_max_w, n_powers)
+
+    # The paper's period: the latency under the lowest cap.
+    lowest = float(powers[0])
+    period = float(
+        np.mean(
+            [
+                engine.full_latency(model, lowest, index)
+                for index in range(n_inputs)
+            ]
+        )
+    )
+
+    points: list[PowerPoint] = []
+    for power in powers:
+        latencies = []
+        energies = []
+        for index in range(n_inputs):
+            outcome = engine.evaluate(
+                model=model,
+                power_cap_w=float(power),
+                index=index,
+                deadline_s=period,
+                period_s=period,
+            )
+            latencies.append(outcome.latency_s)
+            energies.append(outcome.energy_j)
+        points.append(
+            PowerPoint(
+                power_w=float(power),
+                latency_s=float(np.mean(latencies)),
+                period_energy_j=float(np.mean(energies)),
+            )
+        )
+    energy = [p.period_energy_j for p in points]
+    latency = [p.latency_s for p in points]
+    return Fig03Result(
+        machine=machine.name,
+        model=model.name,
+        period_s=period,
+        points=points,
+        latency_ratio=max(latency) / min(latency),
+        energy_spread=max(energy) / min(energy),
+        min_energy_power_w=points[int(np.argmin(energy))].power_w,
+        max_energy_power_w=points[int(np.argmax(energy))].power_w,
+    )

@@ -1,0 +1,194 @@
+"""Figure 4: latency variance across inputs, tasks, and platforms.
+
+The paper's observations (Section 2.2): no single task meets all
+deadlines on all hardware; per-input variation is small for images but
+large for NLP1 (sentence lengths); the big image models and BERT run
+out of memory on the Embedded board (missing boxes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.hw.contention import ContentionKind, ContentionPhase, ContentionProcess
+from repro.hw.machine import MachineSpec, all_platforms
+from repro.models.base import DnnModel
+from repro.models.families import bert_family, resnet50_model, rnn_family, vgg16_model
+from repro.models.inference import InferenceEngine
+from repro.rng import SeedSequenceFactory
+from repro.workloads.inputs import ImageStream, QuestionStream, SentenceStream
+
+__all__ = ["LatencyBox", "Fig04Result", "run", "workload_models"]
+
+
+@dataclass(frozen=True)
+class LatencyBox:
+    """Boxplot statistics of one (task, platform) combination."""
+
+    task: str
+    platform: str
+    median_s: float
+    p25_s: float
+    p75_s: float
+    p10_s: float
+    p90_s: float
+
+    @property
+    def iqr_ratio(self) -> float:
+        """Spread measure: p75/p25."""
+        return self.p75_s / self.p25_s if self.p25_s > 0 else float("inf")
+
+    @property
+    def tail_ratio(self) -> float:
+        """Tail measure: p90/median."""
+        return self.p90_s / self.median_s if self.median_s > 0 else float("inf")
+
+
+@dataclass
+class Fig04Result:
+    """All boxes plus the skipped (out-of-memory) combinations."""
+
+    contention: str
+    boxes: list[LatencyBox]
+    skipped: list[tuple[str, str]]
+
+    def box(self, task: str, platform: str) -> LatencyBox:
+        for candidate in self.boxes:
+            if candidate.task == task and candidate.platform == platform:
+                return candidate
+        raise KeyError(f"no box for ({task}, {platform})")
+
+    def describe(self) -> str:
+        rows = [
+            [b.task, b.platform, b.median_s, b.p25_s, b.p75_s, b.p90_s]
+            for b in self.boxes
+        ]
+        table = render_table(
+            ["task", "platform", "median_s", "p25_s", "p75_s", "p90_s"],
+            rows,
+            title=f"Figure 4/5: latency variance ({self.contention})",
+        )
+        if self.skipped:
+            table += "\nout of memory: " + ", ".join(
+                f"{t}@{p}" for t, p in self.skipped
+            )
+        return table
+
+
+def workload_models() -> dict[str, DnnModel]:
+    """The Table 2 workloads: IMG1, IMG2, NLP1, NLP2."""
+    return {
+        "IMG1": vgg16_model(),
+        "IMG2": resnet50_model(),
+        "NLP1": rnn_family().by_name("rnn_w1024"),
+        "NLP2": bert_family().by_name("bert_base"),
+    }
+
+
+def _stream_for(task: str, rng) -> object:
+    if task == "NLP1":
+        return SentenceStream(rng)
+    if task == "NLP2":
+        return QuestionStream(rng)
+    return ImageStream(rng)
+
+
+def _collect_latencies(
+    engine: InferenceEngine,
+    model: DnnModel,
+    stream,
+    task: str,
+    n_samples: int,
+) -> list[float]:
+    """Per-input latencies; NLP1 aggregates word latencies per sentence."""
+    horizon = 1e6
+    power = engine.machine.default_power()
+    if task != "NLP1":
+        return [
+            engine.evaluate(
+                model, power, i, deadline_s=horizon, period_s=horizon,
+                work_factor=stream.item(i).work_factor,
+            ).latency_s
+            for i in range(n_samples)
+        ]
+    # NLP1: one latency sample per *sentence* (sum of its words).
+    samples: list[float] = []
+    index = 0
+    while len(samples) < n_samples:
+        item = stream.item(index)
+        total = 0.0
+        for offset in range(item.group_size):
+            word = stream.item(index + offset)
+            total += engine.evaluate(
+                model,
+                power,
+                index + offset,
+                deadline_s=horizon,
+                period_s=horizon,
+                work_factor=word.work_factor,
+            ).latency_s
+        samples.append(total)
+        index += item.group_size
+    return samples
+
+
+def run(
+    platforms: list[MachineSpec] | None = None,
+    contention: ContentionKind = ContentionKind.NONE,
+    n_samples: int = 60,
+    seed: int = 20200404,
+    always_on: bool = False,
+) -> Fig04Result:
+    """Measure the latency boxes for every (task, platform) pair.
+
+    ``always_on`` pins the co-located job active for the whole sample
+    (the Figure 5 protocol) instead of the phased on/off default.
+    """
+    platforms = platforms if platforms is not None else all_platforms()
+    models = workload_models()
+    boxes: list[LatencyBox] = []
+    skipped: list[tuple[str, str]] = []
+    seeds = SeedSequenceFactory(seed)
+    phases = None
+    if always_on and contention is not ContentionKind.NONE:
+        phases = [ContentionPhase(start=0, stop=10**9, active=True)]
+    for task, model in models.items():
+        for machine in platforms:
+            if machine.name == "GPU" and task == "NLP1":
+                # The paper keeps the RNN off the GPU ("better suited
+                # for CPU"); it shows no GPU box for NLP1 variability.
+                pass
+            if not model.fits(machine):
+                skipped.append((task, machine.name))
+                continue
+            contention_proc = ContentionProcess(
+                kind=contention,
+                machine=machine,
+                rng=seeds.stream("contention", task, machine.name),
+                phases=phases,
+            )
+            engine = InferenceEngine(
+                machine=machine,
+                contention=contention_proc,
+                noise_rng=seeds.stream("noise", task, machine.name),
+            )
+            stream = _stream_for(task, seeds.stream("inputs", task, machine.name))
+            latencies = _collect_latencies(engine, model, stream, task, n_samples)
+            array = np.asarray(latencies)
+            boxes.append(
+                LatencyBox(
+                    task=task,
+                    platform=machine.name,
+                    median_s=float(np.median(array)),
+                    p25_s=float(np.percentile(array, 25)),
+                    p75_s=float(np.percentile(array, 75)),
+                    p10_s=float(np.percentile(array, 10)),
+                    p90_s=float(np.percentile(array, 90)),
+                )
+            )
+    return Fig04Result(
+        contention=contention.value, boxes=boxes, skipped=skipped
+    )

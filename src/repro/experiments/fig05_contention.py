@@ -1,0 +1,85 @@
+"""Figure 5: latency variance with co-located jobs.
+
+Identical protocol to Figure 4, but with the memory-intensive
+co-runner active (STREAM on CPUs, backprop on the GPU).  The paper's
+claim: co-location raises the median, the tail, and the gap between
+them, for all tasks on all platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig04_variability import Fig04Result
+from repro.experiments.fig04_variability import run as run_fig04
+from repro.hw.contention import ContentionKind
+from repro.hw.machine import MachineSpec
+
+__all__ = ["Fig05Result", "run"]
+
+
+@dataclass
+class Fig05Result:
+    """Paired quiet/contended boxes for direct comparison."""
+
+    quiet: Fig04Result
+    contended: Fig04Result
+
+    def median_inflation(self, task: str, platform: str) -> float:
+        """Contended median / quiet median for one combination."""
+        return (
+            self.contended.box(task, platform).median_s
+            / self.quiet.box(task, platform).median_s
+        )
+
+    def tail_inflation(self, task: str, platform: str) -> float:
+        """Contended p90 / quiet p90 for one combination."""
+        return (
+            self.contended.box(task, platform).p90_s
+            / self.quiet.box(task, platform).p90_s
+        )
+
+    def combinations(self) -> list[tuple[str, str]]:
+        """All (task, platform) pairs present in both environments."""
+        quiet_keys = {(b.task, b.platform) for b in self.quiet.boxes}
+        return [
+            (b.task, b.platform)
+            for b in self.contended.boxes
+            if (b.task, b.platform) in quiet_keys
+        ]
+
+    def describe(self) -> str:
+        lines = [self.contended.describe(), "", "inflation vs quiet:"]
+        for task, platform in self.combinations():
+            lines.append(
+                f"  {task}@{platform}: median x"
+                f"{self.median_inflation(task, platform):.2f}, "
+                f"p90 x{self.tail_inflation(task, platform):.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    platforms: list[MachineSpec] | None = None,
+    n_samples: int = 60,
+    seed: int = 20200404,
+) -> Fig05Result:
+    """Measure quiet and memory-contended boxes with shared seeds.
+
+    Using the same seed for both environments gives paired samples:
+    any inflation is attributable to the co-located job, not sampling.
+    """
+    quiet = run_fig04(
+        platforms=platforms,
+        contention=ContentionKind.NONE,
+        n_samples=n_samples,
+        seed=seed,
+    )
+    contended = run_fig04(
+        platforms=platforms,
+        contention=ContentionKind.MEMORY,
+        n_samples=n_samples,
+        seed=seed,
+        always_on=True,
+    )
+    return Fig05Result(quiet=quiet, contended=contended)

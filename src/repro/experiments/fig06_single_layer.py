@@ -1,0 +1,201 @@
+"""Figure 6: why single-layer adaptation is insufficient.
+
+Section 2.3's motivating study: ImageNet classification on CPU1 with
+deadlines from 0.1-0.7 s crossed with accuracy goals of 85-95%,
+minimising energy, solved by three *oracles* built from exhaustive
+per-input evaluation:
+
+* **App-level**: pick the best DNN per input, system at the default
+  power setting;
+* **Sys-level**: pick the best power per input, DNN fixed to the most
+  accurate one;
+* **Combined**: pick both per input.
+
+Paper claims: App-only meets every constraint but averages ~60% more
+energy than Combined; Sys-only cannot meet any deadline below ~0.3 s
+(the most accurate DNN is simply too slow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.hw.contention import ContentionKind, ContentionProcess
+from repro.hw.machine import CPU1, MachineSpec
+from repro.models.base import DnnModel, ModelSet
+from repro.models.inference import InferenceEngine
+from repro.models.zoo import imagenet_zoo
+from repro.rng import SeedSequenceFactory
+
+__all__ = ["SettingOutcome", "Fig06Result", "run"]
+
+INFEASIBLE = float("inf")
+
+
+@dataclass(frozen=True)
+class SettingOutcome:
+    """Mean energy of each approach for one (deadline, accuracy) pair.
+
+    ``inf`` marks a setting the approach could not satisfy (more than
+    10% of inputs broke a constraint) — Figure 6's ∞ bars.
+    """
+
+    deadline_s: float
+    accuracy_goal: float
+    app_energy_j: float
+    sys_energy_j: float
+    combined_energy_j: float
+
+
+@dataclass
+class Fig06Result:
+    """All settings of the Figure 6 sweep."""
+
+    machine: str
+    outcomes: list[SettingOutcome]
+
+    def feasible_fraction(self, approach: str) -> float:
+        """Fraction of settings an approach satisfied."""
+        key = f"{approach}_energy_j"
+        values = [getattr(o, key) for o in self.outcomes]
+        return float(np.mean([v != INFEASIBLE for v in values]))
+
+    def mean_overhead_vs_combined(self, approach: str) -> float:
+        """Mean energy ratio approach/combined over mutually feasible
+        settings."""
+        key = f"{approach}_energy_j"
+        ratios = [
+            getattr(o, key) / o.combined_energy_j
+            for o in self.outcomes
+            if getattr(o, key) != INFEASIBLE and o.combined_energy_j != INFEASIBLE
+        ]
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+    def describe(self) -> str:
+        rows = []
+        for o in self.outcomes:
+            rows.append(
+                [
+                    o.deadline_s,
+                    o.accuracy_goal,
+                    "inf" if o.app_energy_j == INFEASIBLE else f"{o.app_energy_j:.2f}",
+                    "inf" if o.sys_energy_j == INFEASIBLE else f"{o.sys_energy_j:.2f}",
+                    "inf"
+                    if o.combined_energy_j == INFEASIBLE
+                    else f"{o.combined_energy_j:.2f}",
+                ]
+            )
+        table = render_table(
+            ["deadline_s", "acc_goal", "App_J", "Sys_J", "Combined_J"],
+            rows,
+            title=f"Figure 6: single-layer vs combined oracles on {self.machine}",
+        )
+        return table + (
+            f"\nApp-level mean overhead vs Combined: "
+            f"x{self.mean_overhead_vs_combined('app'):.2f}; "
+            f"Sys-level feasible on {self.feasible_fraction('sys') * 100:.0f}% "
+            "of settings"
+        )
+
+
+def _per_input_best(
+    engine: InferenceEngine,
+    models: list[DnnModel],
+    powers: list[float],
+    index: int,
+    deadline_s: float,
+    accuracy_goal: float,
+) -> float | None:
+    """Minimum energy meeting both constraints on one input, or None."""
+    best: float | None = None
+    for model in models:
+        for power in powers:
+            outcome = engine.evaluate(
+                model=model,
+                power_cap_w=power,
+                index=index,
+                deadline_s=deadline_s,
+                period_s=deadline_s,
+            )
+            if not outcome.met_deadline:
+                continue
+            if outcome.quality < accuracy_goal:
+                continue
+            if best is None or outcome.energy_j < best:
+                best = outcome.energy_j
+    return best
+
+
+def run(
+    machine: MachineSpec = CPU1,
+    zoo: ModelSet | None = None,
+    deadlines_s: tuple[float, ...] = (0.1, 0.2, 0.3, 0.5, 0.7, 1.0, 1.3),
+    accuracy_goals: tuple[float, ...] = (0.85, 0.875, 0.90, 0.925, 0.95),
+    n_inputs: int = 60,
+    seed: int = 20200606,
+    max_miss_fraction: float = 0.10,
+) -> Fig06Result:
+    """Run the three-oracle comparison over the constraint sweep.
+
+    The deadline sweep extends past the paper's 0.7 s because our
+    simulated CPU1 runs the zoo's most accurate model (the Sys-level
+    oracle's pinned DNN) in ~1 s — the Sys-level crossover happens
+    there instead of at 0.3 s, with the same qualitative shape:
+    Sys-level is infeasible below the pinned model's latency while the
+    other approaches are not.
+    """
+    zoo = zoo if zoo is not None else imagenet_zoo()
+    models = list(zoo)
+    seeds = SeedSequenceFactory(seed)
+    contention = ContentionProcess(
+        kind=ContentionKind.NONE, machine=machine, rng=seeds.stream("contention")
+    )
+    engine = InferenceEngine(
+        machine=machine, contention=contention, noise_rng=seeds.stream("noise")
+    )
+    powers = machine.power_levels()
+    default_power = machine.default_power()
+    most_accurate = max(models, key=lambda m: m.quality)
+
+    outcomes: list[SettingOutcome] = []
+    for deadline in deadlines_s:
+        for accuracy_goal in accuracy_goals:
+            approaches = {
+                "app": (models, [default_power]),
+                "sys": ([most_accurate], powers),
+                "combined": (models, powers),
+            }
+            energies: dict[str, float] = {}
+            for name, (candidate_models, candidate_powers) in approaches.items():
+                per_input: list[float] = []
+                misses = 0
+                for index in range(n_inputs):
+                    best = _per_input_best(
+                        engine,
+                        candidate_models,
+                        candidate_powers,
+                        index,
+                        deadline,
+                        accuracy_goal,
+                    )
+                    if best is None:
+                        misses += 1
+                    else:
+                        per_input.append(best)
+                if misses > max_miss_fraction * n_inputs or not per_input:
+                    energies[name] = INFEASIBLE
+                else:
+                    energies[name] = float(np.mean(per_input))
+            outcomes.append(
+                SettingOutcome(
+                    deadline_s=deadline,
+                    accuracy_goal=accuracy_goal,
+                    app_energy_j=energies["app"],
+                    sys_energy_j=energies["sys"],
+                    combined_energy_j=energies["combined"],
+                )
+            )
+    return Fig06Result(machine=machine.name, outcomes=outcomes)

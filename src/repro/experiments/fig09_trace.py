@@ -1,0 +1,133 @@
+"""Figure 9: the dynamic-behaviour trace through a contention burst.
+
+Minimise error under latency and energy constraints on CPU1 while
+memory contention switches on around input 46 and off around input
+119.  The paper's narrative, which this driver reproduces as data:
+
+* in the quiet prefix both ALERT and ALERT-Trad pick the biggest
+  traditional network;
+* at the contention onset both suffer a dip, detect the volatility,
+  and adapt within about one input;
+* ALERT switches to the *anytime* network and keeps accuracy high;
+  ALERT-Trad can only retreat to smaller traditional networks and
+  loses accuracy;
+* when the system quiesces both return to the big traditional network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import make_alert
+from repro.core.goals import Goal, ObjectiveKind
+from repro.runtime.loop import ServingLoop
+from repro.runtime.results import RunResult
+from repro.workloads.scenarios import build_scenario
+from repro.workloads.traces import fig9_phases
+
+__all__ = ["TraceSeries", "Fig09Result", "run"]
+
+
+@dataclass
+class TraceSeries:
+    """Per-input series of one scheduler's run."""
+
+    scheduler: str
+    latency_s: list[float]
+    power_w: list[float]
+    quality: list[float]
+    model: list[str]
+    is_anytime: list[bool]
+    xi_mean: list[float]
+
+
+@dataclass
+class Fig09Result:
+    """Both schedulers' traces plus the experiment's constants."""
+
+    deadline_s: float
+    power_budget_w: float
+    contention_start: int
+    contention_stop: int
+    alert: TraceSeries
+    alert_trad: TraceSeries
+
+    def window_mean_quality(self, series: TraceSeries) -> float:
+        """Mean delivered quality during the contention window."""
+        window = series.quality[self.contention_start : self.contention_stop]
+        return float(np.mean(window))
+
+    def describe(self) -> str:
+        lines = [
+            "Figure 9 trace: memory contention from input "
+            f"{self.contention_start} to {self.contention_stop}",
+            f"deadline {self.deadline_s * 1e3:.0f} ms, power budget "
+            f"{self.power_budget_w:g} W",
+        ]
+        for series in (self.alert, self.alert_trad):
+            anytime_share = float(
+                np.mean(
+                    series.is_anytime[self.contention_start : self.contention_stop]
+                )
+            )
+            lines.append(
+                f"{series.scheduler}: contention-window quality "
+                f"{self.window_mean_quality(series):.4f}, anytime share "
+                f"{anytime_share * 100:.0f}%"
+            )
+        return "\n".join(lines)
+
+
+def _series(run_result: RunResult, name: str) -> TraceSeries:
+    outcomes = [r.outcome for r in run_result.records]
+    return TraceSeries(
+        scheduler=name,
+        latency_s=[o.latency_s for o in outcomes],
+        power_w=[o.power_cap_w for o in outcomes],
+        quality=[o.quality for o in outcomes],
+        model=[o.model_name for o in outcomes],
+        is_anytime=["nest" in o.model_name for o in outcomes],
+        xi_mean=run_result.series("xi_mean"),
+    )
+
+
+def run(
+    n_inputs: int = 160,
+    contention_start: int = 46,
+    contention_stop: int = 119,
+    deadline_factor: float = 1.25,
+    power_budget_w: float = 35.0,
+    seed: int = 20201010,
+) -> Fig09Result:
+    """Run ALERT and ALERT-Trad through the Figure 9 environment."""
+    scenario = build_scenario("CPU1", "image", "memory", "standard", seed)
+    profile = scenario.profile()
+    deadline = deadline_factor * scenario.anchor_latency_s()
+    goal = Goal(
+        objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+        deadline_s=deadline,
+        energy_budget_j=power_budget_w * deadline,
+    )
+    phases = fig9_phases(contention_start, contention_stop, n_inputs)
+
+    series: dict[str, TraceSeries] = {}
+    for name, models in (
+        ("ALERT", None),
+        ("ALERT-Trad", list(scenario.candidates.traditional)),
+    ):
+        engine = scenario.make_engine(phases=phases)
+        stream = scenario.make_stream()
+        scheduler = make_alert(profile, models=models, name=name)
+        result = ServingLoop(engine, stream, scheduler, goal).run(n_inputs)
+        series[name] = _series(result, name)
+
+    return Fig09Result(
+        deadline_s=deadline,
+        power_budget_w=power_budget_w,
+        contention_start=contention_start,
+        contention_stop=contention_stop,
+        alert=series["ALERT"],
+        alert_trad=series["ALERT-Trad"],
+    )

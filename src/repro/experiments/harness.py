@@ -1,0 +1,136 @@
+"""Shared evaluation harness for the Table 3 scheme zoo.
+
+Builds each scheme the paper compares (Table 3, bottom) for a given
+scenario, runs them over constraint settings, and aggregates Table 4
+style cells.  All experiment drivers go through this module so the
+scheme definitions exist in exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.baselines import (
+    AppOnlyScheduler,
+    NoCoordScheduler,
+    OracleScheduler,
+    SysOnlyScheduler,
+    make_alert,
+    make_alert_star,
+    make_oracle_static,
+)
+from repro.core.config_space import ConfigurationSpace
+from repro.core.goals import Goal
+from repro.errors import ConfigurationError
+from repro.runtime.loop import ServingLoop
+from repro.runtime.results import RunResult
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.scenarios import Scenario
+
+__all__ = ["SCHEMES", "make_scheme", "evaluate_schemes", "CellResult"]
+
+#: Scheme names in the paper's presentation order.
+SCHEMES = (
+    "Oracle",
+    "OracleStatic",
+    "ALERT",
+    "ALERT-Any",
+    "ALERT-Trad",
+    "ALERT*",
+    "App-only",
+    "Sys-only",
+    "No-coord",
+)
+
+
+def make_scheme(
+    name: str,
+    scenario: Scenario,
+    engine,
+    stream,
+    goal: Goal,
+    n_inputs: int,
+) -> Scheduler:
+    """Instantiate one of the Table 3 schemes for a single run.
+
+    Oracles need the run's engine/stream (perfect knowledge); the
+    feedback schemes only need the offline profile.
+    """
+    profile = scenario.profile()
+    candidates = scenario.candidates
+    space = ConfigurationSpace(list(candidates.models), list(profile.powers))
+    anytime = candidates.anytime
+    if name == "Oracle":
+        return OracleScheduler(engine, space)
+    if name == "OracleStatic":
+        return make_oracle_static(engine, space, goal, stream, n_inputs)
+    if name == "ALERT":
+        return make_alert(profile)
+    if name == "ALERT-Any":
+        if anytime is None:
+            raise ConfigurationError("ALERT-Any needs an anytime candidate")
+        return make_alert(profile, models=[anytime], name="ALERT-Any")
+    if name == "ALERT-Trad":
+        traditional = list(candidates.traditional)
+        if not traditional:
+            raise ConfigurationError("ALERT-Trad needs traditional candidates")
+        return make_alert(profile, models=traditional, name="ALERT-Trad")
+    if name == "ALERT*":
+        return make_alert_star(profile)
+    if name == "App-only":
+        if anytime is None:
+            raise ConfigurationError("App-only needs an anytime candidate")
+        return AppOnlyScheduler(anytime, scenario.machine.default_power())
+    if name == "Sys-only":
+        return SysOnlyScheduler(profile, list(candidates.models))
+    if name == "No-coord":
+        if anytime is None:
+            raise ConfigurationError("No-coord needs an anytime candidate")
+        return NoCoordScheduler(profile, anytime)
+    raise ConfigurationError(f"unknown scheme {name!r}; choose from {SCHEMES}")
+
+
+@dataclass
+class CellResult:
+    """All schemes' runs over one cell's constraint settings."""
+
+    scenario: Scenario
+    goals: tuple[Goal, ...]
+    runs: dict[str, list[RunResult]]
+
+    def scheme_runs(self, name: str) -> list[RunResult]:
+        """All runs of one scheme, aligned with ``goals``."""
+        if name not in self.runs:
+            raise ConfigurationError(f"no runs recorded for scheme {name!r}")
+        return self.runs[name]
+
+
+def evaluate_schemes(
+    scenario: Scenario,
+    goals: Iterable[Goal],
+    schemes: Iterable[str],
+    n_inputs: int = 100,
+    scheme_factory: Callable[..., Scheduler] = make_scheme,
+) -> CellResult:
+    """Run every scheme over every constraint setting of a cell.
+
+    Every (scheme, goal) run gets a *fresh* engine and stream built
+    from the scenario's seed, so all schemes face bit-identical
+    environments (common random numbers).
+    """
+    goal_list = tuple(goals)
+    scheme_list = tuple(schemes)
+    if not goal_list:
+        raise ConfigurationError("need at least one constraint setting")
+    runs: dict[str, list[RunResult]] = {name: [] for name in scheme_list}
+    for goal in goal_list:
+        for name in scheme_list:
+            engine = scenario.make_engine()
+            stream = scenario.make_stream()
+            scheduler = scheme_factory(
+                name, scenario, engine, stream, goal, n_inputs
+            )
+            loop = ServingLoop(engine, stream, scheduler, goal)
+            runs[name].append(loop.run(n_inputs))
+    return CellResult(scenario=scenario, goals=goal_list, runs=runs)

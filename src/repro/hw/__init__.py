@@ -1,0 +1,69 @@
+"""Hardware substrate: machines, power capping, DVFS, and contention.
+
+The paper evaluates ALERT on four physical platforms (Table 1) with
+Intel RAPL power capping on CPUs and PyNVML frequency control on the
+GPU.  This subpackage provides a faithful simulation of those
+mechanisms:
+
+* :mod:`repro.hw.machine` — platform specifications (Embedded, CPU1,
+  CPU2, GPU) including feasible power ranges and idle power.
+* :mod:`repro.hw.dvfs` — the cap→frequency→speedup model that converts
+  a power limit into an inference-latency multiplier.
+* :mod:`repro.hw.rapl` — a register-level simulation of the RAPL
+  energy counter and power-limit interface (including the 32-bit
+  counter wraparound real RAPL exhibits).
+* :mod:`repro.hw.powercap` — the user-facing power-capping facade that
+  ALERT's implementation talks to (RAPL on CPUs, a power↔frequency
+  lookup table on GPUs, as in the paper's Section 4).
+* :mod:`repro.hw.contention` — phased co-located jobs modelled on
+  STREAM (memory), PARSEC bodytrack (compute), and Rodinia backprop
+  (GPU) that perturb latency and draw background power.
+* :mod:`repro.hw.energy` — energy accounting over serving windows.
+"""
+
+from repro.hw.contention import (
+    ContentionKind,
+    ContentionPhase,
+    ContentionProcess,
+    ContentionSample,
+    make_contention,
+)
+from repro.hw.dvfs import DvfsModel
+from repro.hw.energy import EnergyAccount, EnergyBreakdown, period_energy
+from repro.hw.machine import (
+    CPU1,
+    CPU2,
+    EMBEDDED,
+    GPU,
+    MachineSpec,
+    PlatformKind,
+    all_platforms,
+    get_platform,
+)
+from repro.hw.powercap import GpuPowerTable, PowerActuator, RaplPowerActuator
+from repro.hw.rapl import RaplDomain, RaplPackage
+
+__all__ = [
+    "ContentionKind",
+    "ContentionPhase",
+    "ContentionProcess",
+    "ContentionSample",
+    "make_contention",
+    "DvfsModel",
+    "EnergyAccount",
+    "EnergyBreakdown",
+    "period_energy",
+    "MachineSpec",
+    "PlatformKind",
+    "EMBEDDED",
+    "CPU1",
+    "CPU2",
+    "GPU",
+    "all_platforms",
+    "get_platform",
+    "GpuPowerTable",
+    "PowerActuator",
+    "RaplPowerActuator",
+    "RaplDomain",
+    "RaplPackage",
+]

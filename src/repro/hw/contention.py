@@ -1,0 +1,364 @@
+"""Co-located job models: the "Memory" and "Compute" environments.
+
+The paper perturbs inference with co-located jobs that "repeatedly get
+stopped and then started" (Section 5.1):
+
+* **Memory** — the STREAM benchmark on CPUs, the full Rodinia backprop
+  on the GPU: bandwidth-hungry, large median slowdown and heavy tail;
+* **Compute** — PARSEC bodytrack on CPUs, backprop's forward pass on
+  the GPU: core-hungry, moderate slowdown.
+
+ALERT never sees these processes directly; it only observes their
+effect on measured latency and idle power.  The model therefore only
+needs to generate a realistic per-input sequence of
+
+``(active?, latency multiplier, idle-period package power)``
+
+with the dynamics that matter to a feedback controller: square-wave
+on/off phases (so there are abrupt regime changes to react to), a
+persistent per-phase intensity (so recent history is informative — the
+property the global slowdown factor exploits), per-input jitter, and
+occasional heavy-tail outliers (so mean-only prediction mispredicts,
+paper Section 3.3 Idea 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.machine import MachineSpec, PlatformKind
+
+__all__ = [
+    "ContentionKind",
+    "ContentionProfile",
+    "ContentionPhase",
+    "ContentionSample",
+    "ContentionProcess",
+    "make_contention",
+]
+
+
+class ContentionKind(enum.Enum):
+    """Which co-located job runs beside the inference task."""
+
+    NONE = "default"
+    MEMORY = "memory"
+    COMPUTE = "compute"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ContentionKind":
+        """Parse a kind from the names used in the paper's tables.
+
+        >>> ContentionKind.from_name("Idle") is ContentionKind.NONE
+        True
+        """
+        lowered = name.strip().lower()
+        aliases = {
+            "default": cls.NONE,
+            "idle": cls.NONE,
+            "none": cls.NONE,
+            "memory": cls.MEMORY,
+            "mem": cls.MEMORY,
+            "mem.": cls.MEMORY,
+            "compute": cls.COMPUTE,
+            "comp": cls.COMPUTE,
+            "comp.": cls.COMPUTE,
+        }
+        if lowered not in aliases:
+            raise ConfigurationError(f"unknown contention kind {name!r}")
+        return aliases[lowered]
+
+
+@dataclass(frozen=True)
+class ContentionProfile:
+    """Statistical fingerprint of one co-located job on one platform.
+
+    Parameters
+    ----------
+    mean_slowdown:
+        Central latency multiplier while the job is active.
+    phase_sigma:
+        Log-sigma of the per-phase base intensity: each time the job
+        restarts it lands at a slightly different operating point.
+    jitter_sigma:
+        Log-sigma of input-to-input jitter around the phase base.
+    tail_probability / tail_scale:
+        With ``tail_probability`` an input's multiplier is further
+        scaled by ``tail_scale`` — the heavy-tail events that break
+        mean-only prediction.
+    job_power_fraction:
+        Power the job draws during the inference-idle period, as a
+        fraction of the machine's peak power.  (During inference the
+        package cap binds, so contention shows up as slowdown, not
+        extra draw.)
+    """
+
+    mean_slowdown: float
+    phase_sigma: float
+    jitter_sigma: float
+    tail_probability: float
+    tail_scale: float
+    job_power_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.mean_slowdown < 1.0:
+            raise ConfigurationError(
+                f"contention cannot speed inference up (mean_slowdown="
+                f"{self.mean_slowdown})"
+            )
+        if not 0.0 <= self.tail_probability < 1.0:
+            raise ConfigurationError("tail_probability must lie in [0, 1)")
+
+
+#: Calibrated against Figure 5: memory contention raises both median
+#: and tail more than compute contention, and the GPU is perturbed less
+#: than the CPUs.
+_CPU_PROFILES = {
+    ContentionKind.MEMORY: ContentionProfile(
+        mean_slowdown=1.85,
+        phase_sigma=0.08,
+        jitter_sigma=0.08,
+        tail_probability=0.03,
+        tail_scale=1.6,
+        job_power_fraction=0.32,
+    ),
+    ContentionKind.COMPUTE: ContentionProfile(
+        mean_slowdown=1.45,
+        phase_sigma=0.06,
+        jitter_sigma=0.06,
+        tail_probability=0.02,
+        tail_scale=1.4,
+        job_power_fraction=0.42,
+    ),
+}
+
+_GPU_PROFILES = {
+    ContentionKind.MEMORY: ContentionProfile(
+        mean_slowdown=1.38,
+        phase_sigma=0.05,
+        jitter_sigma=0.030,
+        tail_probability=0.015,
+        tail_scale=1.35,
+        job_power_fraction=0.30,
+    ),
+    ContentionKind.COMPUTE: ContentionProfile(
+        mean_slowdown=1.22,
+        phase_sigma=0.04,
+        jitter_sigma=0.022,
+        tail_probability=0.012,
+        tail_scale=1.25,
+        job_power_fraction=0.35,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ContentionPhase:
+    """A contiguous run of inputs during which the job is on or off."""
+
+    start: int  # first input index (inclusive)
+    stop: int  # last input index (exclusive)
+    active: bool
+    base_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stop <= self.start:
+            raise ConfigurationError(
+                f"phase [{self.start}, {self.stop}) is empty or reversed"
+            )
+        if self.base_slowdown < 1.0:
+            raise ConfigurationError("base_slowdown must be >= 1")
+
+
+@dataclass(frozen=True)
+class ContentionSample:
+    """What the environment did to one input.
+
+    Attributes
+    ----------
+    active:
+        Whether the co-located job was running.
+    slowdown:
+        Multiplier applied to inference latency (>= 1).
+    idle_power_w:
+        Package power during the inference-idle part of the period.
+    """
+
+    active: bool
+    slowdown: float
+    idle_power_w: float
+
+
+class ContentionProcess:
+    """Generates the per-input contention sequence for one run.
+
+    The process is fully determined by its RNG seed, so two schedulers
+    evaluated with the same seed face exactly the same environment —
+    the common-random-numbers property the paper's oracle comparisons
+    need.
+
+    Parameters
+    ----------
+    kind:
+        Which job co-runs (or :attr:`ContentionKind.NONE`).
+    machine:
+        Platform, used for idle power and the per-platform profile.
+    rng:
+        Source of randomness for phases, jitter, and tails.
+    mean_on_inputs / mean_off_inputs:
+        Mean lengths (in inputs) of active and quiet phases; phases are
+        geometrically distributed around these means.
+    phases:
+        Optional explicit phase list (overrides random phase
+        generation) — used by the Figure 9 trace experiment, where
+        memory contention runs from input 46 to 119.
+    ramp_inputs:
+        Inputs over which a starting job ramps from no slowdown to its
+        phase intensity (a bandwidth hog does not saturate the memory
+        system within a single inference); gives feedback schemes the
+        one-input reaction window the paper describes.
+    """
+
+    def __init__(
+        self,
+        kind: ContentionKind,
+        machine: MachineSpec,
+        rng: np.random.Generator,
+        mean_on_inputs: int = 40,
+        mean_off_inputs: int = 60,
+        phases: list[ContentionPhase] | None = None,
+        profile: ContentionProfile | None = None,
+        ramp_inputs: int = 3,
+    ) -> None:
+        if mean_on_inputs < 1 or mean_off_inputs < 1:
+            raise ConfigurationError("phase lengths must be at least one input")
+        if ramp_inputs < 0:
+            raise ConfigurationError("ramp_inputs must be >= 0")
+        self._ramp_inputs = ramp_inputs
+        self.kind = kind
+        self.machine = machine
+        self._rng = rng
+        self._mean_on = mean_on_inputs
+        self._mean_off = mean_off_inputs
+        self._profile = profile if profile is not None else self._default_profile()
+        self._explicit_phases = list(phases) if phases is not None else None
+        self._phases: list[ContentionPhase] = []
+        self._samples: list[ContentionSample] = []
+
+    def _default_profile(self) -> ContentionProfile | None:
+        if self.kind is ContentionKind.NONE:
+            return None
+        table = (
+            _GPU_PROFILES
+            if self.machine.kind is PlatformKind.GPU
+            else _CPU_PROFILES
+        )
+        return table[self.kind]
+
+    # ------------------------------------------------------------------
+    # Phase generation
+    # ------------------------------------------------------------------
+    def _next_phase(self, start: int) -> ContentionPhase:
+        if self._explicit_phases is not None:
+            for phase in self._explicit_phases:
+                if phase.start <= start < phase.stop:
+                    return phase
+            # Beyond the explicit schedule the job stays off.
+            return ContentionPhase(start=start, stop=start + 10_000, active=False)
+        active = bool(self._phases) and not self._phases[-1].active
+        if not self._phases:
+            # Start quiet so every run begins in the profiled regime.
+            active = False
+        mean = self._mean_on if active else self._mean_off
+        length = 1 + int(self._rng.geometric(1.0 / mean))
+        base = 1.0
+        if active and self._profile is not None:
+            base = self._profile.mean_slowdown * float(
+                np.exp(self._rng.normal(0.0, self._profile.phase_sigma))
+            )
+            base = max(1.0, base)
+        return ContentionPhase(
+            start=start, stop=start + length, active=active, base_slowdown=base
+        )
+
+    def _phase_for(self, index: int) -> ContentionPhase:
+        while not self._phases or self._phases[-1].stop <= index:
+            start = self._phases[-1].stop if self._phases else 0
+            self._phases.append(self._next_phase(start))
+        for phase in reversed(self._phases):
+            if phase.start <= index < phase.stop:
+                return phase
+        raise ConfigurationError(f"no phase covers input {index}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, index: int) -> ContentionSample:
+        """The contention sample for input ``index`` (memoised).
+
+        Samples must be requested in non-decreasing order the first
+        time (the serving loop naturally does this); afterwards any
+        index already generated can be re-read, which the oracle
+        baselines rely on.
+        """
+        if index < 0:
+            raise ConfigurationError(f"input index must be >= 0, got {index}")
+        while len(self._samples) <= index:
+            self._samples.append(self._draw(len(self._samples)))
+        return self._samples[index]
+
+    def _draw(self, index: int) -> ContentionSample:
+        if self.kind is ContentionKind.NONE or self._profile is None:
+            return ContentionSample(
+                active=False, slowdown=1.0, idle_power_w=self.machine.idle_power_w
+            )
+        phase = self._phase_for(index)
+        if not phase.active:
+            return ContentionSample(
+                active=False, slowdown=1.0, idle_power_w=self.machine.idle_power_w
+            )
+        profile = self._profile
+        base = phase.base_slowdown
+        if self._explicit_phases is not None and phase.base_slowdown == 1.0:
+            base = profile.mean_slowdown
+        offset = index - phase.start
+        if self._ramp_inputs > 0 and offset < self._ramp_inputs:
+            ramp = (offset + 1) / (self._ramp_inputs + 1)
+            base = 1.0 + (base - 1.0) * ramp
+        jitter = float(np.exp(self._rng.normal(0.0, profile.jitter_sigma)))
+        slowdown = max(1.0, base * jitter)
+        if self._rng.random() < profile.tail_probability:
+            slowdown *= profile.tail_scale
+        idle_power = (
+            self.machine.idle_power_w
+            + profile.job_power_fraction * self.machine.peak_power_w
+        )
+        idle_power = min(idle_power, self.machine.peak_power_w)
+        return ContentionSample(active=True, slowdown=slowdown, idle_power_w=idle_power)
+
+    def schedule(self, n_inputs: int) -> list[ContentionSample]:
+        """Materialise the first ``n_inputs`` samples."""
+        return [self.sample(i) for i in range(n_inputs)]
+
+
+def make_contention(
+    kind: ContentionKind | str,
+    machine: MachineSpec,
+    rng: np.random.Generator,
+    phases: list[ContentionPhase] | None = None,
+) -> ContentionProcess:
+    """Convenience constructor accepting the paper's table names.
+
+    >>> import numpy as np
+    >>> from repro.hw.machine import CPU1
+    >>> proc = make_contention("Mem.", CPU1, np.random.default_rng(0))
+    >>> proc.kind is ContentionKind.MEMORY
+    True
+    """
+    if isinstance(kind, str):
+        kind = ContentionKind.from_name(kind)
+    return ContentionProcess(kind=kind, machine=machine, rng=rng, phases=phases)

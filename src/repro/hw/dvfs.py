@@ -1,0 +1,131 @@
+"""DVFS model: how a power cap turns into inference speed and draw.
+
+Real platforms enforce a power cap by scaling voltage and frequency
+(DVFS).  Dynamic power grows roughly with the cube of frequency
+(``P = P_static + c * f^3`` for voltage tracking frequency), so the
+frequency a cap can sustain is the cube root of the headroom above
+static power.  Inference latency then splits into a compute-bound part
+that scales with ``1/f`` and a memory-bound part that does not.
+
+This model is deliberately simple — ALERT never sees it directly; it
+only observes the resulting latencies — but it is calibrated to
+reproduce the paper's Figure 3 shape claims on CPU2:
+
+* the fastest cap (100 W) is **more than 2x** faster than the slowest
+  (40 W) for ResNet50;
+* caps above the platform's natural peak draw (~90 W) change nothing,
+  so 84-100 W behave alike ("84W should be chosen for extremely low
+  latency deadlines");
+* whole-period energy (run + idle) is minimised at the lowest cap and
+  spreads by roughly 1.3x across the range, with a non-smooth shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerCapError
+from repro.hw.machine import MachineSpec
+
+__all__ = ["DvfsModel"]
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """Cap → frequency → latency/draw conversion for one machine.
+
+    Parameters
+    ----------
+    machine:
+        The platform whose static/peak power calibrate the model.
+    exponent:
+        Power-vs-frequency exponent; 3.0 is the classical cubic rule.
+    min_frequency_fraction:
+        Hardware floor on the frequency fraction — even the deepest cap
+        cannot clock below this fraction of peak frequency.
+    """
+
+    machine: MachineSpec
+    exponent: float = 3.0
+    min_frequency_fraction: float = 0.2
+
+    # ------------------------------------------------------------------
+    # Forward maps
+    # ------------------------------------------------------------------
+    def frequency_fraction(self, power_cap_w: float) -> float:
+        """Fraction of peak frequency sustainable under ``power_cap_w``.
+
+        Caps at or above the machine's peak draw return 1.0 — the cap
+        no longer binds.  Caps below the feasible minimum raise
+        :class:`PowerCapError` because the platform cannot enforce
+        them.
+        """
+        spec = self.machine
+        if power_cap_w < spec.power_min_w - 1e-9:
+            raise PowerCapError(
+                f"{spec.name}: cap {power_cap_w} W below the feasible "
+                f"minimum {spec.power_min_w} W"
+            )
+        effective = min(power_cap_w, spec.peak_power_w)
+        headroom = effective - spec.static_power_w
+        full_headroom = spec.peak_power_w - spec.static_power_w
+        fraction = (headroom / full_headroom) ** (1.0 / self.exponent)
+        return max(self.min_frequency_fraction, min(1.0, fraction))
+
+    def latency_multiplier(
+        self, power_cap_w: float, memory_intensity: float = 0.05
+    ) -> float:
+        """Latency under this cap relative to the uncapped latency.
+
+        ``memory_intensity`` is the fraction of execution time bound by
+        memory bandwidth, which DVFS does not accelerate; the remaining
+        compute-bound fraction scales inversely with frequency.
+        """
+        if not 0.0 <= memory_intensity <= 1.0:
+            raise PowerCapError(
+                f"memory_intensity must lie in [0, 1], got {memory_intensity}"
+            )
+        fraction = self.frequency_fraction(power_cap_w)
+        return memory_intensity + (1.0 - memory_intensity) / fraction
+
+    def draw_power(self, power_cap_w: float) -> float:
+        """Average power actually drawn while inferring under a cap.
+
+        DNN inference is intense enough to pin the package at the cap;
+        above the natural peak draw the cap stops binding and the
+        platform draws its peak instead.
+        """
+        spec = self.machine
+        if power_cap_w < spec.power_min_w - 1e-9:
+            raise PowerCapError(
+                f"{spec.name}: cap {power_cap_w} W below the feasible "
+                f"minimum {spec.power_min_w} W"
+            )
+        return min(power_cap_w, spec.peak_power_w)
+
+    # ------------------------------------------------------------------
+    # Inverse map
+    # ------------------------------------------------------------------
+    def cap_for_latency_multiplier(
+        self, multiplier: float, memory_intensity: float = 0.05
+    ) -> float:
+        """Smallest cap whose latency multiplier is at most ``multiplier``.
+
+        Used by system-level baselines that translate a latency target
+        into a power setting.  Returns the maximum cap when even full
+        power cannot reach the multiplier (i.e. ``multiplier < 1``).
+        """
+        if multiplier <= 0:
+            raise PowerCapError(f"multiplier must be positive, got {multiplier}")
+        spec = self.machine
+        compute_fraction = 1.0 - memory_intensity
+        if multiplier <= memory_intensity + compute_fraction:  # multiplier <= 1
+            return spec.power_max_w
+        # Invert multiplier = m + (1 - m) / f  =>  f = (1 - m) / (mult - m)
+        frequency = compute_fraction / (multiplier - memory_intensity)
+        frequency = max(self.min_frequency_fraction, min(1.0, frequency))
+        headroom = (frequency**self.exponent) * (
+            spec.peak_power_w - spec.static_power_w
+        )
+        cap = spec.static_power_w + headroom
+        return spec.clamp_power(cap)

@@ -1,0 +1,275 @@
+"""Platform specifications mirroring Table 1 of the paper.
+
+A :class:`MachineSpec` captures everything the rest of the simulator
+needs to know about a hardware platform:
+
+* the feasible power-cap range and the cap granularity ALERT uses on
+  that platform (2.5 W on the laptop, 5 W on the server and GPU — see
+  the paper's Section 4);
+* the static/idle power and the power the platform actually draws when
+  running a DNN at full tilt (the cap stops binding above that point);
+* per-task speed ratios relative to the reference platform (CPU2),
+  which let one profiled latency number place a model on every
+  platform;
+* the measurement-noise level of the platform (GPUs run much more
+  deterministically than CPUs — paper Section 5.2 notes the GPU
+  "experiences significantly lower dynamic fluctuation").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PlatformKind",
+    "MachineSpec",
+    "EMBEDDED",
+    "CPU1",
+    "CPU2",
+    "GPU",
+    "all_platforms",
+    "get_platform",
+]
+
+
+class PlatformKind(enum.Enum):
+    """Broad class of a platform; drives actuator choice and noise."""
+
+    EMBEDDED = "embedded"
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one hardware platform.
+
+    Parameters
+    ----------
+    name:
+        Short identifier used in tables (``"CPU1"``, ``"GPU"``...).
+    kind:
+        The :class:`PlatformKind`, which selects the power actuator
+        (RAPL for CPUs, a frequency table for GPUs).
+    description:
+        Human-readable hardware summary (CPU model, memory, LLC) as in
+        Table 1 of the paper.
+    power_min_w / power_max_w:
+        Feasible power-cap range in watts.  ALERT enumerates caps in
+        this range with ``power_step_w`` spacing.
+    power_step_w:
+        Cap granularity: 2.5 W on the laptop, 5 W on server/GPU
+        (paper Section 4).
+    static_power_w:
+        Power draw attributable to non-scalable components while a DNN
+        runs; the DVFS model treats only power above this as buying
+        frequency.
+    peak_power_w:
+        Power the platform draws running a DNN with no cap.  Caps above
+        this value change nothing (neither latency nor draw).
+    idle_power_w:
+        Package power when the inference job is idle and nothing else
+        runs.  Contention adds on top of this.
+    speed_ratio:
+        Per-task-family latency multiplier relative to CPU2.  A ratio
+        of 4.0 means this platform runs that family 4x slower than the
+        CPU2 profile.  Keys are family names (``"cnn"``, ``"rnn"``,
+        ``"transformer"``); a ``"*"`` key is the default.
+    latency_noise_sigma:
+        Sigma of the multiplicative log-normal measurement noise on
+        inference latency in the *default* (uncontended) environment.
+    memory_gb / llc_mb:
+        Informational fields from Table 1; the embedded platform's
+        2 GB memory is what makes the large models "run out of memory"
+        in Figure 4, which :meth:`supports_model_mb` encodes.
+    """
+
+    name: str
+    kind: PlatformKind
+    description: str
+    power_min_w: float
+    power_max_w: float
+    power_step_w: float
+    static_power_w: float
+    peak_power_w: float
+    idle_power_w: float
+    speed_ratio: dict[str, float] = field(default_factory=dict)
+    latency_noise_sigma: float = 0.04
+    memory_gb: float = 16.0
+    llc_mb: float = 9.0
+
+    def __post_init__(self) -> None:
+        if self.power_min_w <= 0 or self.power_max_w <= self.power_min_w:
+            raise ConfigurationError(
+                f"{self.name}: power range [{self.power_min_w}, "
+                f"{self.power_max_w}] W is invalid"
+            )
+        if self.power_step_w <= 0:
+            raise ConfigurationError(f"{self.name}: power step must be positive")
+        if not self.static_power_w < self.peak_power_w:
+            raise ConfigurationError(
+                f"{self.name}: static power ({self.static_power_w} W) must be "
+                f"below peak power ({self.peak_power_w} W)"
+            )
+        if self.power_min_w <= self.static_power_w:
+            raise ConfigurationError(
+                f"{self.name}: the lowest cap ({self.power_min_w} W) must stay "
+                f"above static power ({self.static_power_w} W) or the DVFS "
+                "model would stall"
+            )
+
+    # ------------------------------------------------------------------
+    # Power-cap enumeration
+    # ------------------------------------------------------------------
+    def power_levels(self) -> list[float]:
+        """All feasible power caps with the platform's step size.
+
+        The list always includes ``power_max_w`` even when the range is
+        not an exact multiple of the step, matching how the paper's
+        implementation enumerates "a series of power settings within
+        the feasible range".
+        """
+        levels: list[float] = []
+        level = self.power_min_w
+        # A half-step tolerance keeps float accumulation from dropping
+        # the last bucket.
+        while level <= self.power_max_w + self.power_step_w * 0.5:
+            levels.append(round(min(level, self.power_max_w), 6))
+            level += self.power_step_w
+        if levels[-1] != self.power_max_w:
+            levels.append(self.power_max_w)
+        return sorted(set(levels))
+
+    def clamp_power(self, power_w: float) -> float:
+        """Clamp an arbitrary cap request into the feasible range."""
+        return min(max(power_w, self.power_min_w), self.power_max_w)
+
+    def default_power(self) -> float:
+        """The default (uncapped) setting: the maximum feasible cap."""
+        return self.power_max_w
+
+    # ------------------------------------------------------------------
+    # Speed and capacity
+    # ------------------------------------------------------------------
+    def family_speed_ratio(self, family: str) -> float:
+        """Latency multiplier vs. the CPU2 reference for a model family."""
+        if family in self.speed_ratio:
+            return self.speed_ratio[family]
+        if "*" in self.speed_ratio:
+            return self.speed_ratio["*"]
+        return 1.0
+
+    def supports_model_mb(self, model_memory_mb: float) -> bool:
+        """Whether a model's working set fits this platform's memory.
+
+        Mirrors Figure 4's footnote: image-classification and BERT
+        models run out of memory on the Embedded board.
+        """
+        # Leave room for the OS and the framework; the 2 GB embedded
+        # board in practice fits only small RNNs.
+        budget_mb = self.memory_gb * 1024.0 * 0.35
+        return model_memory_mb <= budget_mb
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.description})"
+
+
+# ----------------------------------------------------------------------
+# The four platforms of Table 1.
+#
+# Power ranges: the paper gives CPU2's explicit 40-100 W sweep
+# (Figure 3).  The laptop and embedded ranges are scaled to their TDPs;
+# the GPU range covers the RTX 2080's configurable limits.  Speed
+# ratios are calibrated against Figure 4's per-platform latency boxes
+# (embedded ~10x slower than laptop; GPU ~10-20x faster than CPUs on
+# CNNs but much less so on RNNs, which the paper notes are "better
+# suited for CPU").
+# ----------------------------------------------------------------------
+
+EMBEDDED = MachineSpec(
+    name="Embedded",
+    kind=PlatformKind.EMBEDDED,
+    description="ARM Cortex A-15 @2.0 GHz, 2 GB DDR3, 2 MB LLC",
+    power_min_w=4.0,
+    power_max_w=15.0,
+    power_step_w=0.5,
+    static_power_w=2.5,
+    peak_power_w=14.0,
+    idle_power_w=1.5,
+    speed_ratio={"cnn": 28.0, "rnn": 14.0, "transformer": 40.0, "*": 25.0},
+    latency_noise_sigma=0.06,
+    memory_gb=2.0,
+    llc_mb=2.0,
+)
+
+CPU1 = MachineSpec(
+    name="CPU1",
+    kind=PlatformKind.CPU,
+    description="Core-i7 @2.2 GHz laptop, 16 GB DDR4, 9 MB LLC",
+    power_min_w=12.5,
+    power_max_w=45.0,
+    power_step_w=2.5,
+    static_power_w=8.0,
+    peak_power_w=42.0,
+    idle_power_w=3.5,
+    speed_ratio={"cnn": 3.2, "rnn": 2.4, "transformer": 3.6, "*": 3.0},
+    latency_noise_sigma=0.05,
+    memory_gb=16.0,
+    llc_mb=9.0,
+)
+
+CPU2 = MachineSpec(
+    name="CPU2",
+    kind=PlatformKind.CPU,
+    description="Xeon Gold 6126 @2.60 GHz server, 12x16 GB DDR4, 19.25 MB LLC",
+    power_min_w=40.0,
+    power_max_w=100.0,
+    power_step_w=5.0,
+    static_power_w=35.0,
+    peak_power_w=90.0,
+    idle_power_w=16.0,
+    speed_ratio={"cnn": 1.0, "rnn": 1.0, "transformer": 1.0, "*": 1.0},
+    latency_noise_sigma=0.04,
+    memory_gb=192.0,
+    llc_mb=19.25,
+)
+
+GPU = MachineSpec(
+    name="GPU",
+    kind=PlatformKind.GPU,
+    description="RTX 2080 (host: Core-i7 @2.2 GHz, 16 GB DDR4)",
+    power_min_w=105.0,
+    power_max_w=225.0,
+    power_step_w=5.0,
+    static_power_w=60.0,
+    peak_power_w=215.0,
+    idle_power_w=18.0,
+    speed_ratio={"cnn": 0.055, "rnn": 0.6, "transformer": 0.08, "*": 0.1},
+    latency_noise_sigma=0.015,
+    memory_gb=16.0,
+    llc_mb=9.0,
+)
+
+_PLATFORMS = {spec.name: spec for spec in (EMBEDDED, CPU1, CPU2, GPU)}
+
+
+def all_platforms() -> list[MachineSpec]:
+    """All four Table-1 platforms, in the paper's order."""
+    return [EMBEDDED, CPU1, CPU2, GPU]
+
+
+def get_platform(name: str) -> MachineSpec:
+    """Look a platform up by name (case-insensitive).
+
+    >>> get_platform("cpu2").name
+    'CPU2'
+    """
+    for key, spec in _PLATFORMS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise ConfigurationError(
+        f"unknown platform {name!r}; choose from {sorted(_PLATFORMS)}"
+    )

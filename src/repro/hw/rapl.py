@@ -1,0 +1,114 @@
+"""Register-level simulation of Intel RAPL power capping.
+
+The paper's CPU implementation adjusts power through "Intel's RAPL
+interface [14], which allows software to set a hardware power limit".
+On a real machine that means writing a power limit into
+``/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw`` and
+reading cumulative energy from ``energy_uj`` — a 32-bit-ish counter
+that wraps around at ``max_energy_range_uj``.
+
+This module simulates that interface precisely enough that the code
+using it (:class:`repro.hw.powercap.RaplPowerActuator`) is written the
+way a real RAPL client is: microjoule units, explicit wraparound
+handling, and a constraint window.  The simulated counter advances when
+the owner calls :meth:`RaplDomain.advance` with elapsed time and drawn
+power, which the inference engine does after each simulated inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PowerCapError
+
+__all__ = ["RaplDomain", "RaplPackage"]
+
+#: Default counter range, mirroring common hardware (~262 kJ).
+DEFAULT_MAX_ENERGY_RANGE_UJ = 262_143_328_850
+
+
+@dataclass
+class RaplDomain:
+    """One RAPL domain (e.g. ``package-0``) with its sysfs-like fields.
+
+    Attributes mirror the sysfs names so the actuator code reads like a
+    real RAPL client:
+
+    * ``energy_uj`` — cumulative energy counter in microjoules, wrapping
+      at ``max_energy_range_uj``;
+    * ``power_limit_uw`` — the active constraint in microwatts;
+    * ``enabled`` — whether the constraint is enforced.
+    """
+
+    name: str = "package-0"
+    max_energy_range_uj: int = DEFAULT_MAX_ENERGY_RANGE_UJ
+    energy_uj: int = 0
+    power_limit_uw: int = 0
+    enabled: bool = True
+    time_window_s: float = 0.0009765625  # hardware default: 2^-10 s
+    _total_energy_j: float = field(default=0.0, repr=False)
+
+    def set_power_limit_w(self, watts: float) -> None:
+        """Write the power limit, as a client would via sysfs."""
+        if watts <= 0:
+            raise PowerCapError(f"RAPL limit must be positive, got {watts} W")
+        self.power_limit_uw = int(round(watts * 1e6))
+
+    def power_limit_w(self) -> float:
+        """Read back the active limit in watts."""
+        return self.power_limit_uw / 1e6
+
+    def advance(self, seconds: float, drawn_power_w: float) -> None:
+        """Advance simulated time, accumulating energy with wraparound."""
+        if seconds < 0:
+            raise PowerCapError(f"cannot advance time by {seconds} s")
+        if drawn_power_w < 0:
+            raise PowerCapError(f"negative power draw: {drawn_power_w} W")
+        delta_uj = int(round(seconds * drawn_power_w * 1e6))
+        self.energy_uj = (self.energy_uj + delta_uj) % self.max_energy_range_uj
+        self._total_energy_j += seconds * drawn_power_w
+
+    def total_energy_j(self) -> float:
+        """Ground-truth cumulative energy (no wraparound); for tests."""
+        return self._total_energy_j
+
+
+class RaplPackage:
+    """A package-level RAPL view with wraparound-correct deltas.
+
+    This is the piece of client code every RAPL consumer has to write:
+    sample the counter twice and subtract, adding the counter range back
+    when the second sample is smaller than the first.
+
+    Examples
+    --------
+    >>> pkg = RaplPackage()
+    >>> begin = pkg.read_energy_uj()
+    >>> pkg.domain.advance(0.5, 50.0)   # 0.5 s at 50 W = 25 J
+    >>> end = pkg.read_energy_uj()
+    >>> round(pkg.energy_delta_j(begin, end), 6)
+    25.0
+    """
+
+    def __init__(self, domain: RaplDomain | None = None) -> None:
+        self.domain = domain if domain is not None else RaplDomain()
+
+    def read_energy_uj(self) -> int:
+        """Sample the cumulative energy counter."""
+        return self.domain.energy_uj
+
+    def energy_delta_j(self, begin_uj: int, end_uj: int) -> float:
+        """Energy between two counter samples, handling wraparound."""
+        if end_uj >= begin_uj:
+            delta = end_uj - begin_uj
+        else:
+            delta = end_uj + self.domain.max_energy_range_uj - begin_uj
+        return delta / 1e6
+
+    def set_power_limit_w(self, watts: float) -> None:
+        """Program the package power limit."""
+        self.domain.set_power_limit_w(watts)
+
+    def power_limit_w(self) -> float:
+        """The currently programmed package power limit."""
+        return self.domain.power_limit_w()

@@ -1,0 +1,64 @@
+"""DNN model abstractions, the model zoo, and the inference substrate.
+
+ALERT treats a DNN as a black box characterised by its profiled
+latency, its accuracy when it completes before the deadline, and its
+fallback accuracy when it does not (plus, for anytime networks, the
+ladder of intermediate outputs).  This subpackage provides:
+
+* :mod:`repro.models.base` — :class:`DnnModel` (traditional networks)
+  and the task/metric abstractions;
+* :mod:`repro.models.anytime` — :class:`AnytimeDnn`, nested networks
+  that emit a series of increasingly accurate outputs;
+* :mod:`repro.models.zoo` — the 42 ImageNet classification models of
+  Figure 2;
+* :mod:`repro.models.families` — the evaluation families of Table 3
+  (Sparse ResNet + Depth-Nest for images, RNN widths + Width-Nest for
+  sentence prediction, plus the Figure 4/5 workloads);
+* :mod:`repro.models.inference` — the simulated inference engine that
+  realises per-input latency/energy/quality;
+* :mod:`repro.models.profiles` — the offline profiler producing the
+  ``t_prof[i][j]`` tables ALERT consumes.
+"""
+
+from repro.models.anytime import AnytimeDnn, AnytimeOutput
+from repro.models.base import (
+    IMAGE_TASK,
+    QA_TASK,
+    SENTENCE_TASK,
+    DnnModel,
+    ModelSet,
+    Task,
+    TaskKind,
+)
+from repro.models.families import (
+    bert_family,
+    depth_nest_anytime,
+    rnn_family,
+    sparse_resnet_family,
+    width_nest_anytime,
+)
+from repro.models.inference import InferenceEngine, InferenceOutcome
+from repro.models.profiles import ProfileTable, Profiler
+from repro.models.zoo import imagenet_zoo
+
+__all__ = [
+    "AnytimeDnn",
+    "AnytimeOutput",
+    "DnnModel",
+    "ModelSet",
+    "Task",
+    "TaskKind",
+    "IMAGE_TASK",
+    "SENTENCE_TASK",
+    "QA_TASK",
+    "bert_family",
+    "depth_nest_anytime",
+    "rnn_family",
+    "sparse_resnet_family",
+    "width_nest_anytime",
+    "InferenceEngine",
+    "InferenceOutcome",
+    "ProfileTable",
+    "Profiler",
+    "imagenet_zoo",
+]

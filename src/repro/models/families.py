@@ -1,0 +1,231 @@
+"""Evaluation model families (paper Table 3).
+
+The main evaluation uses, per task, a family of *traditional* networks
+plus one *anytime* network:
+
+* **Image classification** — a Sparse ResNet family (ResNet50 pruned to
+  different sparsities) and the Depth-Nest anytime network of
+  reference [5];
+* **Sentence prediction** — an RNN width family on Penn Treebank and
+  the Width-Nest anytime network.
+
+Calibration notes: qualities and latencies follow the usual
+sparsity/width scaling curves; the anytime networks pay a small
+overhead (final latency slightly above the largest traditional model)
+and a small final-accuracy penalty, which is exactly the trade-off the
+paper exploits when mixing candidate kinds (Section 3.5, Table 5).
+
+:func:`bert_family` and :func:`vgg16_model` exist for the Section 2
+variability studies (IMG1/NLP2 in Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+from repro.models.anytime import AnytimeDnn, AnytimeOutput
+from repro.models.base import (
+    IMAGE_TASK,
+    QA_TASK,
+    SENTENCE_TASK,
+    DnnModel,
+    ModelSet,
+    Task,
+)
+
+__all__ = [
+    "sparse_resnet_family",
+    "depth_nest_anytime",
+    "rnn_family",
+    "width_nest_anytime",
+    "bert_family",
+    "vgg16_model",
+    "resnet50_model",
+    "perplexity_models",
+]
+
+
+# ----------------------------------------------------------------------
+# Image classification: Sparse ResNet + Depth-Nest
+# ----------------------------------------------------------------------
+
+#: (suffix, latency_s on CPU2, top-5 quality, memory MB)
+_SPARSE_RESNET_TABLE = [
+    ("s95", 0.016, 0.870, 60.0),
+    ("s90", 0.022, 0.892, 80.0),
+    ("s80", 0.032, 0.908, 110.0),
+    ("s60", 0.048, 0.920, 150.0),
+    ("s30", 0.064, 0.928, 190.0),
+    ("dense", 0.080, 0.932, 230.0),
+]
+
+
+def sparse_resnet_family() -> ModelSet:
+    """The traditional image-classification candidates.
+
+    Six ResNet50 variants pruned to decreasing sparsity; the dense
+    network is the slowest and most accurate.
+    """
+    models = tuple(
+        DnnModel(
+            name=f"sparse_resnet50_{suffix}",
+            task=IMAGE_TASK,
+            family="cnn",
+            quality=quality,
+            base_latency_s=latency,
+            memory_intensity=0.06,
+            power_utilization=0.88 + 0.02 * index,
+            model_memory_mb=memory_mb,
+            input_sensitivity=0.0,
+        )
+        for index, (suffix, latency, quality, memory_mb) in enumerate(
+            _SPARSE_RESNET_TABLE
+        )
+    )
+    return ModelSet(name="sparse_resnet", models=models)
+
+
+def depth_nest_anytime() -> AnytimeDnn:
+    """The Depth-Nest anytime image network (nested depths, ref. [5]).
+
+    Its final output is slightly below the dense Sparse-ResNet
+    (0.928 vs 0.932) and its full latency slightly above (85 ms vs
+    80 ms): the flexibility premium.
+    """
+    outputs = (
+        AnytimeOutput(latency_fraction=0.22, quality=0.858),
+        AnytimeOutput(latency_fraction=0.38, quality=0.886),
+        AnytimeOutput(latency_fraction=0.55, quality=0.905),
+        AnytimeOutput(latency_fraction=0.75, quality=0.920),
+        AnytimeOutput(latency_fraction=1.00, quality=0.928),
+    )
+    return AnytimeDnn(
+        name="depth_nest_resnet50",
+        task=IMAGE_TASK,
+        family="cnn",
+        quality=outputs[-1].quality,
+        base_latency_s=0.085,
+        memory_intensity=0.06,
+        power_utilization=0.97,
+        model_memory_mb=260.0,
+        input_sensitivity=0.0,
+        outputs=outputs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sentence prediction: RNN widths + Width-Nest
+# ----------------------------------------------------------------------
+
+#: (suffix, per-word latency_s on CPU2, perplexity, memory MB)
+_RNN_TABLE = [
+    ("w128", 0.018, 135.0, 25.0),
+    ("w256", 0.030, 112.0, 45.0),
+    ("w512", 0.055, 92.0, 90.0),
+    ("w768", 0.080, 84.0, 140.0),
+    ("w1024", 0.105, 79.0, 200.0),
+]
+
+
+def rnn_family() -> ModelSet:
+    """The traditional sentence-prediction candidates (LSTM widths)."""
+    models = tuple(
+        DnnModel(
+            name=f"rnn_{suffix}",
+            task=SENTENCE_TASK,
+            family="rnn",
+            quality=SENTENCE_TASK.metric_to_quality(perplexity),
+            base_latency_s=latency,
+            memory_intensity=0.18,
+            power_utilization=0.75 + 0.04 * index,
+            model_memory_mb=memory_mb,
+            input_sensitivity=1.0,
+        )
+        for index, (suffix, latency, perplexity, memory_mb) in enumerate(_RNN_TABLE)
+    )
+    return ModelSet(name="rnn_width", models=models)
+
+
+def width_nest_anytime() -> AnytimeDnn:
+    """The Width-Nest anytime RNN (nested widths, ref. [5])."""
+    task = SENTENCE_TASK
+    outputs = (
+        AnytimeOutput(latency_fraction=0.18, quality=task.metric_to_quality(140.0)),
+        AnytimeOutput(latency_fraction=0.35, quality=task.metric_to_quality(108.0)),
+        AnytimeOutput(latency_fraction=0.60, quality=task.metric_to_quality(90.0)),
+        AnytimeOutput(latency_fraction=1.00, quality=task.metric_to_quality(81.0)),
+    )
+    return AnytimeDnn(
+        name="width_nest_rnn",
+        task=task,
+        family="rnn",
+        quality=outputs[-1].quality,
+        base_latency_s=0.110,
+        memory_intensity=0.18,
+        power_utilization=0.90,
+        model_memory_mb=230.0,
+        input_sensitivity=1.0,
+        outputs=outputs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 2 variability workloads
+# ----------------------------------------------------------------------
+
+
+def vgg16_model() -> DnnModel:
+    """IMG1 of Table 2: VGG16 on ImageNet."""
+    return DnnModel(
+        name="vgg_16",
+        task=IMAGE_TASK,
+        family="cnn",
+        quality=0.901,
+        base_latency_s=0.2450,
+        memory_intensity=0.12,
+        power_utilization=1.0,
+        model_memory_mb=1100.0,
+        input_sensitivity=0.0,
+    )
+
+
+def resnet50_model() -> DnnModel:
+    """IMG2 of Table 2: ResNet50 on ImageNet."""
+    return DnnModel(
+        name="resnet_v1_50",
+        task=IMAGE_TASK,
+        family="cnn",
+        quality=0.925,
+        base_latency_s=0.0800,
+        memory_intensity=0.06,
+        power_utilization=0.97,
+        model_memory_mb=230.0,
+        input_sensitivity=0.0,
+    )
+
+
+def bert_family() -> ModelSet:
+    """NLP2 of Table 2: BERT on SQuAD (used for variability studies)."""
+    models = (
+        DnnModel(
+            name="bert_base",
+            task=QA_TASK,
+            family="transformer",
+            quality=0.884,
+            base_latency_s=0.350,
+            memory_intensity=0.10,
+            power_utilization=1.0,
+            model_memory_mb=1300.0,
+            input_sensitivity=0.6,
+        ),
+    )
+    return ModelSet(name="bert", models=models)
+
+
+def perplexity_models(task: Task = SENTENCE_TASK) -> dict[str, float]:
+    """Map each sentence model name to its in-time perplexity.
+
+    Convenience for experiments that report perplexity (Figure 10).
+    """
+    table = {f"rnn_{suffix}": perp for suffix, _, perp, _ in _RNN_TABLE}
+    nest = width_nest_anytime()
+    table[nest.name] = task.quality_to_metric(nest.quality)
+    return table

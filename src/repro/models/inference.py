@@ -1,0 +1,340 @@
+"""The simulated inference engine.
+
+This is the substrate that stands in for "run the DNN on the hardware".
+For every input it realises:
+
+* **latency** — the model's nominal latency on the platform, scaled by
+  the DVFS multiplier of the active power cap, the input's work factor
+  (sentence length), the environment factor (contention slowdown x
+  platform measurement noise), all drawn deterministically from named
+  random streams;
+* **quality** — the model's in-time quality, the anytime ladder rung
+  reached, or the fallback quality on a miss (Eqs. 3 and 13);
+* **energy** — drawn power over the inference phase plus idle power
+  over the rest of the period, metered through the simulated RAPL
+  counters exactly the way the real implementation meters it.
+
+Two properties matter for the evaluation:
+
+1. *Common random numbers*: the per-input environment factor is shared
+   across all (model, power) configurations, so oracles can evaluate
+   "what would configuration X have done on this exact input" — the
+   paper builds its oracles the same way, by running every input under
+   every configuration.
+2. *Purity*: :meth:`InferenceEngine.evaluate` has no side effects, so
+   schedulers and oracles can probe outcomes; only :meth:`run` advances
+   the RAPL counters and the measured-energy account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.contention import ContentionProcess, ContentionSample
+from repro.hw.dvfs import DvfsModel
+from repro.hw.energy import EnergyBreakdown, period_energy
+from repro.hw.machine import MachineSpec
+from repro.hw.powercap import PowerActuator, make_actuator
+from repro.models.anytime import AnytimeDnn
+from repro.models.base import DnnModel
+
+__all__ = ["EnvironmentDraw", "InferenceOutcome", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class EnvironmentDraw:
+    """Everything the environment decided for one input.
+
+    The environment factor multiplies every configuration's latency
+    identically — this is the simulator's ground-truth analogue of the
+    paper's global slowdown factor ξ.
+    """
+
+    env_factor: float
+    idle_power_w: float
+    contention_active: bool
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """The observable result of serving one input.
+
+    Attributes
+    ----------
+    index:
+        Input sequence number.
+    model_name / power_cap_w / effective_cap_w:
+        The configuration served and the cap the hardware enforced.
+    latency_s:
+        Wall-clock time the inference occupied (for anytime networks
+        this is when it was stopped; for traditional networks the full
+        run time, even past the deadline).
+    full_latency_s:
+        Time a run-to-completion would have taken.
+    met_deadline:
+        Whether a usable final answer landed by the deadline
+        (anytime networks always deliver *something*; this flag tracks
+        the latency constraint: answer-by-deadline).
+    quality / metric_value:
+        Internal quality delivered and its task-metric equivalent.
+    completed_rungs:
+        Anytime rungs that finished (0 for traditional models).
+    energy:
+        Whole-period energy breakdown.
+    inference_power_w / idle_power_w:
+        Draws during the two period phases.
+    env_factor:
+        Ground-truth environment multiplier (hidden from schedulers;
+        exposed for analysis such as Figure 11).
+    deadline_s / period_s:
+        The timing context this input was served under.
+    """
+
+    index: int
+    model_name: str
+    power_cap_w: float
+    effective_cap_w: float
+    latency_s: float
+    full_latency_s: float
+    met_deadline: bool
+    quality: float
+    metric_value: float
+    completed_rungs: int
+    energy: EnergyBreakdown
+    inference_power_w: float
+    idle_power_w: float
+    env_factor: float
+    deadline_s: float
+    period_s: float
+
+    @property
+    def energy_j(self) -> float:
+        """Whole-period energy in joules."""
+        return self.energy.total_j
+
+
+class InferenceEngine:
+    """Simulates DNN inference on one machine in one environment.
+
+    Parameters
+    ----------
+    machine:
+        The platform to simulate.
+    contention:
+        The co-located-job process (use kind ``NONE`` for the quiet
+        environment).
+    noise_rng:
+        Random stream for the platform's measurement noise.
+    actuator / dvfs:
+        Optional injected power actuator and DVFS model (defaults are
+        built from the machine spec).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        contention: ContentionProcess,
+        noise_rng: np.random.Generator,
+        actuator: PowerActuator | None = None,
+        dvfs: DvfsModel | None = None,
+    ) -> None:
+        if contention.machine is not machine:
+            raise ConfigurationError(
+                "contention process was built for a different machine"
+            )
+        self.machine = machine
+        self.contention = contention
+        self.dvfs = dvfs if dvfs is not None else DvfsModel(machine)
+        self.actuator = actuator if actuator is not None else make_actuator(machine)
+        self._noise_rng = noise_rng
+        self._environment: list[EnvironmentDraw] = []
+
+    # ------------------------------------------------------------------
+    # Environment realisation (shared across configurations)
+    # ------------------------------------------------------------------
+    def environment(self, index: int) -> EnvironmentDraw:
+        """The environment draw for input ``index`` (memoised)."""
+        if index < 0:
+            raise ConfigurationError(f"input index must be >= 0, got {index}")
+        while len(self._environment) <= index:
+            n = len(self._environment)
+            sample: ContentionSample = self.contention.sample(n)
+            noise = float(
+                np.exp(self._noise_rng.normal(0.0, self.machine.latency_noise_sigma))
+            )
+            self._environment.append(
+                EnvironmentDraw(
+                    env_factor=sample.slowdown * noise,
+                    idle_power_w=sample.idle_power_w,
+                    contention_active=sample.active,
+                )
+            )
+        return self._environment[index]
+
+    # ------------------------------------------------------------------
+    # Pure outcome computation
+    # ------------------------------------------------------------------
+    def inference_power(self, model: DnnModel, power_cap_w: float) -> float:
+        """Average package draw while ``model`` runs under a cap.
+
+        The cap binds unless the model cannot utilise the package
+        (small networks draw below even a generous cap).
+        """
+        spec = self.machine
+        cap = spec.clamp_power(power_cap_w)
+        demand = spec.static_power_w + model.power_utilization * (
+            spec.peak_power_w - spec.static_power_w
+        )
+        return min(self.dvfs.draw_power(cap), demand)
+
+    def full_latency(
+        self,
+        model: DnnModel,
+        power_cap_w: float,
+        index: int,
+        work_factor: float = 1.0,
+    ) -> float:
+        """Run-to-completion latency of a configuration on one input."""
+        draw = self.environment(index)
+        cap = self.machine.clamp_power(power_cap_w)
+        multiplier = self.dvfs.latency_multiplier(cap, model.memory_intensity)
+        return (
+            model.nominal_latency(self.machine)
+            * multiplier
+            * model.work_scale(work_factor)
+            * draw.env_factor
+        )
+
+    def evaluate(
+        self,
+        model: DnnModel,
+        power_cap_w: float,
+        index: int,
+        deadline_s: float,
+        period_s: float | None = None,
+        work_factor: float = 1.0,
+        time_budget_s: float | None = None,
+        rung_cap: int | None = None,
+    ) -> InferenceOutcome:
+        """Compute the outcome of one configuration on one input.
+
+        Pure with respect to engine state: repeated calls with the same
+        arguments return identical outcomes, and nothing is metered.
+        ``rung_cap`` stops an anytime network as soon as rung
+        ``rung_cap`` (0-based) completes — the energy-saving early stop
+        of Section 3.5.
+        """
+        if deadline_s <= 0:
+            raise ConfigurationError(f"deadline must be positive, got {deadline_s}")
+        period = period_s if period_s is not None else deadline_s
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        draw = self.environment(index)
+        cap = self.machine.clamp_power(power_cap_w)
+        full = self.full_latency(model, cap, index, work_factor)
+        power = self.inference_power(model, cap)
+        # RAPL caps the whole package: the co-located job's idle-phase
+        # draw is clipped by the same limit the inference runs under.
+        idle_power = min(draw.idle_power_w, self.dvfs.draw_power(cap))
+
+        if isinstance(model, AnytimeDnn):
+            stop = min(full, deadline_s)
+            if time_budget_s is not None:
+                stop = min(stop, max(time_budget_s, 0.0))
+            if rung_cap is not None:
+                stop = min(stop, model.rung_latency_s(rung_cap, full))
+            fraction = stop / full if full > 0 else 1.0
+            quality = model.quality_at_fraction(fraction)
+            rungs = model.outputs_completed(fraction)
+            latency = stop
+            met = latency <= deadline_s + 1e-12
+        else:
+            latency = full
+            met = latency <= deadline_s + 1e-12
+            quality = model.quality if met else model.q_fail
+            rungs = 0
+
+        energy = period_energy(
+            latency_s=latency,
+            period_s=period,
+            inference_power_w=power,
+            idle_power_w=idle_power,
+        )
+        return InferenceOutcome(
+            index=index,
+            model_name=model.name,
+            power_cap_w=cap,
+            effective_cap_w=cap,
+            latency_s=latency,
+            full_latency_s=full,
+            met_deadline=met,
+            quality=quality,
+            metric_value=model.task.quality_to_metric(quality),
+            completed_rungs=rungs,
+            energy=energy,
+            inference_power_w=power,
+            idle_power_w=idle_power,
+            env_factor=draw.env_factor,
+            deadline_s=deadline_s,
+            period_s=period,
+        )
+
+    # ------------------------------------------------------------------
+    # Metered execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        model: DnnModel,
+        power_cap_w: float,
+        index: int,
+        deadline_s: float,
+        period_s: float | None = None,
+        work_factor: float = 1.0,
+        time_budget_s: float | None = None,
+        rung_cap: int | None = None,
+    ) -> InferenceOutcome:
+        """Serve one input for real: actuate the cap and meter energy.
+
+        The energy that lands in the outcome is read back through the
+        simulated RAPL counter (wraparound handling and all), the same
+        way the paper's implementation meters energy, and is asserted
+        against the analytic breakdown.
+        """
+        effective = self.actuator.set_power_cap(power_cap_w)
+        outcome = self.evaluate(
+            model=model,
+            power_cap_w=power_cap_w,
+            index=index,
+            deadline_s=deadline_s,
+            period_s=period_s,
+            work_factor=work_factor,
+            time_budget_s=time_budget_s,
+            rung_cap=rung_cap,
+        )
+        measured = self._meter(outcome)
+        if abs(measured - outcome.energy.total_j) > max(
+            1e-6, 1e-4 * outcome.energy.total_j
+        ):
+            raise SimulationError(
+                f"RAPL-metered energy {measured} J diverged from the analytic "
+                f"breakdown {outcome.energy.total_j} J"
+            )
+        return InferenceOutcome(
+            **{**outcome.__dict__, "effective_cap_w": effective}
+        )
+
+    def _meter(self, outcome: InferenceOutcome) -> float:
+        """Advance the energy counter across one period and read it."""
+        package = getattr(self.actuator, "package", None)
+        if package is None:
+            # GPU actuator: no RAPL counters; trust the analytic value.
+            return outcome.energy.total_j
+        begin = package.read_energy_uj()
+        package.domain.advance(outcome.latency_s, outcome.inference_power_w)
+        idle_time = max(0.0, outcome.period_s - outcome.latency_s)
+        package.domain.advance(idle_time, outcome.idle_power_w)
+        end = package.read_energy_uj()
+        return package.energy_delta_j(begin, end)

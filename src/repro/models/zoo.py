@@ -1,0 +1,96 @@
+"""The 42-model ImageNet classification zoo of Figure 2.
+
+The paper runs "all 42 image classification models provided by the
+Tensorflow website" over the 50 000 ImageNet validation images and
+observes (Section 2.1):
+
+* an ~18x spread in latency (fastest vs. slowest),
+* a ~7.8x spread in top-5 error (most vs. least accurate),
+* a >20x spread in per-inference energy,
+* a latency/accuracy frontier: no model is both fastest and most
+  accurate, and many models sit above the lower convex hull.
+
+The table below recreates that landscape with the TF-Slim model names
+and characteristics calibrated to public benchmark numbers (latency on
+the CPU2-class server at the default power cap, top-5 error on the
+ILSVRC-2012 validation set).  The exact values matter less than the
+preserved spreads and frontier shape, which the Figure 2 bench
+asserts.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import IMAGE_TASK, DnnModel, ModelSet
+
+__all__ = ["imagenet_zoo", "ZOO_TABLE"]
+
+#: (name, latency_s on CPU2 @ max cap, top-5 error %, memory MB,
+#:  memory intensity, power utilization)
+ZOO_TABLE: list[tuple[str, float, float, float, float, float]] = [
+    ("mobilenet_v1_025_128", 0.0167, 29.6, 30.0, 0.06, 0.80),
+    ("mobilenet_v1_025_160", 0.0185, 27.7, 30.0, 0.06, 0.80),
+    ("mobilenet_v1_025_192", 0.0205, 26.0, 30.0, 0.06, 0.80),
+    ("mobilenet_v1_025_224", 0.0225, 24.2, 30.0, 0.06, 0.81),
+    ("mobilenet_v1_050_128", 0.0210, 23.0, 40.0, 0.05, 0.82),
+    ("mobilenet_v1_050_160", 0.0240, 20.8, 40.0, 0.05, 0.82),
+    ("mobilenet_v1_050_192", 0.0270, 19.0, 40.0, 0.05, 0.83),
+    ("mobilenet_v1_050_224", 0.0300, 18.0, 40.0, 0.05, 0.83),
+    ("mobilenet_v1_075_128", 0.0260, 19.8, 50.0, 0.05, 0.84),
+    ("mobilenet_v1_075_160", 0.0300, 17.8, 50.0, 0.05, 0.84),
+    ("mobilenet_v1_075_192", 0.0340, 16.2, 50.0, 0.05, 0.85),
+    ("mobilenet_v1_075_224", 0.0385, 15.1, 50.0, 0.05, 0.85),
+    ("mobilenet_v1_100_128", 0.0320, 16.8, 65.0, 0.05, 0.86),
+    ("mobilenet_v1_100_160", 0.0370, 15.0, 65.0, 0.05, 0.86),
+    ("mobilenet_v1_100_192", 0.0430, 13.6, 65.0, 0.05, 0.87),
+    ("mobilenet_v1_100_224", 0.0480, 12.9, 65.0, 0.05, 0.87),
+    ("squeezenet", 0.0250, 19.7, 25.0, 0.05, 0.80),
+    ("shufflenet_v1", 0.0280, 16.5, 35.0, 0.06, 0.81),
+    ("alexnet", 0.0330, 19.8, 480.0, 0.08, 0.88),
+    ("inception_v1", 0.0530, 10.8, 55.0, 0.05, 0.90),
+    ("nasnet_mobile", 0.0620, 8.1, 90.0, 0.06, 0.88),
+    ("inception_v2", 0.0640, 9.4, 95.0, 0.05, 0.91),
+    ("pnasnet_mobile", 0.0660, 7.9, 95.0, 0.06, 0.88),
+    ("efficientnet_b0", 0.0750, 6.7, 85.0, 0.06, 0.89),
+    ("resnet_v1_50", 0.0800, 7.5, 230.0, 0.06, 0.97),
+    ("resnet_v2_50", 0.0850, 7.0, 230.0, 0.06, 0.97),
+    ("overfeat", 0.0850, 14.2, 560.0, 0.09, 0.93),
+    ("densenet_121", 0.0900, 7.7, 130.0, 0.09, 0.92),
+    ("inception_v3", 0.1150, 6.3, 210.0, 0.05, 0.96),
+    ("densenet_169", 0.1150, 7.0, 220.0, 0.09, 0.92),
+    ("resnet_v1_101", 0.1250, 6.6, 400.0, 0.06, 0.98),
+    ("resnet_v2_101", 0.1300, 6.1, 400.0, 0.06, 0.98),
+    ("densenet_201", 0.1400, 6.4, 310.0, 0.09, 0.93),
+    ("resnet_v1_152", 0.1650, 6.4, 530.0, 0.06, 0.99),
+    ("inception_v4", 0.1700, 4.9, 340.0, 0.05, 0.97),
+    ("resnet_v2_152", 0.1750, 5.8, 530.0, 0.06, 0.99),
+    ("inception_resnet_v2", 0.1900, 4.7, 450.0, 0.06, 0.98),
+    ("resnet_v2_200", 0.2200, 5.6, 650.0, 0.06, 0.99),
+    ("vgg_16", 0.2450, 9.9, 1100.0, 0.12, 1.00),
+    ("vgg_19", 0.2700, 9.8, 1150.0, 0.12, 1.00),
+    ("pnasnet_large", 0.2900, 3.9, 690.0, 0.07, 0.98),
+    ("nasnet_large", 0.3000, 3.8, 700.0, 0.07, 0.98),
+]
+
+
+def imagenet_zoo() -> ModelSet:
+    """Build the 42-model zoo as :class:`DnnModel` instances.
+
+    >>> zoo = imagenet_zoo()
+    >>> len(zoo)
+    42
+    """
+    models = tuple(
+        DnnModel(
+            name=name,
+            task=IMAGE_TASK,
+            family="cnn",
+            quality=1.0 - err_pct / 100.0,
+            base_latency_s=latency_s,
+            memory_intensity=mem_intensity,
+            power_utilization=power_util,
+            model_memory_mb=memory_mb,
+            input_sensitivity=0.0,
+        )
+        for name, latency_s, err_pct, memory_mb, mem_intensity, power_util in ZOO_TABLE
+    )
+    return ModelSet(name="tf_slim_imagenet_zoo", models=models)

@@ -1,0 +1,82 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the simulator draws from a
+:class:`numpy.random.Generator` that is derived from a single root seed
+through named streams.  This gives two properties the experiments rely
+on:
+
+* **Reproducibility** — rerunning any experiment with the same seed
+  produces bit-identical results, which the test-suite asserts.
+* **Common random numbers** — different scheduler policies evaluated on
+  the "same" workload really do see the same per-input randomness
+  (input difficulty, contention phases), because each concern draws
+  from its own named stream rather than sharing one sequence whose
+  consumption order would differ between policies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "stream", "SeedSequenceFactory"]
+
+_MASK_63 = (1 << 63) - 1
+
+
+def derive_seed(root_seed: int, *names: str) -> int:
+    """Derive a child seed from ``root_seed`` and a path of stream names.
+
+    The derivation hashes the root seed together with the name path so
+    that streams are statistically independent and insensitive to the
+    order in which other streams are created.
+
+    >>> derive_seed(42, "engine") != derive_seed(42, "workload")
+    True
+    >>> derive_seed(42, "engine") == derive_seed(42, "engine")
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(root_seed)).encode("utf-8"))
+    for name in names:
+        digest.update(b"/")
+        digest.update(name.encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "little") & _MASK_63
+
+
+def stream(root_seed: int, *names: str) -> np.random.Generator:
+    """Return a fresh generator for the named stream under ``root_seed``."""
+    return np.random.default_rng(derive_seed(root_seed, *names))
+
+
+class SeedSequenceFactory:
+    """Factory handing out named, independent random streams.
+
+    Parameters
+    ----------
+    root_seed:
+        The experiment-level seed. All streams are derived from it.
+
+    Examples
+    --------
+    >>> factory = SeedSequenceFactory(7)
+    >>> gen_a = factory.stream("contention")
+    >>> gen_b = factory.stream("inputs", "nlp")
+    >>> float(gen_a.random()) != float(gen_b.random())
+    True
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+
+    def seed(self, *names: str) -> int:
+        """Return the derived integer seed for a named stream."""
+        return derive_seed(self.root_seed, *names)
+
+    def stream(self, *names: str) -> np.random.Generator:
+        """Return a generator for a named stream."""
+        return stream(self.root_seed, *names)
+
+    def __repr__(self) -> str:
+        return f"SeedSequenceFactory(root_seed={self.root_seed})"

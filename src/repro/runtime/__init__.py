@@ -1,0 +1,26 @@
+"""The feedback serving loop and its measurement records.
+
+* :mod:`repro.runtime.scheduler` — the :class:`Scheduler` protocol all
+  policies implement, plus :class:`AlertScheduler` adapting
+  :class:`repro.core.AlertController` to it.
+* :mod:`repro.runtime.loop` — :class:`ServingLoop`, which drives one
+  policy over one scenario's input stream and environment, applying
+  goal adjustment and recording per-input measurements.
+* :mod:`repro.runtime.results` — :class:`ServedInput` and
+  :class:`RunResult` with the violation accounting the paper's tables
+  use (a setting "violates" when more than 10% of its inputs break a
+  constraint).
+"""
+
+from repro.runtime.loop import ServingLoop
+from repro.runtime.results import RunResult, ServedInput
+from repro.runtime.scheduler import AlertScheduler, Scheduler, StaticScheduler
+
+__all__ = [
+    "ServingLoop",
+    "RunResult",
+    "ServedInput",
+    "Scheduler",
+    "AlertScheduler",
+    "StaticScheduler",
+]

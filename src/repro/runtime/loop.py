@@ -1,0 +1,155 @@
+"""The serving loop: one policy, one scenario, one constraint setting.
+
+Implements the paper's deployment model: inputs arrive periodically;
+before each input the policy picks a (DNN, power, rung) configuration;
+the engine realises latency, quality, and energy; measurements feed
+back to the policy.  The loop owns goal adjustment (workflow step 2):
+requirement-trace overrides, shared sentence deadlines, and the
+policy's declared overhead reservation.
+
+Violation bookkeeping follows the paper:
+
+* **latency** — the final answer landed after the (base) deadline;
+* **accuracy** — in minimise-energy mode, the delivered quality fell
+  below ``accuracy_min``;
+* **energy** — in minimise-error mode, the period energy exceeded
+  ``energy_budget_j``.
+"""
+
+from __future__ import annotations
+
+from repro.core.goals import Goal, GoalAdjuster, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.models.inference import InferenceEngine
+from repro.runtime.results import RunResult, ServedInput
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.inputs import InputStream
+from repro.workloads.traces import RequirementTrace
+
+__all__ = ["ServingLoop"]
+
+
+class ServingLoop:
+    """Drives one scheduler over one engine and input stream.
+
+    Parameters
+    ----------
+    engine:
+        The inference engine (owns the environment realisation).
+    stream:
+        The input stream (owns work factors and grouping).
+    scheduler:
+        The policy under evaluation.
+    goal:
+        The base constraint setting.
+    requirement_trace:
+        Optional mid-run requirement changes.
+    adjuster:
+        Goal adjuster; a fresh one is built when omitted.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        stream: InputStream,
+        scheduler: Scheduler,
+        goal: Goal,
+        requirement_trace: RequirementTrace | None = None,
+        adjuster: GoalAdjuster | None = None,
+    ) -> None:
+        self.engine = engine
+        self.stream = stream
+        self.scheduler = scheduler
+        self.goal = goal
+        self.trace = requirement_trace or RequirementTrace()
+        self.adjuster = adjuster if adjuster is not None else GoalAdjuster()
+
+    # ------------------------------------------------------------------
+    # Goal plumbing
+    # ------------------------------------------------------------------
+    def _base_goal_at(self, index: int) -> Goal:
+        """The base goal with any requirement-trace override applied."""
+        if self.trace.is_empty:
+            return self.goal
+        override = self.trace.active_at(index)
+        goal = self.goal
+        if override.deadline_s is not None:
+            goal = goal.with_deadline(override.deadline_s)
+        if override.accuracy_min is not None or override.energy_budget_j is not None:
+            from dataclasses import replace
+
+            kwargs = {}
+            if override.accuracy_min is not None:
+                kwargs["accuracy_min"] = override.accuracy_min
+            if override.energy_budget_j is not None:
+                kwargs["energy_budget_j"] = override.energy_budget_j
+            goal = replace(goal, **kwargs)
+        return goal
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, n_inputs: int) -> RunResult:
+        """Serve ``n_inputs`` inputs and aggregate the records."""
+        if n_inputs < 1:
+            raise ConfigurationError(f"need at least one input, got {n_inputs}")
+        records: list[ServedInput] = []
+        for index in range(n_inputs):
+            item = self.stream.item(index)
+            base_goal = self._base_goal_at(index)
+            adjusted = self.adjuster.adjust(base_goal, item)
+
+            config = self.scheduler.decide(item, adjusted)
+            outcome = self.engine.run(
+                model=config.model,
+                power_cap_w=config.power_w,
+                index=index,
+                deadline_s=adjusted.deadline_s,
+                period_s=base_goal.period,
+                work_factor=item.work_factor,
+                rung_cap=config.rung_cap,
+            )
+            self.scheduler.observe(outcome)
+            self.adjuster.consume(item, outcome.latency_s)
+            records.append(
+                self._record(item_goal=base_goal, adjusted=adjusted, outcome=outcome)
+            )
+        return RunResult(
+            scheduler_name=self.scheduler.name, goal=self.goal, records=records
+        )
+
+    def _record(self, item_goal: Goal, adjusted: Goal, outcome) -> ServedInput:
+        """Build the per-input record with violation flags."""
+        latency_violation = not outcome.met_deadline
+
+        accuracy_violation = False
+        if (
+            item_goal.objective is ObjectiveKind.MINIMIZE_ENERGY
+            and item_goal.accuracy_min is not None
+        ):
+            accuracy_violation = outcome.quality < item_goal.accuracy_min - 1e-9
+
+        energy_violation = False
+        if (
+            item_goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY
+            and item_goal.energy_budget_j is not None
+        ):
+            energy_violation = outcome.energy_j > item_goal.energy_budget_j * (
+                1.0 + 1e-9
+            )
+
+        xi_mean, xi_sigma = 0.0, 0.0
+        state = getattr(self.scheduler, "state", None)
+        if state is not None:
+            xi_mean, xi_sigma = state.xi_mean, state.xi_sigma
+
+        return ServedInput(
+            outcome=outcome,
+            goal=item_goal,
+            effective_deadline_s=adjusted.deadline_s,
+            latency_violation=latency_violation,
+            accuracy_violation=accuracy_violation,
+            energy_violation=energy_violation,
+            xi_mean=xi_mean,
+            xi_sigma=xi_sigma,
+        )

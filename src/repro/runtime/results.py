@@ -1,0 +1,161 @@
+"""Per-input records and run-level aggregation.
+
+The paper's violation accounting (Table 4's superscripts): a constraint
+*setting* counts as violated when a scheme breaks a constraint on more
+than 10% of that setting's inputs; violated settings are excluded from
+the energy/error averages.  :class:`RunResult` implements the per-run
+half of that (violation fraction and means); the experiment drivers
+apply the 10% rule across settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import SimulationError
+from repro.models.inference import InferenceOutcome
+
+__all__ = ["ServedInput", "RunResult", "VIOLATION_SETTING_THRESHOLD"]
+
+#: A setting is "violated" when more than this fraction of its inputs
+#: break a constraint (the paper's 10% rule).
+VIOLATION_SETTING_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class ServedInput:
+    """One input's full story: goal, configuration, and outcome.
+
+    Attributes
+    ----------
+    outcome:
+        The engine's measurement record.
+    goal:
+        The *base* goal in force for this input (before group/overhead
+        adjustment).
+    effective_deadline_s:
+        The adjusted deadline actually enforced.
+    latency_violation / accuracy_violation / energy_violation:
+        Constraint checks against the base goal.
+    xi_mean / xi_sigma:
+        The scheduler's slowdown belief when it decided (0/0 for
+        feedback-free policies) — Figure 9's trace material.
+    """
+
+    outcome: InferenceOutcome
+    goal: Goal
+    effective_deadline_s: float
+    latency_violation: bool
+    accuracy_violation: bool
+    energy_violation: bool
+    xi_mean: float = 0.0
+    xi_sigma: float = 0.0
+
+    @property
+    def violated(self) -> bool:
+        """Whether any applicable constraint broke on this input."""
+        return (
+            self.latency_violation
+            or self.accuracy_violation
+            or self.energy_violation
+        )
+
+
+@dataclass
+class RunResult:
+    """Aggregates one policy's run over one constraint setting."""
+
+    scheduler_name: str
+    goal: Goal
+    records: list[ServedInput]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise SimulationError("a run must serve at least one input")
+
+    # ------------------------------------------------------------------
+    # Means
+    # ------------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        """Number of inputs served."""
+        return len(self.records)
+
+    @property
+    def mean_energy_j(self) -> float:
+        """Mean whole-period energy per input."""
+        return float(np.mean([r.outcome.energy_j for r in self.records]))
+
+    @property
+    def mean_quality(self) -> float:
+        """Mean delivered quality per input."""
+        return float(np.mean([r.outcome.quality for r in self.records]))
+
+    @property
+    def mean_error(self) -> float:
+        """Mean delivered error (1 - quality)."""
+        return 1.0 - self.mean_quality
+
+    @property
+    def mean_metric(self) -> float:
+        """Mean of the task's reported metric (e.g. perplexity)."""
+        return float(np.mean([r.outcome.metric_value for r in self.records]))
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean inference latency per input."""
+        return float(np.mean([r.outcome.latency_s for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # Violations
+    # ------------------------------------------------------------------
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of inputs that broke any applicable constraint."""
+        return float(np.mean([r.violated for r in self.records]))
+
+    @property
+    def setting_violated(self) -> bool:
+        """The paper's 10% rule for this constraint setting."""
+        return self.violation_fraction > VIOLATION_SETTING_THRESHOLD
+
+    @property
+    def deadline_miss_fraction(self) -> float:
+        """Fraction of inputs whose final answer missed the deadline."""
+        return float(np.mean([r.latency_violation for r in self.records]))
+
+    # ------------------------------------------------------------------
+    # Objective value
+    # ------------------------------------------------------------------
+    @property
+    def objective_value(self) -> float:
+        """The quantity the goal optimises (energy or error)."""
+        if self.goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+            return self.mean_energy_j
+        return self.mean_error
+
+    def describe(self) -> str:
+        """Human-readable summary line."""
+        return (
+            f"{self.scheduler_name}: {self.n_inputs} inputs, "
+            f"energy={self.mean_energy_j:.3f}J, quality={self.mean_quality:.4f}, "
+            f"violations={self.violation_fraction * 100:.1f}%"
+        )
+
+    # ------------------------------------------------------------------
+    # Trace extraction (Figure 9 material)
+    # ------------------------------------------------------------------
+    def series(self, field: str) -> list[float]:
+        """A per-input series of one outcome attribute.
+
+        ``field`` may be any numeric attribute of
+        :class:`repro.models.inference.InferenceOutcome` (for example
+        ``"latency_s"``, ``"quality"``, ``"power_cap_w"``) or
+        ``"xi_mean"`` / ``"xi_sigma"`` from the scheduler belief.
+        """
+        if field in ("xi_mean", "xi_sigma"):
+            return [getattr(r, field) for r in self.records]
+        return [float(getattr(r.outcome, field)) for r in self.records]

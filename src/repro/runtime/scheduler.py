@@ -1,0 +1,101 @@
+"""The scheduler protocol and the ALERT adapter.
+
+Every policy evaluated in the paper — ALERT and its ablations, the
+oracles, and the single-layer baselines — implements the same tiny
+interface: *decide* a configuration for the next input and *observe*
+the measured outcome of the previous one.  The serving loop is policy
+agnostic; all behavioural differences live behind this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.config_space import Configuration
+from repro.core.controller import AlertController
+from repro.core.goals import Goal
+from repro.errors import ConfigurationError
+from repro.models.base import DnnModel
+from repro.models.inference import InferenceOutcome
+from repro.workloads.inputs import InputItem
+
+__all__ = ["Scheduler", "AlertScheduler", "StaticScheduler"]
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """What the serving loop needs from a policy."""
+
+    name: str
+
+    def decide(self, item: InputItem, goal: Goal) -> Configuration:
+        """Pick the configuration for ``item`` under ``goal``."""
+        ...  # pragma: no cover - protocol
+
+    def observe(self, outcome: InferenceOutcome) -> None:
+        """Fold in the measured outcome of the input just served."""
+        ...  # pragma: no cover - protocol
+
+
+class AlertScheduler:
+    """Adapts :class:`AlertController` to the scheduler protocol.
+
+    The adapter also implements the measurement conventions the
+    controller documents:
+
+    * the ξ observation uses the run-to-completion latency; for anytime
+      runs stopped early the engine's ``full_latency_s`` stands in for
+      the rung-timestamp extrapolation a real deployment performs;
+    * the idle-power filter only receives samples from periods that
+      actually had an idle phase.
+    """
+
+    def __init__(self, controller: AlertController, name: str = "ALERT") -> None:
+        self.controller = controller
+        self.name = name
+
+    def decide(self, item: InputItem, goal: Goal) -> Configuration:
+        result = self.controller.decide(goal)
+        return result.config
+
+    def observe(self, outcome: InferenceOutcome) -> None:
+        idle_power = None
+        if outcome.period_s > outcome.latency_s:
+            idle_power = outcome.idle_power_w
+        self.controller.observe(
+            model_name=outcome.model_name,
+            power_w=outcome.power_cap_w,
+            full_latency_s=outcome.full_latency_s,
+            idle_power_w=idle_power,
+        )
+
+    @property
+    def state(self):
+        """The controller's filter state (for traces)."""
+        return self.controller.state()
+
+
+class StaticScheduler:
+    """Serves every input with one fixed configuration.
+
+    The building block of OracleStatic and of ad-hoc experiments that
+    sweep single configurations (Figures 2 and 3).
+    """
+
+    def __init__(
+        self,
+        model: DnnModel,
+        power_w: float,
+        rung_cap: int | None = None,
+        name: str | None = None,
+    ) -> None:
+        if power_w <= 0:
+            raise ConfigurationError(f"power must be positive, got {power_w}")
+        self._config = Configuration(model=model, power_w=power_w, rung_cap=rung_cap)
+        self.name = name if name is not None else f"static:{self._config.describe()}"
+
+    def decide(self, item: InputItem, goal: Goal) -> Configuration:
+        return self._config
+
+    def observe(self, outcome: InferenceOutcome) -> None:
+        """Static policies ignore feedback."""

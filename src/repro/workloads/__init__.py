@@ -1,0 +1,43 @@
+"""Input streams, environment traces, and canonical scenarios.
+
+* :mod:`repro.workloads.inputs` — per-input work factors and grouping
+  (images are fixed-work; sentences have length-distributed work and
+  per-sentence shared deadlines, the NLP1 structure of Section 3.2).
+* :mod:`repro.workloads.traces` — requirement-change traces and the
+  explicit contention phase schedules used by the Figure 9 study.
+* :mod:`repro.workloads.scenarios` — builders for the evaluation
+  scenarios of Table 3 (platform x task x environment x candidate set)
+  including the constraint grids (35-40 settings per cell).
+"""
+
+from repro.workloads.inputs import (
+    ImageStream,
+    InputItem,
+    InputStream,
+    QuestionStream,
+    SentenceStream,
+)
+from repro.workloads.scenarios import (
+    CandidateSet,
+    ConstraintGrid,
+    Scenario,
+    build_scenario,
+    constraint_grid,
+)
+from repro.workloads.traces import RequirementChange, RequirementTrace, fig9_phases
+
+__all__ = [
+    "InputItem",
+    "InputStream",
+    "ImageStream",
+    "SentenceStream",
+    "QuestionStream",
+    "Scenario",
+    "CandidateSet",
+    "ConstraintGrid",
+    "build_scenario",
+    "constraint_grid",
+    "RequirementChange",
+    "RequirementTrace",
+    "fig9_phases",
+]

@@ -1,0 +1,225 @@
+"""Input streams: the per-input work the inference task must do.
+
+The paper's three input regimes (Section 2.2, Figure 4):
+
+* **Images** (IMG1/IMG2) — fixed-size tensors: per-input latency
+  variation is small and comes from the platform, not the input.
+* **Sentences** (NLP1) — an RNN processes a sentence word by word; all
+  words share one sentence-wise deadline, and sentence length varies
+  widely ("this large variance is mainly caused by different input
+  lengths").  Delays on early words shrink the budget of later words —
+  the dynamics ALERT's goal adjustment handles.
+* **Questions** (NLP2) — BERT over variable-length passages: moderate
+  length-driven variation, one input per question.
+
+A stream yields :class:`InputItem` objects carrying a work factor
+(latency multiplier for length-sensitive models) and optional group
+structure (sentence membership for shared deadlines).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "InputItem",
+    "InputStream",
+    "ImageStream",
+    "SentenceStream",
+    "QuestionStream",
+]
+
+
+@dataclass(frozen=True)
+class InputItem:
+    """One unit of inference work.
+
+    Attributes
+    ----------
+    index:
+        Global sequence number.
+    work_factor:
+        Relative amount of work (1.0 = the profiled mean); models
+        scale latency by ``work_factor ** input_sensitivity``.
+    group_id:
+        Identifier of the deadline-sharing group (sentence id); -1 for
+        ungrouped inputs.
+    group_size:
+        Number of items in the group (1 for ungrouped).
+    position_in_group:
+        0-based position within the group.
+    """
+
+    index: int
+    work_factor: float = 1.0
+    group_id: int = -1
+    group_size: int = 1
+    position_in_group: int = 0
+
+    def __post_init__(self) -> None:
+        if self.work_factor <= 0:
+            raise ConfigurationError(
+                f"work factor must be positive, got {self.work_factor}"
+            )
+        if self.group_size < 1:
+            raise ConfigurationError("group size must be at least 1")
+        if not 0 <= self.position_in_group < self.group_size:
+            raise ConfigurationError(
+                f"position {self.position_in_group} outside group of size "
+                f"{self.group_size}"
+            )
+
+    @property
+    def is_group_start(self) -> bool:
+        """Whether this item opens a new deadline-sharing group."""
+        return self.position_in_group == 0
+
+    @property
+    def is_group_end(self) -> bool:
+        """Whether this item closes its group."""
+        return self.position_in_group == self.group_size - 1
+
+
+class InputStream(abc.ABC):
+    """Deterministic generator of :class:`InputItem` sequences."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._items: list[InputItem] = []
+
+    @abc.abstractmethod
+    def _generate_more(self) -> list[InputItem]:
+        """Produce the next batch of items (at least one)."""
+
+    def item(self, index: int) -> InputItem:
+        """The item at ``index`` (memoised, so re-reads are stable)."""
+        if index < 0:
+            raise ConfigurationError(f"input index must be >= 0, got {index}")
+        while len(self._items) <= index:
+            batch = self._generate_more()
+            if not batch:
+                raise ConfigurationError(
+                    f"{type(self).__name__} generated an empty batch"
+                )
+            self._items.extend(batch)
+        return self._items[index]
+
+    def items(self, n: int) -> list[InputItem]:
+        """The first ``n`` items."""
+        return [self.item(i) for i in range(n)]
+
+    @property
+    def has_groups(self) -> bool:
+        """Whether items carry deadline-sharing group structure."""
+        return False
+
+
+class ImageStream(InputStream):
+    """Fixed-work inputs: a camera feed of same-sized frames."""
+
+    def _generate_more(self) -> list[InputItem]:
+        index = len(self._items)
+        return [InputItem(index=index, work_factor=1.0)]
+
+
+class SentenceStream(InputStream):
+    """Word-level inputs grouped into sentences with shared deadlines.
+
+    Sentence lengths follow a shifted log-normal — most sentences are
+    short, a heavy tail is long — calibrated to a mean around
+    ``mean_words`` with occasional 3-4x outliers, matching the NLP1
+    latency variance of Figure 4.
+
+    Parameters
+    ----------
+    rng:
+        Random stream for sentence lengths.
+    mean_words:
+        Target mean sentence length.
+    sigma:
+        Log-normal shape parameter; larger means heavier tails.
+    max_words:
+        Hard cap on sentence length (dataset truncation).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_words: float = 15.0,
+        sigma: float = 0.45,
+        max_words: int = 80,
+    ) -> None:
+        super().__init__(rng)
+        if mean_words < 1:
+            raise ConfigurationError("mean_words must be at least 1")
+        if not 0 < sigma < 2:
+            raise ConfigurationError("sigma must lie in (0, 2)")
+        self.mean_words = mean_words
+        self.sigma = sigma
+        self.max_words = max_words
+        self._next_group = 0
+
+    @property
+    def has_groups(self) -> bool:
+        return True
+
+    def _draw_length(self) -> int:
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve for mu.
+        mu = float(np.log(self.mean_words) - self.sigma**2 / 2.0)
+        length = int(round(float(self._rng.lognormal(mu, self.sigma))))
+        return max(2, min(self.max_words, length))
+
+    def _generate_more(self) -> list[InputItem]:
+        start = len(self._items)
+        length = self._draw_length()
+        group = self._next_group
+        self._next_group += 1
+        return [
+            InputItem(
+                index=start + position,
+                work_factor=1.0,
+                group_id=group,
+                group_size=length,
+                position_in_group=position,
+            )
+            for position in range(length)
+        ]
+
+    def sentence_lengths(self, n_sentences: int) -> list[int]:
+        """Lengths of the first ``n_sentences`` sentences (for tests)."""
+        lengths: list[int] = []
+        index = 0
+        while len(lengths) < n_sentences:
+            item = self.item(index)
+            if item.is_group_start:
+                lengths.append(item.group_size)
+            index += item.group_size - item.position_in_group
+        return lengths
+
+
+class QuestionStream(InputStream):
+    """Per-question inputs with length-driven work variation (NLP2)."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        sigma: float = 0.35,
+        max_factor: float = 4.0,
+    ) -> None:
+        super().__init__(rng)
+        if not 0 < sigma < 2:
+            raise ConfigurationError("sigma must lie in (0, 2)")
+        self.sigma = sigma
+        self.max_factor = max_factor
+
+    def _generate_more(self) -> list[InputItem]:
+        index = len(self._items)
+        # Mean-1 log-normal so the profiled latency stays the mean.
+        factor = float(np.exp(self._rng.normal(-self.sigma**2 / 2.0, self.sigma)))
+        factor = min(self.max_factor, max(1.0 / self.max_factor, factor))
+        return [InputItem(index=index, work_factor=factor)]

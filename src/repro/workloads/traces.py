@@ -1,0 +1,115 @@
+"""Requirement traces and canonical contention schedules.
+
+ALERT's requirements "are also highly dynamic" (Section 1.1): the
+deadline, the power budget, and the accuracy requirement can all change
+mid-stream.  A :class:`RequirementTrace` describes such changes as a
+piecewise-constant schedule over input indices, which the serving loop
+applies before each decision.
+
+:func:`fig9_phases` reproduces the exact environment of Figure 9:
+memory contention switched on from roughly input 46 to input 119 of a
+160-input image-classification run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.contention import ContentionPhase
+
+__all__ = ["RequirementChange", "RequirementTrace", "fig9_phases"]
+
+
+@dataclass(frozen=True)
+class RequirementChange:
+    """A goal override taking effect at one input index.
+
+    Only the fields that change need to be set; ``None`` leaves the
+    previous value in force.
+    """
+
+    start_index: int
+    deadline_s: float | None = None
+    accuracy_min: float | None = None
+    energy_budget_j: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_index < 0:
+            raise ConfigurationError("start_index must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline override must be positive")
+
+
+class RequirementTrace:
+    """Piecewise-constant requirement overrides over a run.
+
+    Examples
+    --------
+    >>> trace = RequirementTrace([
+    ...     RequirementChange(start_index=0, deadline_s=0.10),
+    ...     RequirementChange(start_index=50, deadline_s=0.06),
+    ... ])
+    >>> trace.active_at(10).deadline_s
+    0.1
+    >>> trace.active_at(70).deadline_s
+    0.06
+    """
+
+    def __init__(self, changes: list[RequirementChange] | None = None) -> None:
+        changes = sorted(changes or [], key=lambda c: c.start_index)
+        for early, late in zip(changes, changes[1:]):
+            if early.start_index == late.start_index:
+                raise ConfigurationError(
+                    f"two requirement changes at input {early.start_index}"
+                )
+        self._changes = changes
+
+    def active_at(self, index: int) -> RequirementChange:
+        """The merged override in force at input ``index``."""
+        deadline = None
+        accuracy = None
+        energy = None
+        for change in self._changes:
+            if change.start_index > index:
+                break
+            if change.deadline_s is not None:
+                deadline = change.deadline_s
+            if change.accuracy_min is not None:
+                accuracy = change.accuracy_min
+            if change.energy_budget_j is not None:
+                energy = change.energy_budget_j
+        return RequirementChange(
+            start_index=0,
+            deadline_s=deadline,
+            accuracy_min=accuracy,
+            energy_budget_j=energy,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the trace contains no overrides at all."""
+        return not self._changes
+
+
+def fig9_phases(
+    contention_start: int = 46,
+    contention_stop: int = 119,
+    run_length: int = 160,
+) -> list[ContentionPhase]:
+    """The Figure 9 environment: one memory-contention burst.
+
+    Returns an explicit phase schedule: quiet, contended from
+    ``contention_start`` to ``contention_stop``, then quiet again.
+    """
+    if not 0 < contention_start < contention_stop <= run_length:
+        raise ConfigurationError(
+            "need 0 < contention_start < contention_stop <= run_length"
+        )
+    return [
+        ContentionPhase(start=0, stop=contention_start, active=False),
+        ContentionPhase(
+            start=contention_start, stop=contention_stop, active=True
+        ),
+        ContentionPhase(start=contention_stop, stop=run_length + 10_000, active=False),
+    ]

@@ -1,0 +1,109 @@
+"""Tests for the analysis utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import fit_gaussian, histogram
+from repro.analysis.hull import dominated_points, lower_convex_hull
+from repro.analysis.stats import harmonic_mean
+from repro.analysis.tables import render_table
+from repro.errors import ConfigurationError
+
+
+def test_harmonic_mean_basics():
+    assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+    assert harmonic_mean([1.0, 0.25]) == pytest.approx(0.4)
+    with pytest.raises(ConfigurationError):
+        harmonic_mean([])
+    with pytest.raises(ConfigurationError):
+        harmonic_mean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+def test_harmonic_leq_arithmetic(values):
+    assert harmonic_mean(values) <= float(np.mean(values)) + 1e-9
+
+
+def test_hull_is_subset_and_sorted():
+    points = [(0.1, 30.0), (0.2, 10.0), (0.3, 9.0), (0.15, 25.0), (0.25, 20.0)]
+    hull = lower_convex_hull(points)
+    assert set(hull) <= set(points)
+    xs = [x for x, _ in hull]
+    assert xs == sorted(xs)
+
+
+def test_hull_excludes_dominated_interior():
+    points = [(1.0, 1.0), (2.0, 0.5), (1.5, 2.0)]  # (1.5, 2.0) dominated
+    hull = lower_convex_hull(points)
+    assert (1.5, 2.0) not in hull
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=2,
+        max_size=40,
+        unique=True,
+    )
+)
+def test_hull_points_below_all_lines(points):
+    hull = lower_convex_hull(points)
+    # No original point lies strictly below a hull segment.
+    for (x1, y1), (x2, y2) in zip(hull, hull[1:]):
+        for x, y in points:
+            if x1 < x < x2:
+                t = (x - x1) / (x2 - x1)
+                interpolated = y1 + t * (y2 - y1)
+                assert y >= interpolated - 1e-9
+
+
+def test_dominated_points_detection():
+    points = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)]
+    dominated = dominated_points(points)
+    assert (2.0, 2.0) in dominated
+    assert (1.0, 1.0) not in dominated
+
+
+def test_gaussian_fit_recovers_parameters():
+    rng = np.random.default_rng(0)
+    samples = list(rng.normal(1.5, 0.2, size=2000))
+    fit = fit_gaussian(samples)
+    assert fit.mean == pytest.approx(1.5, abs=0.02)
+    assert fit.sigma == pytest.approx(0.2, abs=0.02)
+    assert fit.ks_statistic < 0.05  # a Gaussian fits a Gaussian
+
+
+def test_gaussian_fit_flags_skew():
+    rng = np.random.default_rng(1)
+    samples = list(rng.lognormal(0.0, 0.5, size=2000))
+    fit = fit_gaussian(samples)
+    assert fit.skewness > 0.5
+    assert fit.ks_statistic > 0.03  # visibly non-Gaussian
+
+
+def test_fit_needs_enough_samples():
+    with pytest.raises(ConfigurationError):
+        fit_gaussian([1.0, 2.0])
+
+
+def test_histogram_normalised():
+    densities, centers = histogram([1.0, 1.1, 1.2, 1.3, 2.0], bins=5)
+    assert len(densities) == len(centers) == 5
+    widths = centers[1] - centers[0]
+    assert sum(d * widths for d in densities) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", 1.5], ["bb", 2.0]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "1.500" in text
+    with pytest.raises(ConfigurationError):
+        render_table(["one"], [[1, 2]])

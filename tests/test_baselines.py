@@ -1,0 +1,146 @@
+"""Tests for the baseline schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AppOnlyScheduler,
+    NoCoordScheduler,
+    OracleScheduler,
+    SysOnlyScheduler,
+    best_static_config,
+    make_alert,
+    make_alert_star,
+    make_oracle_static,
+)
+from repro.core.config_space import ConfigurationSpace
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.runtime.loop import ServingLoop
+from repro.workloads.inputs import InputItem
+
+
+def _goal(deadline=0.6, accuracy=0.9):
+    return Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=deadline,
+        accuracy_min=accuracy,
+    )
+
+
+@pytest.fixture()
+def space(image_scenario):
+    profile = image_scenario.profile()
+    return ConfigurationSpace(
+        list(image_scenario.candidates.models), list(profile.powers)
+    )
+
+
+def test_app_only_is_static_anytime(image_scenario):
+    anytime = image_scenario.candidates.anytime
+    scheduler = AppOnlyScheduler(anytime, 45.0)
+    config = scheduler.decide(InputItem(index=0), _goal())
+    assert config.model is anytime
+    assert config.power_w == 45.0
+    assert config.rung_cap is None
+    with pytest.raises(ConfigurationError):
+        AppOnlyScheduler(image_scenario.candidates.models[0], 45.0)
+
+
+def test_sys_only_pins_fastest_traditional(image_scenario):
+    profile = image_scenario.profile()
+    scheduler = SysOnlyScheduler(profile, list(image_scenario.candidates.models))
+    assert scheduler.model.name == "sparse_resnet50_s95"
+    config = scheduler.decide(InputItem(index=0), _goal())
+    assert config.model.name == "sparse_resnet50_s95"
+
+
+def test_sys_only_adapts_power_to_deadline(image_scenario):
+    profile = image_scenario.profile()
+    scheduler = SysOnlyScheduler(profile, list(image_scenario.candidates.models))
+    loose = scheduler.decide(InputItem(index=0), _goal(deadline=2.0, accuracy=0.8))
+    tight = scheduler.decide(InputItem(index=0), _goal(deadline=0.17, accuracy=0.8))
+    assert tight.power_w >= loose.power_w
+
+
+def test_no_coord_combines_independent_decisions(image_scenario):
+    profile = image_scenario.profile()
+    anytime = image_scenario.candidates.anytime
+    scheduler = NoCoordScheduler(profile, anytime)
+    config = scheduler.decide(InputItem(index=0), _goal())
+    assert config.model is anytime
+    assert config.rung_cap is not None
+
+
+def test_oracle_picks_feasible_optimum(image_scenario, space):
+    engine = image_scenario.make_engine()
+    oracle = OracleScheduler(engine, space)
+    goal = _goal()
+    config = oracle.decide(InputItem(index=0), goal)
+    outcome = engine.evaluate(
+        config.model, config.power_w, 0, goal.deadline_s, rung_cap=config.rung_cap
+    )
+    assert outcome.met_deadline
+    assert outcome.quality >= goal.accuracy_min
+    # No cheaper feasible configuration exists on this input.
+    for other in space:
+        alt = engine.evaluate(
+            other.model, other.power_w, 0, goal.deadline_s, rung_cap=other.rung_cap
+        )
+        if alt.met_deadline and alt.quality >= goal.accuracy_min:
+            assert outcome.energy_j <= alt.energy_j + 1e-9
+
+
+def test_oracle_beats_or_matches_alert(memory_scenario, space):
+    goal = _goal()
+    results = {}
+    for name in ("Oracle", "ALERT"):
+        engine = memory_scenario.make_engine()
+        stream = memory_scenario.make_stream()
+        if name == "Oracle":
+            scheduler = OracleScheduler(engine, space)
+        else:
+            scheduler = make_alert(memory_scenario.profile())
+        results[name] = ServingLoop(engine, stream, scheduler, goal).run(60)
+    kept = lambda r: (not r.setting_violated, -r.mean_energy_j)
+    assert results["Oracle"].mean_energy_j <= results["ALERT"].mean_energy_j * 1.02
+    assert results["Oracle"].violation_fraction <= (
+        results["ALERT"].violation_fraction + 1e-9
+    )
+
+
+def test_oracle_static_respects_violation_rule(image_scenario, space):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    goal = _goal()
+    config = best_static_config(engine, space, goal, stream, n_inputs=40)
+    # Verify the chosen static config indeed stays within the 10% rule.
+    violations = 0
+    for index in range(40):
+        outcome = engine.evaluate(
+            config.model,
+            config.power_w,
+            index,
+            goal.deadline_s,
+            rung_cap=config.rung_cap,
+        )
+        if not outcome.met_deadline or outcome.quality < goal.accuracy_min:
+            violations += 1
+    assert violations <= 4
+
+
+def test_oracle_static_scheduler_name(image_scenario, space):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    scheduler = make_oracle_static(engine, space, _goal(), stream, 20)
+    assert scheduler.name == "OracleStatic"
+
+
+def test_alert_star_ignores_variance(image_scenario):
+    profile = image_scenario.profile()
+    star = make_alert_star(profile)
+    assert star.name == "ALERT*"
+    assert star.controller.estimator.variance_aware is False
+    full = make_alert(profile)
+    assert full.controller.estimator.variance_aware is True

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("fig02", "fig03", "fig06", "fig09", "fig10", "fig11",
+                    "table4", "table5", "serve"):
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_serve_arguments_parsed():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--platform", "CPU2", "--inputs", "50", "--env", "compute"]
+    )
+    assert args.platform == "CPU2"
+    assert args.inputs == 50
+    assert args.env == "compute"
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_serve_runs_end_to_end(capsys):
+    code = main(["serve", "--inputs", "25", "--env", "default"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "minimize_energy" in out
+    assert "ALERT" in out
+
+
+def test_fig02_command_prints_table(capsys):
+    code = main(["fig02"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "nasnet_large" in out

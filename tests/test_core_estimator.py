@@ -1,0 +1,235 @@
+"""Tests for the probabilistic estimators (Eqs. 6-13)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config_space import Configuration
+from repro.core.estimator import AlertEstimator, normal_cdf, normal_quantile
+from repro.core.goals import Goal, ObjectiveKind
+from repro.models.families import depth_nest_anytime, sparse_resnet_family
+
+
+@pytest.fixture()
+def estimator(cpu1_profile):
+    return AlertEstimator(cpu1_profile)
+
+
+@pytest.fixture()
+def dense_config():
+    model = sparse_resnet_family().by_name("sparse_resnet50_dense")
+    return Configuration(model=model, power_w=45.0)
+
+
+@pytest.fixture()
+def nest_config():
+    return Configuration(model=depth_nest_anytime(), power_w=45.0)
+
+
+def test_normal_cdf_basics():
+    assert normal_cdf(0.0) == pytest.approx(0.5)
+    assert normal_cdf(3.0) > 0.99
+    assert normal_cdf(-3.0) < 0.01
+
+
+@given(st.floats(min_value=0.001, max_value=0.999))
+def test_quantile_inverts_cdf(p):
+    assert normal_cdf(normal_quantile(p)) == pytest.approx(p, abs=1e-6)
+
+
+def test_completion_probability_step_at_deadline(estimator, cpu1_profile):
+    t_prof = cpu1_profile.latency("sparse_resnet50_dense", 45.0)
+    # Deadline far above the expected latency -> near 1.
+    assert estimator.completion_probability(t_prof, 10 * t_prof, 1.0, 0.1) > 0.99
+    # Deadline far below -> near 0.
+    assert estimator.completion_probability(t_prof, 0.1 * t_prof, 1.0, 0.1) < 0.01
+    # Deadline exactly at the mean -> one half.
+    assert estimator.completion_probability(
+        t_prof, t_prof, 1.0, 0.1
+    ) == pytest.approx(0.5)
+
+
+def test_completion_probability_decreases_with_slowdown(estimator, cpu1_profile):
+    t_prof = cpu1_profile.latency("sparse_resnet50_dense", 45.0)
+    deadline = 1.5 * t_prof
+    quiet = estimator.completion_probability(t_prof, deadline, 1.0, 0.1)
+    contended = estimator.completion_probability(t_prof, deadline, 1.8, 0.1)
+    assert quiet > contended
+
+
+def test_tail_mixture_discounts_probability(estimator, cpu1_profile):
+    t_prof = cpu1_profile.latency("sparse_resnet50_dense", 45.0)
+    deadline = 1.6 * t_prof
+    plain = estimator.completion_probability(t_prof, deadline, 1.0, 0.05)
+    with_tail = estimator.completion_probability(
+        t_prof, deadline, 1.0, 0.05, tail=(0.05, 1.8)
+    )
+    assert with_tail < plain
+    # The discount is bounded by the tail mass.
+    assert with_tail >= plain - 0.05 - 1e-9
+
+
+def test_expected_quality_traditional_mixes_qfail(estimator, dense_config):
+    model = dense_config.model
+    # Pr = 0.5 exactly at the mean: expected quality is the midpoint.
+    t_prof = estimator.profile.latency(model.name, 45.0)
+    quality = estimator.expected_quality(dense_config, t_prof, 1.0, 0.1)
+    assert quality == pytest.approx((model.quality + model.q_fail) / 2, abs=1e-6)
+
+
+def test_expected_quality_anytime_between_rungs(estimator, nest_config):
+    nest = nest_config.model
+    t_full = estimator.profile.latency(nest.name, 45.0)
+    # Deadline comfortably above rung 2 but below rung 3's time.
+    deadline = 0.65 * t_full
+    quality = estimator.expected_quality(nest_config, deadline, 1.0, 0.01)
+    assert nest.outputs[1].quality < quality <= nest.outputs[3].quality
+
+
+def test_expected_quality_anytime_beats_traditional_under_volatility(
+    estimator, dense_config, nest_config
+):
+    # The Figure 9 mechanism: with a deadline near the traditional
+    # model's expected latency and high variance, the anytime ladder
+    # has higher expected quality because misses degrade gracefully.
+    t_dense = estimator.profile.latency(dense_config.model.name, 45.0)
+    deadline = 1.05 * t_dense
+    sigma = 0.5
+    trad = estimator.expected_quality(dense_config, deadline, 1.0, sigma)
+    anytime = estimator.expected_quality(nest_config, deadline, 1.0, sigma)
+    assert anytime > trad
+
+
+def test_rung_cap_limits_expected_quality(estimator):
+    nest = depth_nest_anytime()
+    capped = Configuration(model=nest, power_w=45.0, rung_cap=1)
+    uncapped = Configuration(model=nest, power_w=45.0)
+    deadline = 10.0  # everything completes
+    q_capped = estimator.expected_quality(capped, deadline, 1.0, 0.01)
+    q_full = estimator.expected_quality(uncapped, deadline, 1.0, 0.01)
+    assert q_capped == pytest.approx(nest.outputs[1].quality, abs=1e-6)
+    assert q_full == pytest.approx(nest.quality, abs=1e-6)
+
+
+def test_quality_meet_probability(estimator, dense_config, nest_config):
+    t_dense = estimator.profile.latency(dense_config.model.name, 45.0)
+    deadline = 1.2 * t_dense
+    # The dense model can deliver 0.932; a 0.93 floor needs completion.
+    pr = estimator.quality_meet_probability(dense_config, 0.93, deadline, 1.0, 0.1)
+    assert pr == pytest.approx(
+        estimator.completion_probability(t_dense, deadline, 1.0, 0.1)
+    )
+    # An unreachable floor gives probability zero.
+    assert estimator.quality_meet_probability(
+        dense_config, 0.99, deadline, 1.0, 0.1
+    ) == 0.0
+    # A floor below q_fail is always met.
+    assert estimator.quality_meet_probability(
+        dense_config, 0.001, deadline, 1.0, 0.1
+    ) == 1.0
+    # Anytime: the floor is met by the first rung at or above it.
+    nest = nest_config.model
+    pr_any = estimator.quality_meet_probability(
+        nest_config, nest.outputs[2].quality, deadline, 1.0, 0.1
+    )
+    assert 0.0 < pr_any <= 1.0
+
+
+def test_expected_energy_eq9_shape(estimator, dense_config, cpu1_profile):
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=0.6,
+        accuracy_min=0.9,
+    )
+    phi = 0.2
+    energy = estimator.expected_energy(dense_config, goal, 1.0, 0.05, phi)
+    power = cpu1_profile.power(dense_config.model.name, 45.0)
+    t_prof = cpu1_profile.latency(dense_config.model.name, 45.0)
+    expected = power * t_prof + phi * power * (0.6 - t_prof)
+    assert energy == pytest.approx(expected, rel=1e-9)
+
+
+def test_expected_energy_with_prth_is_higher(estimator, dense_config):
+    # Eq. 12: percentile latency inflates the energy estimate.
+    base = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY, deadline_s=0.6, accuracy_min=0.9
+    )
+    strict = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=0.6,
+        accuracy_min=0.9,
+        prob_threshold=0.99,
+    )
+    plain = estimator.expected_energy(dense_config, base, 1.0, 0.2, 0.2)
+    inflated = estimator.expected_energy(dense_config, strict, 1.0, 0.2, 0.2)
+    assert inflated > plain
+
+
+def test_anytime_energy_truncated_at_deadline(estimator, nest_config, cpu1_profile):
+    # An anytime run never bills more inference time than the deadline.
+    run = estimator.expected_inference_time(nest_config, 0.05, 3.0, 0.1)
+    assert run == pytest.approx(0.05)
+
+
+def test_energy_meet_probability_monotone_in_budget(estimator, dense_config):
+    goal_template = dict(
+        objective=ObjectiveKind.MAXIMIZE_ACCURACY, deadline_s=0.6
+    )
+    probs = []
+    for budget in (1.0, 5.0, 10.0, 20.0):
+        goal = Goal(energy_budget_j=budget, **goal_template)
+        probs.append(
+            estimator.energy_meet_probability(dense_config, goal, 1.0, 0.2, 0.2)
+        )
+    assert probs == sorted(probs)
+    assert probs[-1] > 0.99
+
+
+def test_estimate_feasibility_flags(estimator, dense_config):
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=2.0,
+        accuracy_min=0.9,
+    )
+    record = estimator.estimate(dense_config, goal, 1.0, 0.05, 0.2)
+    assert record.meets_latency and record.meets_accuracy
+    assert record.feasible
+    tight = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=0.01,
+        accuracy_min=0.9,
+    )
+    record = estimator.estimate(dense_config, tight, 1.0, 0.05, 0.2)
+    assert not record.meets_latency
+    assert not record.feasible
+
+
+def test_mean_only_mode_is_step_function(cpu1_profile, dense_config):
+    star = AlertEstimator(cpu1_profile, variance_aware=False)
+    t_prof = cpu1_profile.latency(dense_config.model.name, 45.0)
+    assert star.completion_probability(t_prof, 1.01 * t_prof, 1.0, 0.5) > 0.999
+    assert star.completion_probability(t_prof, 0.99 * t_prof, 1.0, 0.5) < 0.001
+
+
+@settings(max_examples=30)
+@given(
+    st.floats(min_value=0.5, max_value=3.0),
+    st.floats(min_value=0.01, max_value=0.8),
+    st.floats(min_value=0.05, max_value=2.0),
+)
+def test_expected_quality_bounded(xi_mean, xi_sigma, deadline):
+    from repro.hw.machine import CPU1
+    from repro.models.profiles import Profiler
+
+    models = [
+        sparse_resnet_family().by_name("sparse_resnet50_dense"),
+        depth_nest_anytime(),
+    ]
+    profile = Profiler(CPU1).analytic(models, powers=[45.0])
+    estimator = AlertEstimator(profile)
+    for model in models:
+        config = Configuration(model=model, power_w=45.0)
+        quality = estimator.expected_quality(config, deadline, xi_mean, xi_sigma)
+        assert model.q_fail - 1e-9 <= quality <= model.quality + 1e-9

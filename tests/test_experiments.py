@@ -1,0 +1,208 @@
+"""Integration tests: every experiment driver runs and its headline
+shape claims hold (small parameters; the benches run larger ones)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig02_tradeoffs,
+    fig03_power_sweep,
+    fig04_variability,
+    fig05_contention,
+    fig06_single_layer,
+    fig08_oracle_comparison,
+    fig09_trace,
+    fig10_alert_star,
+    fig11_xi_distribution,
+    table4_overall,
+    table5_dnn_sets,
+)
+from repro.hw.machine import CPU1, CPU2
+
+
+def test_fig02_spreads():
+    result = fig02_tradeoffs.run(n_inputs=4)
+    assert 15.0 < result.latency_spread < 22.0
+    assert 7.0 < result.error_spread < 9.0
+    assert result.energy_spread > 15.0
+    assert len(result.points) == 42
+    assert result.n_dominated > 5  # many sub-optimal trade-offs
+    assert len(result.hull) >= 4
+    assert "Figure 2" in result.describe()
+
+
+def test_fig03_shape():
+    result = fig03_power_sweep.run(n_powers=13, n_inputs=6)
+    assert result.latency_ratio > 2.0  # >2x faster at full power
+    assert 1.15 < result.energy_spread < 1.6  # ~1.3x energy spread
+    midpoint = (CPU2.power_min_w + CPU2.power_max_w) / 2
+    # Lowest energy at the low-cap end, highest in the upper half.
+    assert result.min_energy_power_w < midpoint
+    assert result.max_energy_power_w > midpoint
+    latencies = [p.latency_s for p in result.points]
+    assert latencies == sorted(latencies, reverse=True)
+
+
+def test_fig04_shape():
+    result = fig04_variability.run(n_samples=25)
+    # Big image models and BERT don't fit the embedded board.
+    assert ("IMG1", "Embedded") in result.skipped
+    assert ("NLP2", "Embedded") in result.skipped
+    # NLP1 has much larger input-driven variance than images.
+    nlp = result.box("NLP1", "CPU2")
+    img = result.box("IMG2", "CPU2")
+    assert nlp.iqr_ratio > img.iqr_ratio
+    # GPU runs CNNs far faster than CPUs.
+    assert result.box("IMG2", "GPU").median_s < result.box("IMG2", "CPU2").median_s
+
+
+def test_fig05_contention_inflates_median_and_tail():
+    result = fig05_contention.run(platforms=[CPU1, CPU2], n_samples=25)
+    for task, platform in result.combinations():
+        assert result.median_inflation(task, platform) > 1.15
+        assert result.tail_inflation(task, platform) > 1.15
+
+
+def test_fig06_single_layer_insufficient():
+    result = fig06_single_layer.run(
+        n_inputs=10,
+        deadlines_s=(0.2, 0.5, 1.0, 1.3),
+        accuracy_goals=(0.85, 0.90),
+    )
+    # Combined dominates: feasible everywhere App is, with less energy.
+    assert result.feasible_fraction("combined") >= result.feasible_fraction("app")
+    assert result.feasible_fraction("combined") > result.feasible_fraction("sys")
+    assert result.mean_overhead_vs_combined("app") > 1.25
+    # Sys-level cannot meet deadlines below its pinned model's latency.
+    for outcome in result.outcomes:
+        if outcome.deadline_s <= 0.5:
+            assert outcome.sys_energy_j == fig06_single_layer.INFEASIBLE
+
+
+def test_table4_cell_orderings():
+    result = table4_overall.run(
+        platforms=("CPU1",),
+        tasks=("image",),
+        envs=("memory",),
+        schemes=("ALERT", "App-only", "Sys-only", "Oracle", "OracleStatic"),
+        objectives=("min_energy",),
+        settings_stride=6,
+        n_inputs=60,
+    )
+    (cell,) = result.cells.values()
+    # App-only wastes energy; ALERT lands near the oracles.
+    assert cell["App-only"].normalized_objective > 1.5
+    assert cell["ALERT"].normalized_objective < 1.25
+    assert cell["Oracle"].normalized_objective <= 1.05
+    # Sys-only violates accuracy constraints it cannot trade for.
+    assert cell["Sys-only"].violated_settings >= cell["ALERT"].violated_settings
+    means = result.harmonic_means("min_energy")
+    assert "ALERT" in means
+    assert "Table 4" in result.describe()
+
+
+def test_table5_candidate_sets():
+    result = table5_dnn_sets.run(
+        platforms=("CPU1",),
+        envs=("memory",),
+        objectives=("min_energy",),
+        settings_stride=6,
+        n_inputs=60,
+    )
+    (cell,) = result.cells.values()
+    for scheme in ("ALERT", "ALERT-Any", "ALERT-Trad"):
+        assert scheme in cell
+        # Every variant works (Table 5: "ALERT works well with all
+        # three DNN sets") — sane normalised energy where defined.
+        value = cell[scheme].normalized_objective
+        if value == value:  # not NaN
+            assert 0.5 < value < 2.5
+    # The mixed candidate set is never more violation-prone than both
+    # single-kind sets together (it subsumes their options).
+    assert cell["ALERT"].violated_settings <= (
+        max(
+            cell["ALERT-Any"].violated_settings,
+            cell["ALERT-Trad"].violated_settings,
+        )
+        + 1
+    )
+
+
+def test_fig08_whiskers():
+    result = fig08_oracle_comparison.run(
+        envs=("default",), settings_stride=8, n_inputs=40
+    )
+    static = result.whisker("OracleStatic", "default")
+    oracle = result.whisker("Oracle", "default")
+    alert = result.whisker("ALERT", "default")
+    assert oracle.mean_j <= static.mean_j * 1.05
+    assert alert.mean_j <= static.mean_j * 1.15
+    assert static.min_j <= static.mean_j <= static.max_j
+
+
+def test_fig09_trace_dynamics():
+    result = fig09_trace.run(n_inputs=160)
+    alert = result.alert
+    assert len(alert.quality) == 160
+    # Both runs pick the largest traditional network in the quiet
+    # prefix ("due to a loose latency constraint").
+    assert alert.model[20].startswith("sparse_resnet50")
+    # ALERT leans on the anytime network during contention more than
+    # outside it; ALERT-Trad cannot at all.
+    window = slice(result.contention_start + 5, result.contention_stop)
+    anytime_in_window = np.mean(np.asarray(alert.is_anytime[window]))
+    anytime_outside = np.mean(
+        np.asarray(alert.is_anytime[: result.contention_start])
+    )
+    assert anytime_in_window >= anytime_outside
+    assert not any(result.alert_trad.is_anytime)
+    # ALERT's contention-window quality is at least ALERT-Trad's.
+    assert result.window_mean_quality(alert) >= (
+        result.window_mean_quality(result.alert_trad) - 0.01
+    )
+
+
+def test_fig10_alert_beats_star():
+    result = fig10_alert_star.run(
+        envs=("memory",),
+        candidate_sets=("standard", "trad"),
+        settings_stride=10,
+        n_inputs=50,
+    )
+    for candidate_set in ("standard", "trad"):
+        assert result.advantage(candidate_set, "memory") > 0
+
+
+def test_fig11_distribution_shapes():
+    result = fig11_xi_distribution.run(n_inputs=120)
+    default = result.for_env("default").fit
+    memory = result.for_env("memory").fit
+    assert default.mean == pytest.approx(1.0, abs=0.05)
+    assert default.sigma < 0.1
+    assert memory.mean > 1.2
+    assert memory.sigma > default.sigma
+    # Not perfectly Gaussian, but a workable fit (Section 3.6).
+    assert 0.0 < memory.ks_statistic < 0.45
+
+
+def test_ablation_global_xi_beats_per_config():
+    rows = ablations.run_global_xi(settings_stride=12, n_inputs=50)
+    alert, per_config = rows
+    assert alert.variant == "ALERT"
+    # The global filter yields no more violations than starving
+    # per-configuration filters.
+    assert alert.violated_settings <= per_config.violated_settings
+
+
+def test_ablation_prth_tightens():
+    rows = ablations.run_prth(
+        thresholds=(None, 0.99), settings_stride=12, n_inputs=50
+    )
+    assert set(rows) == {"default", "prth=0.99"}
+    # A strict threshold cannot increase violations.
+    assert (
+        rows["prth=0.99"].violated_settings <= rows["default"].violated_settings + 1
+    )

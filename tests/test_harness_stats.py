@@ -1,0 +1,106 @@
+"""Tests for the experiment harness and Table 4 statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import SchemeCell, normalize_to_baseline, summarize_runs
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.experiments.harness import SCHEMES, evaluate_schemes, make_scheme
+from repro.workloads.scenarios import build_scenario, constraint_grid
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario("CPU1", "image", "default", "standard", seed=5)
+
+
+def _goal(scenario):
+    return Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=scenario.anchor_latency_s(),
+        accuracy_min=0.9,
+    )
+
+
+def test_make_scheme_builds_every_name(scenario):
+    goal = _goal(scenario)
+    engine = scenario.make_engine()
+    stream = scenario.make_stream()
+    for name in SCHEMES:
+        scheduler = make_scheme(name, scenario, engine, stream, goal, 10)
+        assert hasattr(scheduler, "decide") and hasattr(scheduler, "observe")
+
+
+def test_make_scheme_unknown_rejected(scenario):
+    with pytest.raises(ConfigurationError):
+        make_scheme(
+            "Magic",
+            scenario,
+            scenario.make_engine(),
+            scenario.make_stream(),
+            _goal(scenario),
+            10,
+        )
+
+
+def test_alert_trad_needs_traditional_candidates():
+    anytime_only = build_scenario("CPU1", "image", "default", "any", seed=5)
+    with pytest.raises(ConfigurationError):
+        make_scheme(
+            "ALERT-Trad",
+            anytime_only,
+            anytime_only.make_engine(),
+            anytime_only.make_stream(),
+            _goal(anytime_only),
+            10,
+        )
+
+
+def test_evaluate_schemes_aligned_runs(scenario):
+    grid = constraint_grid(scenario)
+    goals = list(grid.min_energy_goals)[::12]
+    cell = evaluate_schemes(scenario, goals, ("ALERT", "OracleStatic"), 30)
+    assert len(cell.scheme_runs("ALERT")) == len(goals)
+    assert len(cell.scheme_runs("OracleStatic")) == len(goals)
+    with pytest.raises(ConfigurationError):
+        cell.scheme_runs("nope")
+
+
+def test_summarize_runs_excludes_violated(scenario):
+    grid = constraint_grid(scenario)
+    goals = list(grid.min_energy_goals)[::12]
+    cell = evaluate_schemes(scenario, goals, ("ALERT", "OracleStatic"), 30)
+    baseline = cell.scheme_runs("OracleStatic")
+    summary = summarize_runs("ALERT", cell.scheme_runs("ALERT"), baseline)
+    assert isinstance(summary, SchemeCell)
+    assert summary.n_settings == len(goals)
+    assert summary.violated_settings + 1 >= 0
+    if summary.normalized_objective == summary.normalized_objective:
+        assert 0.3 < summary.normalized_objective < 3.0
+    # The rendering carries the superscript convention.
+    text = summary.describe()
+    assert text.startswith(("0", "1", "2", "-"))
+
+
+def test_normalize_requires_aligned_lists(scenario):
+    grid = constraint_grid(scenario)
+    goals = list(grid.min_energy_goals)[::12]
+    cell = evaluate_schemes(scenario, goals, ("ALERT", "OracleStatic"), 20)
+    with pytest.raises(ConfigurationError):
+        normalize_to_baseline(
+            cell.scheme_runs("ALERT"), cell.scheme_runs("OracleStatic")[:-1]
+        )
+
+
+def test_evaluate_schemes_common_randomness(scenario):
+    # Two schemes see the same environment: identical env factors on
+    # the same inputs.
+    goal = _goal(scenario)
+    cell = evaluate_schemes(scenario, [goal], ("ALERT", "App-only"), 15)
+    alert_run = cell.scheme_runs("ALERT")[0]
+    app_run = cell.scheme_runs("App-only")[0]
+    alert_env = [r.outcome.env_factor for r in alert_run.records]
+    app_env = [r.outcome.env_factor for r in app_run.records]
+    assert alert_env == app_env

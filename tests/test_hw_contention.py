@@ -1,0 +1,131 @@
+"""Tests for the co-located-job contention substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.contention import (
+    ContentionKind,
+    ContentionPhase,
+    ContentionProcess,
+    make_contention,
+)
+from repro.hw.machine import CPU1, GPU
+
+
+def _process(kind, seed=0, **kwargs):
+    return ContentionProcess(
+        kind=kind, machine=CPU1, rng=np.random.default_rng(seed), **kwargs
+    )
+
+
+def test_none_kind_never_slows():
+    proc = _process(ContentionKind.NONE)
+    for sample in proc.schedule(200):
+        assert sample.slowdown == 1.0
+        assert not sample.active
+        assert sample.idle_power_w == CPU1.idle_power_w
+
+
+def test_memory_contention_slows_when_active():
+    proc = _process(ContentionKind.MEMORY, seed=5)
+    samples = proc.schedule(500)
+    active = [s for s in samples if s.active]
+    quiet = [s for s in samples if not s.active]
+    assert active and quiet  # phases alternate
+    assert np.mean([s.slowdown for s in active]) > 1.3
+    assert all(s.slowdown == 1.0 for s in quiet)
+
+
+def test_memory_idle_power_exceeds_machine_idle():
+    proc = _process(ContentionKind.MEMORY, seed=5)
+    active = [s for s in proc.schedule(500) if s.active]
+    assert all(s.idle_power_w > CPU1.idle_power_w for s in active)
+    assert all(s.idle_power_w <= CPU1.peak_power_w for s in active)
+
+
+def test_memory_slows_more_than_compute():
+    # Figure 5's ordering.
+    memory = [
+        s.slowdown for s in _process(ContentionKind.MEMORY, 1).schedule(800)
+        if s.active
+    ]
+    compute = [
+        s.slowdown for s in _process(ContentionKind.COMPUTE, 1).schedule(800)
+        if s.active
+    ]
+    assert np.mean(memory) > np.mean(compute)
+
+
+def test_gpu_perturbed_less_than_cpu():
+    cpu = [
+        s.slowdown for s in _process(ContentionKind.MEMORY, 2).schedule(800)
+        if s.active
+    ]
+    gpu_proc = ContentionProcess(
+        kind=ContentionKind.MEMORY, machine=GPU, rng=np.random.default_rng(2)
+    )
+    gpu = [s.slowdown for s in gpu_proc.schedule(800) if s.active]
+    assert np.mean(cpu) > np.mean(gpu)
+
+
+def test_samples_are_memoised():
+    proc = _process(ContentionKind.MEMORY, seed=9)
+    first = proc.sample(50)
+    again = proc.sample(50)
+    assert first == again
+
+
+def test_deterministic_given_seed():
+    a = [s.slowdown for s in _process(ContentionKind.MEMORY, 7).schedule(100)]
+    b = [s.slowdown for s in _process(ContentionKind.MEMORY, 7).schedule(100)]
+    assert a == b
+
+
+def test_explicit_phases_respected():
+    phases = [
+        ContentionPhase(start=0, stop=10, active=False),
+        ContentionPhase(start=10, stop=20, active=True),
+        ContentionPhase(start=20, stop=1000, active=False),
+    ]
+    proc = _process(ContentionKind.MEMORY, seed=3, phases=phases)
+    samples = proc.schedule(30)
+    assert all(not s.active for s in samples[:10])
+    assert all(s.active for s in samples[10:20])
+    assert all(not s.active for s in samples[20:])
+
+
+def test_ramp_softens_phase_onset():
+    phases = [
+        ContentionPhase(start=0, stop=5, active=False),
+        ContentionPhase(start=5, stop=200, active=True),
+    ]
+    proc = _process(ContentionKind.MEMORY, seed=3, phases=phases, ramp_inputs=3)
+    samples = proc.schedule(60)
+    onset = samples[5].slowdown
+    steady = np.mean([s.slowdown for s in samples[15:60]])
+    assert onset < steady
+
+
+def test_aliases_from_paper_tables():
+    assert make_contention("Idle", CPU1, np.random.default_rng(0)).kind is (
+        ContentionKind.NONE
+    )
+    assert make_contention("Comp.", CPU1, np.random.default_rng(0)).kind is (
+        ContentionKind.COMPUTE
+    )
+    with pytest.raises(ConfigurationError):
+        ContentionKind.from_name("disk")
+
+
+def test_invalid_phase_rejected():
+    with pytest.raises(ConfigurationError):
+        ContentionPhase(start=5, stop=5, active=True)
+
+
+def test_negative_index_rejected():
+    proc = _process(ContentionKind.NONE)
+    with pytest.raises(ConfigurationError):
+        proc.sample(-1)

@@ -1,0 +1,83 @@
+"""Tests for the DVFS cap -> frequency -> latency model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PowerCapError
+from repro.hw.dvfs import DvfsModel
+from repro.hw.machine import CPU1, CPU2
+
+
+@pytest.fixture()
+def dvfs() -> DvfsModel:
+    return DvfsModel(CPU2)
+
+
+def test_frequency_monotone_in_cap(dvfs):
+    fractions = [dvfs.frequency_fraction(p) for p in CPU2.power_levels()]
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+
+def test_cap_above_peak_stops_binding(dvfs):
+    # Figure 3: caps past the natural peak draw change nothing.
+    assert dvfs.frequency_fraction(95.0) == dvfs.frequency_fraction(100.0) == 1.0
+    assert dvfs.draw_power(95.0) == dvfs.draw_power(100.0) == CPU2.peak_power_w
+
+
+def test_figure3_latency_ratio(dvfs):
+    # "The fastest setting (100W) is more than 2x faster than the
+    # slowest setting (40W)" for ResNet50-class memory intensity.
+    slow = dvfs.latency_multiplier(40.0, memory_intensity=0.06)
+    fast = dvfs.latency_multiplier(100.0, memory_intensity=0.06)
+    assert slow / fast > 2.0
+
+
+def test_memory_bound_fraction_caps_speedup(dvfs):
+    # A fully memory-bound job cannot be accelerated by DVFS.
+    assert dvfs.latency_multiplier(40.0, memory_intensity=1.0) == pytest.approx(1.0)
+
+
+def test_below_minimum_cap_rejected(dvfs):
+    with pytest.raises(PowerCapError):
+        dvfs.frequency_fraction(10.0)
+    with pytest.raises(PowerCapError):
+        dvfs.draw_power(10.0)
+
+
+def test_invalid_memory_intensity_rejected(dvfs):
+    with pytest.raises(PowerCapError):
+        dvfs.latency_multiplier(50.0, memory_intensity=1.5)
+
+
+@given(st.floats(min_value=1.0, max_value=3.0))
+def test_inverse_map_round_trip(multiplier):
+    dvfs = DvfsModel(CPU1)
+    cap = dvfs.cap_for_latency_multiplier(multiplier, memory_intensity=0.05)
+    assert CPU1.power_min_w <= cap <= CPU1.power_max_w
+    achieved = dvfs.latency_multiplier(cap, memory_intensity=0.05)
+    # The inverse returns the smallest cap achieving <= multiplier,
+    # clamped at the feasible range; inside the range it's tight.
+    if CPU1.power_min_w < cap < CPU1.power_max_w:
+        assert achieved == pytest.approx(multiplier, rel=1e-6)
+
+
+def test_inverse_map_fast_target_needs_max_power():
+    dvfs = DvfsModel(CPU1)
+    assert dvfs.cap_for_latency_multiplier(0.5) == CPU1.power_max_w
+
+
+def test_inverse_map_rejects_nonpositive():
+    dvfs = DvfsModel(CPU1)
+    with pytest.raises(PowerCapError):
+        dvfs.cap_for_latency_multiplier(0.0)
+
+
+@given(st.floats(min_value=12.5, max_value=45.0))
+def test_draw_never_exceeds_cap_or_peak(cap):
+    dvfs = DvfsModel(CPU1)
+    draw = dvfs.draw_power(cap)
+    assert draw <= cap + 1e-9
+    assert draw <= CPU1.peak_power_w + 1e-9

@@ -1,0 +1,61 @@
+"""Tests for energy accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.hw.energy import EnergyAccount, period_energy
+
+
+def test_period_with_idle_tail():
+    breakdown = period_energy(
+        latency_s=0.1, period_s=0.3, inference_power_w=40.0, idle_power_w=5.0
+    )
+    assert breakdown.inference_j == pytest.approx(4.0)
+    assert breakdown.idle_j == pytest.approx(1.0)
+    assert breakdown.total_j == pytest.approx(5.0)
+
+
+def test_overrun_has_no_idle_energy():
+    breakdown = period_energy(
+        latency_s=0.5, period_s=0.3, inference_power_w=40.0, idle_power_w=5.0
+    )
+    assert breakdown.idle_j == 0.0
+    assert breakdown.inference_j == pytest.approx(20.0)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(SimulationError):
+        period_energy(-0.1, 0.3, 40.0, 5.0)
+    with pytest.raises(SimulationError):
+        period_energy(0.1, 0.3, -40.0, 5.0)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=10.0),
+    st.floats(min_value=0.01, max_value=10.0),
+    st.floats(min_value=0.0, max_value=300.0),
+    st.floats(min_value=0.0, max_value=300.0),
+)
+def test_energy_nonnegative_and_additive(latency, period, p_inf, p_idle):
+    breakdown = period_energy(latency, period, p_inf, p_idle)
+    assert breakdown.inference_j >= 0.0
+    assert breakdown.idle_j >= 0.0
+    assert breakdown.total_j == pytest.approx(
+        breakdown.inference_j + breakdown.idle_j
+    )
+
+
+def test_account_accumulates():
+    account = EnergyAccount()
+    assert account.mean_period_j() == 0.0
+    account.add(period_energy(0.1, 0.2, 10.0, 1.0))
+    account.add(period_energy(0.1, 0.2, 10.0, 1.0))
+    assert account.periods == 2
+    assert account.total_j == pytest.approx(2 * (1.0 + 0.1))
+    assert account.mean_period_j() == pytest.approx(1.1)
+    assert account.inference_j == pytest.approx(2.0)
+    assert account.idle_j == pytest.approx(0.2)

@@ -1,0 +1,101 @@
+"""Tests for platform specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.machine import (
+    CPU1,
+    CPU2,
+    EMBEDDED,
+    GPU,
+    MachineSpec,
+    PlatformKind,
+    all_platforms,
+    get_platform,
+)
+
+
+def test_four_platforms_exist():
+    names = [m.name for m in all_platforms()]
+    assert names == ["Embedded", "CPU1", "CPU2", "GPU"]
+
+
+def test_lookup_case_insensitive():
+    assert get_platform("cpu2") is CPU2
+    assert get_platform("GPU") is GPU
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        get_platform("TPU")
+
+
+def test_power_levels_cover_range():
+    levels = CPU2.power_levels()
+    assert levels[0] == CPU2.power_min_w
+    assert levels[-1] == CPU2.power_max_w
+    steps = [b - a for a, b in zip(levels, levels[1:])]
+    assert all(abs(s - CPU2.power_step_w) < 1e-6 for s in steps)
+
+
+def test_cpu1_uses_laptop_granularity():
+    # Section 4: 2.5 W interval on the laptop, 5 W on server/GPU.
+    assert CPU1.power_step_w == 2.5
+    assert CPU2.power_step_w == 5.0
+    assert GPU.power_step_w == 5.0
+
+
+def test_clamp_power():
+    assert CPU1.clamp_power(1.0) == CPU1.power_min_w
+    assert CPU1.clamp_power(500.0) == CPU1.power_max_w
+    assert CPU1.clamp_power(20.0) == 20.0
+
+
+def test_default_power_is_max():
+    for machine in all_platforms():
+        assert machine.default_power() == machine.power_max_w
+
+
+def test_embedded_memory_limits():
+    # Figure 4: large models run out of memory on the Embedded board.
+    assert not EMBEDDED.supports_model_mb(1100.0)  # VGG16
+    assert EMBEDDED.supports_model_mb(200.0)  # big RNN
+
+
+def test_speed_ratio_fallbacks():
+    assert CPU2.family_speed_ratio("cnn") == 1.0
+    assert GPU.family_speed_ratio("cnn") < 0.2  # GPUs crush CNNs
+    assert GPU.family_speed_ratio("rnn") > GPU.family_speed_ratio("cnn")
+    assert CPU1.family_speed_ratio("unknown-family") == CPU1.speed_ratio["*"]
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ConfigurationError):
+        MachineSpec(
+            name="bad",
+            kind=PlatformKind.CPU,
+            description="",
+            power_min_w=50.0,
+            power_max_w=40.0,  # reversed range
+            power_step_w=5.0,
+            static_power_w=10.0,
+            peak_power_w=45.0,
+            idle_power_w=5.0,
+        )
+
+
+def test_static_power_must_be_below_min_cap():
+    with pytest.raises(ConfigurationError):
+        MachineSpec(
+            name="bad",
+            kind=PlatformKind.CPU,
+            description="",
+            power_min_w=10.0,
+            power_max_w=40.0,
+            power_step_w=5.0,
+            static_power_w=12.0,  # above the lowest cap
+            peak_power_w=38.0,
+            idle_power_w=5.0,
+        )

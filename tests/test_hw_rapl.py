@@ -1,0 +1,51 @@
+"""Tests for the simulated RAPL interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PowerCapError
+from repro.hw.rapl import RaplDomain, RaplPackage
+
+
+def test_power_limit_round_trip():
+    pkg = RaplPackage()
+    pkg.set_power_limit_w(42.5)
+    assert pkg.power_limit_w() == pytest.approx(42.5)
+    # Microwatt granularity, as sysfs exposes it.
+    assert pkg.domain.power_limit_uw == 42_500_000
+
+
+def test_energy_accumulates_in_microjoules():
+    pkg = RaplPackage()
+    begin = pkg.read_energy_uj()
+    pkg.domain.advance(2.0, 30.0)  # 60 J
+    end = pkg.read_energy_uj()
+    assert pkg.energy_delta_j(begin, end) == pytest.approx(60.0)
+
+
+def test_counter_wraparound_handled():
+    domain = RaplDomain(max_energy_range_uj=1_000_000)  # 1 J range
+    pkg = RaplPackage(domain)
+    domain.energy_uj = 990_000
+    begin = pkg.read_energy_uj()
+    domain.advance(0.5, 0.1)  # 0.05 J -> wraps past 1 J
+    end = pkg.read_energy_uj()
+    assert end < begin  # the raw counter wrapped
+    assert pkg.energy_delta_j(begin, end) == pytest.approx(0.05)
+
+
+def test_ground_truth_total_ignores_wraparound():
+    domain = RaplDomain(max_energy_range_uj=1_000_000)
+    domain.advance(10.0, 1.0)  # 10 J >> the 1 J counter range
+    assert domain.total_energy_j() == pytest.approx(10.0)
+
+
+def test_invalid_operations_rejected():
+    domain = RaplDomain()
+    with pytest.raises(PowerCapError):
+        domain.set_power_limit_w(0.0)
+    with pytest.raises(PowerCapError):
+        domain.advance(-1.0, 10.0)
+    with pytest.raises(PowerCapError):
+        domain.advance(1.0, -10.0)

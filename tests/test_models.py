@@ -1,0 +1,182 @@
+"""Tests for DNN model abstractions, the zoo, and the families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.machine import CPU1, CPU2, EMBEDDED, GPU
+from repro.models.anytime import AnytimeDnn, AnytimeOutput
+from repro.models.base import (
+    IMAGE_TASK,
+    SENTENCE_TASK,
+    DnnModel,
+    PERPLEXITY_BEST,
+    PERPLEXITY_FAIL,
+)
+from repro.models.families import (
+    bert_family,
+    depth_nest_anytime,
+    rnn_family,
+    sparse_resnet_family,
+    width_nest_anytime,
+)
+from repro.models.zoo import imagenet_zoo
+
+
+# ----------------------------------------------------------------------
+# Task metric conversions
+# ----------------------------------------------------------------------
+def test_image_metric_is_percentage():
+    assert IMAGE_TASK.quality_to_metric(0.92) == pytest.approx(92.0)
+    assert IMAGE_TASK.metric_to_quality(92.0) == pytest.approx(0.92)
+
+
+def test_perplexity_round_trip():
+    for perplexity in (80.0, 100.0, 500.0):
+        quality = SENTENCE_TASK.metric_to_quality(perplexity)
+        assert SENTENCE_TASK.quality_to_metric(quality) == pytest.approx(
+            perplexity, rel=1e-9
+        )
+
+
+def test_perplexity_anchors():
+    assert SENTENCE_TASK.metric_to_quality(PERPLEXITY_FAIL) == 0.0
+    assert SENTENCE_TASK.metric_to_quality(PERPLEXITY_BEST) == 1.0
+    # Lower perplexity means higher quality.
+    assert SENTENCE_TASK.metric_to_quality(80) > SENTENCE_TASK.metric_to_quality(120)
+
+
+# ----------------------------------------------------------------------
+# DnnModel basics
+# ----------------------------------------------------------------------
+def test_model_validation():
+    with pytest.raises(ConfigurationError):
+        DnnModel(name="m", task=IMAGE_TASK, family="cnn", quality=0.0,
+                 base_latency_s=0.1)
+    with pytest.raises(ConfigurationError):
+        DnnModel(name="m", task=IMAGE_TASK, family="cnn", quality=0.9,
+                 base_latency_s=-1.0)
+
+
+def test_nominal_latency_scales_with_platform():
+    model = sparse_resnet_family().by_name("sparse_resnet50_dense")
+    assert model.nominal_latency(CPU2) == pytest.approx(model.base_latency_s)
+    assert model.nominal_latency(CPU1) > model.nominal_latency(CPU2)
+    assert model.nominal_latency(GPU) < model.nominal_latency(CPU2)
+    assert model.nominal_latency(EMBEDDED) > model.nominal_latency(CPU1)
+
+
+def test_work_scale_sensitivity():
+    image = sparse_resnet_family().by_name("sparse_resnet50_dense")
+    rnn = rnn_family().by_name("rnn_w512")
+    assert image.work_scale(3.0) == 1.0  # images are fixed-size
+    assert rnn.work_scale(3.0) == pytest.approx(3.0)  # RNN scales linearly
+    with pytest.raises(ConfigurationError):
+        rnn.work_scale(0.0)
+
+
+# ----------------------------------------------------------------------
+# Anytime networks
+# ----------------------------------------------------------------------
+def test_anytime_quality_ladder():
+    nest = depth_nest_anytime()
+    assert nest.is_anytime
+    assert nest.quality_at_fraction(0.0) == nest.q_fail
+    assert nest.quality_at_fraction(0.25) == nest.outputs[0].quality
+    assert nest.quality_at_fraction(1.0) == nest.quality
+    assert nest.outputs_completed(0.6) == 3
+
+
+def test_anytime_validation_rejects_bad_ladders():
+    common = dict(
+        name="bad", task=IMAGE_TASK, family="cnn", quality=0.9,
+        base_latency_s=0.1,
+    )
+    with pytest.raises(ConfigurationError):
+        AnytimeDnn(outputs=(AnytimeOutput(1.0, 0.9),), **common)  # one rung
+    with pytest.raises(ConfigurationError):
+        AnytimeDnn(  # non-increasing quality
+            outputs=(AnytimeOutput(0.5, 0.9), AnytimeOutput(1.0, 0.8)),
+            **common,
+        )
+    with pytest.raises(ConfigurationError):
+        AnytimeDnn(  # last rung not at fraction 1.0
+            outputs=(AnytimeOutput(0.4, 0.8), AnytimeOutput(0.9, 0.9)),
+            **common,
+        )
+
+
+def test_anytime_rung_latency():
+    nest = depth_nest_anytime()
+    assert nest.rung_latency_s(0, 1.0) == pytest.approx(0.22)
+    assert nest.rung_latency_s(4, 2.0) == pytest.approx(2.0)
+    with pytest.raises(ConfigurationError):
+        nest.rung_latency_s(9, 1.0)
+
+
+def test_anytime_final_slightly_below_dense():
+    # Section 3.5: "Anytime DNNs generally sacrifice accuracy for
+    # flexibility".
+    dense = sparse_resnet_family().by_name("sparse_resnet50_dense")
+    nest = depth_nest_anytime()
+    assert nest.quality < dense.quality
+    assert nest.base_latency_s > dense.base_latency_s
+
+
+# ----------------------------------------------------------------------
+# Zoo (Figure 2 raw material)
+# ----------------------------------------------------------------------
+def test_zoo_has_42_models():
+    assert len(imagenet_zoo()) == 42
+
+
+def test_zoo_spreads_match_paper():
+    zoo = list(imagenet_zoo())
+    latency = [m.base_latency_s for m in zoo]
+    error = [1 - m.quality for m in zoo]
+    assert 15.0 < max(latency) / min(latency) < 21.0  # ~18x
+    assert 7.0 < max(error) / min(error) < 9.0  # ~7.8x
+
+
+def test_zoo_no_single_best_model():
+    zoo = imagenet_zoo()
+    fastest = zoo.fastest()
+    most_accurate = zoo.most_accurate()
+    assert fastest.name != most_accurate.name
+
+
+def test_model_set_lookup():
+    zoo = imagenet_zoo()
+    assert zoo.by_name("resnet_v1_50").quality == pytest.approx(0.925)
+    with pytest.raises(ConfigurationError):
+        zoo.by_name("not_a_model")
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+def test_sparse_resnet_monotone_tradeoff():
+    family = list(sparse_resnet_family())
+    latencies = [m.base_latency_s for m in family]
+    qualities = [m.quality for m in family]
+    assert latencies == sorted(latencies)
+    assert qualities == sorted(qualities)
+
+
+def test_rnn_family_perplexities_decrease_with_width():
+    family = list(rnn_family())
+    perplexities = [m.task.quality_to_metric(m.quality) for m in family]
+    assert perplexities == sorted(perplexities, reverse=True)
+
+
+def test_width_nest_is_sentence_task():
+    nest = width_nest_anytime()
+    assert nest.task is SENTENCE_TASK
+    assert nest.input_sensitivity == 1.0
+
+
+def test_bert_oom_on_embedded():
+    bert = bert_family().by_name("bert_base")
+    assert not bert.fits(EMBEDDED)
+    assert bert.fits(CPU2)

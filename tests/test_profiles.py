@@ -1,0 +1,66 @@
+"""Tests for the offline profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.hw.machine import CPU1, CPU2
+from repro.models.families import depth_nest_anytime, sparse_resnet_family
+from repro.models.profiles import Profiler
+
+
+def test_analytic_profile_covers_grid(cpu1_profile, image_models):
+    assert len(cpu1_profile) == len(image_models) * len(CPU1.power_levels())
+    for model in image_models:
+        for power in CPU1.power_levels():
+            assert cpu1_profile.latency(model.name, power) > 0
+
+
+def test_profile_latency_monotone_in_power(cpu1_profile):
+    latencies = [
+        cpu1_profile.latency("sparse_resnet50_dense", p)
+        for p in cpu1_profile.powers
+    ]
+    assert all(b <= a + 1e-12 for a, b in zip(latencies, latencies[1:]))
+
+
+def test_missing_entry_raises(cpu1_profile):
+    with pytest.raises(ProfileError):
+        cpu1_profile.latency("sparse_resnet50_dense", 999.0)
+    with pytest.raises(ProfileError):
+        cpu1_profile.model("missing")
+
+
+def test_rung_latencies_for_anytime(cpu1_profile):
+    nest = depth_nest_anytime()
+    rungs = cpu1_profile.rung_latencies(nest.name, 45.0)
+    assert len(rungs) == nest.n_outputs
+    assert rungs == sorted(rungs)
+    assert rungs[-1] == pytest.approx(cpu1_profile.latency(nest.name, 45.0))
+
+
+def test_rung_latencies_for_traditional(cpu1_profile):
+    rungs = cpu1_profile.rung_latencies("sparse_resnet50_dense", 45.0)
+    assert len(rungs) == 1
+
+
+def test_empirical_close_to_analytic():
+    models = [sparse_resnet_family().by_name("sparse_resnet50_dense")]
+    profiler = Profiler(CPU2)
+    analytic = profiler.analytic(models, powers=[60.0])
+    empirical = profiler.empirical(models, powers=[60.0], n_inputs=80)
+    ratio = empirical.latency(models[0].name, 60.0) / analytic.latency(
+        models[0].name, 60.0
+    )
+    assert 0.97 < ratio < 1.03  # within the platform noise floor
+
+
+def test_empty_candidate_set_rejected():
+    with pytest.raises(ProfileError):
+        Profiler(CPU1).analytic([])
+
+
+def test_fastest_latency(cpu1_profile):
+    fastest = cpu1_profile.fastest_latency()
+    assert fastest == min(cpu1_profile.latency_s.values())

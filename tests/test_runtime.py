@@ -1,0 +1,111 @@
+"""Tests for the serving loop and run aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_alert
+from repro.core.goals import Goal, ObjectiveKind
+from repro.runtime.loop import ServingLoop
+from repro.runtime.results import VIOLATION_SETTING_THRESHOLD
+from repro.runtime.scheduler import StaticScheduler
+from repro.workloads.traces import RequirementChange, RequirementTrace
+
+
+def _goal(deadline=0.6, accuracy=0.9):
+    return Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=deadline,
+        accuracy_min=accuracy,
+    )
+
+
+def test_static_loop_runs_and_aggregates(image_scenario):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    dense = image_scenario.candidates.models[5]
+    loop = ServingLoop(engine, stream, StaticScheduler(dense, 45.0), _goal())
+    result = loop.run(40)
+    assert result.n_inputs == 40
+    assert result.mean_energy_j > 0
+    assert 0.0 <= result.mean_quality <= 1.0
+    assert result.mean_error == pytest.approx(1.0 - result.mean_quality)
+    assert len(result.series("latency_s")) == 40
+
+
+def test_violation_accounting(image_scenario):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    # A slow model at minimum power with an impossible deadline
+    # violates latency (and hence accuracy) on every input.
+    dense = image_scenario.candidates.models[5]
+    loop = ServingLoop(
+        engine, stream, StaticScheduler(dense, 12.5), _goal(deadline=0.01)
+    )
+    result = loop.run(20)
+    assert result.violation_fraction == 1.0
+    assert result.deadline_miss_fraction == 1.0
+    assert result.setting_violated
+    assert VIOLATION_SETTING_THRESHOLD == pytest.approx(0.10)
+
+
+def test_alert_loop_meets_reasonable_goal(image_scenario):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    scheduler = make_alert(image_scenario.profile())
+    result = ServingLoop(engine, stream, scheduler, _goal()).run(60)
+    assert not result.setting_violated
+    assert result.mean_quality >= 0.9 - 0.01
+
+
+def test_alert_runs_are_deterministic(image_scenario):
+    outputs = []
+    for _ in range(2):
+        engine = image_scenario.make_engine()
+        stream = image_scenario.make_stream()
+        scheduler = make_alert(image_scenario.profile())
+        result = ServingLoop(engine, stream, scheduler, _goal()).run(30)
+        outputs.append(
+            (result.mean_energy_j, result.mean_quality, result.violation_fraction)
+        )
+    assert outputs[0] == outputs[1]
+
+
+def test_requirement_trace_applied(image_scenario):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    trace = RequirementTrace(
+        [RequirementChange(start_index=10, deadline_s=0.2)]
+    )
+    scheduler = make_alert(image_scenario.profile())
+    loop = ServingLoop(
+        engine, stream, scheduler, _goal(deadline=0.6), requirement_trace=trace
+    )
+    result = loop.run(20)
+    assert result.records[5].goal.deadline_s == pytest.approx(0.6)
+    assert result.records[15].goal.deadline_s == pytest.approx(0.2)
+
+
+def test_xi_trace_recorded_for_alert(image_scenario):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    scheduler = make_alert(image_scenario.profile())
+    result = ServingLoop(engine, stream, scheduler, _goal()).run(15)
+    xi = result.series("xi_mean")
+    assert len(xi) == 15
+    assert all(x > 0 for x in xi[1:])
+
+
+def test_energy_violation_flagged_for_budget_goals(image_scenario):
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    goal = Goal(
+        objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+        deadline_s=0.6,
+        energy_budget_j=0.5,  # absurdly small
+    )
+    dense = image_scenario.candidates.models[5]
+    result = ServingLoop(
+        engine, stream, StaticScheduler(dense, 45.0), goal
+    ).run(10)
+    assert all(r.energy_violation for r in result.records)

@@ -1,0 +1,156 @@
+"""Tests for input streams, traces, and scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.goals import ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.workloads.inputs import ImageStream, QuestionStream, SentenceStream
+from repro.workloads.scenarios import build_scenario, candidate_set, constraint_grid
+from repro.workloads.traces import RequirementChange, RequirementTrace, fig9_phases
+from repro.models.base import IMAGE_TASK, SENTENCE_TASK
+
+
+# ----------------------------------------------------------------------
+# Streams
+# ----------------------------------------------------------------------
+def test_image_stream_fixed_work():
+    stream = ImageStream(np.random.default_rng(0))
+    items = stream.items(50)
+    assert all(item.work_factor == 1.0 for item in items)
+    assert [item.index for item in items] == list(range(50))
+
+
+def test_sentence_stream_groups_words():
+    stream = SentenceStream(np.random.default_rng(0))
+    items = stream.items(200)
+    # Indices are contiguous and group positions consistent.
+    for item in items:
+        assert item.group_size >= 2
+        if item.position_in_group > 0:
+            prev = items[item.index - 1]
+            assert prev.group_id == item.group_id
+            assert prev.position_in_group == item.position_in_group - 1
+
+
+def test_sentence_lengths_heavy_tailed():
+    stream = SentenceStream(np.random.default_rng(1), mean_words=15.0)
+    lengths = stream.sentence_lengths(300)
+    assert 10 < np.mean(lengths) < 20
+    assert max(lengths) > 2.2 * np.mean(lengths)  # the NLP1 tail
+
+
+def test_question_stream_mean_one():
+    stream = QuestionStream(np.random.default_rng(2))
+    factors = [item.work_factor for item in stream.items(800)]
+    assert 0.9 < np.mean(factors) < 1.1
+    assert np.std(factors) > 0.15
+
+
+def test_stream_memoised_rereads():
+    stream = SentenceStream(np.random.default_rng(3))
+    assert stream.item(17) == stream.item(17)
+    with pytest.raises(ConfigurationError):
+        stream.item(-1)
+
+
+# ----------------------------------------------------------------------
+# Requirement traces
+# ----------------------------------------------------------------------
+def test_requirement_trace_merging():
+    trace = RequirementTrace(
+        [
+            RequirementChange(start_index=0, deadline_s=0.1),
+            RequirementChange(start_index=50, accuracy_min=0.95),
+            RequirementChange(start_index=80, deadline_s=0.05),
+        ]
+    )
+    assert trace.active_at(10).deadline_s == 0.1
+    assert trace.active_at(10).accuracy_min is None
+    at60 = trace.active_at(60)
+    assert at60.deadline_s == 0.1 and at60.accuracy_min == 0.95
+    at90 = trace.active_at(90)
+    assert at90.deadline_s == 0.05 and at90.accuracy_min == 0.95
+
+
+def test_requirement_trace_rejects_duplicates():
+    with pytest.raises(ConfigurationError):
+        RequirementTrace(
+            [
+                RequirementChange(start_index=5, deadline_s=0.1),
+                RequirementChange(start_index=5, deadline_s=0.2),
+            ]
+        )
+
+
+def test_fig9_phases_shape():
+    phases = fig9_phases()
+    assert phases[0].active is False
+    assert phases[1].active is True
+    assert (phases[1].start, phases[1].stop) == (46, 119)
+    with pytest.raises(ConfigurationError):
+        fig9_phases(contention_start=100, contention_stop=50)
+
+
+# ----------------------------------------------------------------------
+# Scenarios and constraint grids
+# ----------------------------------------------------------------------
+def test_candidate_sets():
+    standard = candidate_set(IMAGE_TASK, "standard")
+    trad = candidate_set(IMAGE_TASK, "trad")
+    anytime = candidate_set(IMAGE_TASK, "any")
+    assert len(standard.models) == len(trad.models) + 1
+    assert anytime.anytime is not None and len(anytime.models) == 1
+    assert trad.anytime is None
+    with pytest.raises(ConfigurationError):
+        candidate_set(IMAGE_TASK, "hybrid")
+
+
+def test_build_scenario_parses_names():
+    scenario = build_scenario("cpu2", "sentence", "Mem.", "any")
+    assert scenario.machine.name == "CPU2"
+    assert scenario.task is SENTENCE_TASK
+    assert scenario.env.value == "memory"
+
+
+def test_scenario_profile_cached(image_scenario):
+    assert image_scenario.profile() is image_scenario.profile()
+
+
+def test_scenario_engines_reproducible(memory_scenario):
+    a = memory_scenario.make_engine()
+    b = memory_scenario.make_engine()
+    assert a.environment(10) == b.environment(10)
+
+
+def test_constraint_grid_matches_table3(image_scenario):
+    grid = constraint_grid(image_scenario)
+    # 7 deadlines x 5 accuracy levels and 7 x 5 energy levels.
+    assert len(grid.min_energy_goals) == 35
+    assert len(grid.min_error_goals) == 35
+    assert grid.n_settings == 70
+    anchor = image_scenario.anchor_latency_s()
+    deadlines = sorted({g.deadline_s for g in grid.min_energy_goals})
+    assert deadlines[0] == pytest.approx(0.4 * anchor)
+    assert deadlines[-1] == pytest.approx(2.0 * anchor)
+    for goal in grid.min_energy_goals:
+        assert goal.objective is ObjectiveKind.MINIMIZE_ENERGY
+        assert goal.accuracy_min is not None
+        # The floor never sinks toward the random guess.
+        assert goal.accuracy_min >= 0.85
+    for goal in grid.min_error_goals:
+        assert goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY
+        assert goal.energy_budget_j is not None
+
+
+def test_grid_quality_targets_respect_deadline(image_scenario):
+    grid = constraint_grid(image_scenario)
+    by_deadline: dict[float, list[float]] = {}
+    for goal in grid.min_energy_goals:
+        by_deadline.setdefault(goal.deadline_s, []).append(goal.accuracy_min)
+    tightest = min(by_deadline)
+    loosest = max(by_deadline)
+    # Looser deadlines allow more accurate targets.
+    assert max(by_deadline[loosest]) >= max(by_deadline[tightest])
