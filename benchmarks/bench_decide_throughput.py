@@ -1,0 +1,118 @@
+"""Decision throughput: scalar reference vs. vectorized batch path.
+
+Measures ``ConfigSelector`` decisions/second on the Table 4 candidate
+set (the full image model family plus the anytime ladder, across every
+CPU1 power level) over a representative mix of goals and filter
+states drawn from the Table 4 constraint grid, and writes the result
+to ``BENCH_decide.json`` at the repository root so the performance
+trajectory of the decision engine is tracked from PR to PR.
+
+Run directly (no pytest machinery needed)::
+
+    PYTHONPATH=src python benchmarks/bench_decide_throughput.py
+
+The file is named ``bench_*`` on purpose: the tier-1 pytest run only
+collects ``test_*`` files, so this never slows the test gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.config_space import ConfigurationSpace
+from repro.core.estimator import AlertEstimator
+from repro.core.goals import Goal, ObjectiveKind
+from repro.core.selector import ConfigSelector
+from repro.models.families import depth_nest_anytime, sparse_resnet_family
+from repro.models.profiles import Profiler
+from repro.hw.machine import CPU1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_decide.json"
+
+#: Filter states a serving loop actually visits: converged quiet,
+#: drifting, stormy (high sigma + tail), and mean-only-like points.
+STATES = [
+    (1.0, 0.02, 0.15, (0.0, 1.0)),
+    (1.05, 0.05, 0.18, (0.01, 1.8)),
+    (1.4, 0.12, 0.3, (0.02, 2.2)),
+    (1.9, 0.4, 0.5, (0.06, 2.6)),
+    (0.85, 1e-6, 0.22, None),
+    (2.6, 0.25, 0.9, (0.04, 2.0)),
+]
+
+
+def _goal_mix() -> list[Goal]:
+    """Both objectives, with and without Pr_th, several tightnesses."""
+    goals: list[Goal] = []
+    for deadline in (0.08, 0.2, 0.5):
+        for prob in (None, 0.95):
+            goals.append(
+                Goal(
+                    objective=ObjectiveKind.MINIMIZE_ENERGY,
+                    deadline_s=deadline,
+                    accuracy_min=0.9,
+                    prob_threshold=prob,
+                )
+            )
+            goals.append(
+                Goal(
+                    objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+                    deadline_s=deadline,
+                    energy_budget_j=8.0,
+                    prob_threshold=prob,
+                )
+            )
+    return goals
+
+
+def _throughput(select, workload, min_seconds: float) -> float:
+    """Decisions per second of one select callable over the workload."""
+    # Warm up caches (thresholds, q_min statics) outside the clock.
+    for goal, (xi_mean, xi_sigma, phi, tail) in workload:
+        select(goal, xi_mean, xi_sigma, phi, tail=tail)
+    count = 0
+    start = time.perf_counter()
+    while time.perf_counter() - start < min_seconds:
+        for goal, (xi_mean, xi_sigma, phi, tail) in workload:
+            select(goal, xi_mean, xi_sigma, phi, tail=tail)
+        count += len(workload)
+    return count / (time.perf_counter() - start)
+
+
+def run(min_seconds: float = 2.0) -> dict:
+    models = list(sparse_resnet_family()) + [depth_nest_anytime()]
+    profile = Profiler(CPU1).analytic(models)
+    space = ConfigurationSpace(models, list(profile.powers))
+    estimator = AlertEstimator(profile)
+    selector = ConfigSelector(space, estimator, use_batch=True)
+
+    workload = [(goal, state) for goal in _goal_mix() for state in STATES]
+    batch_dps = _throughput(selector.select, workload, min_seconds)
+    scalar_dps = _throughput(selector.select_scalar, workload, min_seconds)
+
+    result = {
+        "benchmark": "decide_throughput",
+        "platform": "CPU1",
+        "candidate_set": "table4_image",
+        "n_configs": len(space),
+        "n_workload_points": len(workload),
+        "scalar_decisions_per_sec": round(scalar_dps, 1),
+        "batch_decisions_per_sec": round(batch_dps, 1),
+        "speedup": round(batch_dps / scalar_dps, 2),
+    }
+    return result
+
+
+def main() -> None:
+    result = run()
+    OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    if result["speedup"] < 10.0:
+        print("WARNING: batch path below the 10x target")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ energy is plentiful (minimise-error mode) — the Table 4 pattern.
 
 The implementation reuses ALERT's estimator/selector machinery
 restricted to a single model and mean-only prediction, which is
-faithful to [63]'s mean-latency Kalman feedback.
+faithful to [63]'s mean-latency Kalman feedback.  Like ALERT itself,
+it runs on the vectorized batch decision path (the selector's
+default), so per-decision cost stays flat as the power grid grows.
 """
 
 from __future__ import annotations

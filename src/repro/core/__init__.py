@@ -17,6 +17,7 @@ The flow, per input ``n`` (paper Section 3.2):
 Public entry point: :class:`AlertController`.
 """
 
+from repro.core.batch_estimator import BatchAlertEstimator, BatchEstimates
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.controller import AlertController, ControllerState
 from repro.core.estimator import AlertEstimator, ConfigEstimate
@@ -26,6 +27,8 @@ from repro.core.selector import ConfigSelector, SelectionResult
 from repro.core.slowdown import GlobalSlowdownEstimator
 
 __all__ = [
+    "BatchAlertEstimator",
+    "BatchEstimates",
     "Configuration",
     "ConfigurationSpace",
     "AlertController",

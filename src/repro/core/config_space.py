@@ -58,6 +58,15 @@ class Configuration:
                     f"rung_cap {self.rung_cap} outside "
                     f"[0, {self.model.n_outputs})"
                 )
+        # Precompute the derived per-configuration quantities once; the
+        # estimators read them on every decision, for every input.
+        if self.rung_cap is None or not isinstance(self.model, AnytimeDnn):
+            fraction, capped = 1.0, self.model.quality
+        else:
+            output = self.model.outputs[self.rung_cap]
+            fraction, capped = output.latency_fraction, output.quality
+        object.__setattr__(self, "_latency_fraction", fraction)
+        object.__setattr__(self, "_capped_quality", capped)
 
     @property
     def key(self) -> tuple[str, float, int]:
@@ -70,17 +79,15 @@ class Configuration:
         """Fraction of the model's full latency this configuration runs.
 
         1.0 for traditional models and uncapped anytime ladders.
+        Precomputed in ``__post_init__`` — this is on the estimators'
+        per-decision hot path.
         """
-        if self.rung_cap is None or not isinstance(self.model, AnytimeDnn):
-            return 1.0
-        return self.model.outputs[self.rung_cap].latency_fraction
+        return self._latency_fraction  # type: ignore[attr-defined]
 
     @property
     def capped_quality(self) -> float:
         """Best quality this configuration can possibly deliver."""
-        if self.rung_cap is None or not isinstance(self.model, AnytimeDnn):
-            return self.model.quality
-        return self.model.outputs[self.rung_cap].quality
+        return self._capped_quality  # type: ignore[attr-defined]
 
     def describe(self) -> str:
         """Human-readable one-liner for traces and examples."""

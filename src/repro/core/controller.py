@@ -15,7 +15,11 @@ structure the controller is agnostic to.
 The controller also models its own cost: the paper measures ALERT's
 scheduler at 0.6-1.7% of an input's inference time, and subtracts its
 worst case from the deadline so the scheduler never causes the
-violation it is preventing.
+violation it is preventing.  Two mechanisms keep the real cost far
+below that reservation: selection runs on the vectorized batch
+estimator (see :mod:`repro.core.batch_estimator`), and a decision memo
+keyed on the quantized ``(goal, xi_mean, xi_sigma, phi, tail)`` state
+lets converged Kalman phases skip re-estimation entirely.
 """
 
 from __future__ import annotations
@@ -74,7 +78,20 @@ class AlertController:
     confidence:
         Per-constraint confidence floor for feasibility (see
         :class:`repro.core.estimator.AlertEstimator`).
+    decision_memo:
+        When True (default) :meth:`decide` caches selections keyed on
+        the quantized filter state, so converged Kalman phases — where
+        successive states round to the same key — skip re-estimation
+        entirely.  Selections are always *computed* from the exact
+        state; quantization only controls cache-key identity.
+    memo_decimals:
+        Decimal places the state is rounded to when forming memo keys
+        (default 4: states within 1e-4 of each other share a decision).
     """
+
+    #: Memo entries kept before the cache is dropped and restarted;
+    #: bounds memory on very long runs with drifting environments.
+    _MEMO_CAP = 4096
 
     def __init__(
         self,
@@ -86,6 +103,8 @@ class AlertController:
         q0: float = 0.1,
         overhead_fraction: float = DEFAULT_OVERHEAD_FRACTION,
         confidence: float = 0.95,
+        decision_memo: bool = True,
+        memo_decimals: int = 4,
     ) -> None:
         if overhead_fraction < 0 or overhead_fraction > 0.2:
             raise ConfigurationError(
@@ -111,6 +130,12 @@ class AlertController:
         mean_latency = sum(profile.latency_s.values()) / len(profile.latency_s)
         self._overhead_s = overhead_fraction * mean_latency
         self._last_selection: SelectionResult | None = None
+        self._memo: dict[tuple, SelectionResult] | None = (
+            {} if decision_memo else None
+        )
+        self._memo_decimals = memo_decimals
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # ------------------------------------------------------------------
     # Step 1: measurement feedback
@@ -159,10 +184,34 @@ class AlertController:
         if adjusted_deadline != goal.deadline_s:
             effective = goal.with_deadline(adjusted_deadline)
         xi_mean, xi_sigma = self.slowdown.snapshot()
+        phi = self.idle_filter.phi
         tail = (self.slowdown.tail_fraction, self.slowdown.tail_ratio)
+
+        key: tuple | None = None
+        if self._memo is not None:
+            nd = self._memo_decimals
+            key = (
+                goal,
+                round(xi_mean, nd),
+                round(xi_sigma, nd),
+                round(phi, nd),
+                round(tail[0], nd),
+                round(tail[1], nd),
+            )
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo_hits += 1
+                self._last_selection = cached
+                return cached
+
         result = self.selector.select(
-            effective, xi_mean, xi_sigma, self.idle_filter.phi, tail=tail
+            effective, xi_mean, xi_sigma, phi, tail=tail
         )
+        if self._memo is not None and key is not None:
+            self._memo_misses += 1
+            if len(self._memo) >= self._MEMO_CAP:
+                self._memo.clear()
+            self._memo[key] = result
         self._last_selection = result
         return result
 
@@ -178,6 +227,11 @@ class AlertController:
     def last_selection(self) -> SelectionResult | None:
         """The most recent selection (None before the first decide)."""
         return self._last_selection
+
+    @property
+    def memo_stats(self) -> tuple[int, int]:
+        """(hits, misses) of the decision memo since construction."""
+        return self._memo_hits, self._memo_misses
 
     def state(self) -> ControllerState:
         """Snapshot of the filters for traces and tests."""

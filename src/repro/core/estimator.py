@@ -14,6 +14,17 @@ power ratio ``phi``, the estimator derives for every configuration:
 The estimator is a pure function of ``(configuration, goal, ξ, phi)``
 — all the state lives in the controller — which keeps it trivially
 testable and lets oracles and baselines reuse pieces of it.
+
+**Architecture note — scalar reference vs. batch fast path.**  This
+module is the *reference implementation*: one configuration at a time,
+written to read like the paper's equations.  Production selection runs
+on :class:`repro.core.batch_estimator.BatchAlertEstimator`, which
+evaluates the same equations for the whole configuration space in one
+pass of NumPy array operations and is over an order of magnitude
+faster per decision (``benchmarks/bench_decide_throughput.py``).  The
+randomized parity suite (``tests/test_batch_parity.py``) pins the two
+paths together to <= 1e-9; change semantics here and the batch twin
+must follow.
 """
 
 from __future__ import annotations
@@ -403,9 +414,14 @@ class AlertEstimator:
             if budget < floor - 1e-12:
                 xi_b = budget / (power * t_run)
                 return max(0.0, cdf(xi_b) - cdf(xi_cross))
-            xi_a = (budget - phi * power * period) / (
-                power * t_run * (1.0 - phi)
-            )  # note: negative slope; boundary below
+            # Negative slope; boundary below.  At phi exactly 1 the
+            # in-window energy is constant (p*T <= budget here), so
+            # every in-window ξ qualifies: the boundary is -inf.
+            denom = power * t_run * (1.0 - phi)
+            if denom == 0.0:
+                xi_a = float("-inf")
+            else:
+                xi_a = (budget - phi * power * period) / denom
             xi_b = budget / (power * t_run)
             return max(0.0, cdf(xi_b) - cdf(min(xi_a, xi_cross)))
 

@@ -13,17 +13,44 @@ has something to run:
 3. **drop Pr_th** — fall back to pure expectations;
 4. **best effort** — nothing meets the deadline: pick the
    configuration most likely to, i.e. minimum expected latency.
+
+Two implementations share this hierarchy:
+
+* the **batch fast path** (default): one
+  :meth:`repro.core.batch_estimator.BatchAlertEstimator.estimate_batch`
+  call produces estimate arrays for the whole space, and each stage
+  ranks candidates with a single ``np.lexsort`` over the same key
+  tuples the scalar path compares — this is what makes the scheduler
+  cost a small fraction of an input's inference time;
+* the **scalar reference path** (:meth:`ConfigSelector.select_scalar`),
+  a per-configuration loop over
+  :meth:`repro.core.estimator.AlertEstimator.estimate` kept as the
+  readable ground truth; the parity suite asserts the two paths pick
+  identical configurations with estimates equal to <= 1e-9.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.batch_estimator import BatchAlertEstimator
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.estimator import AlertEstimator, ConfigEstimate
 from repro.core.goals import Goal, ObjectiveKind
 
 __all__ = ["SelectionResult", "ConfigSelector"]
+
+
+def _quantize6(x: float) -> float:
+    """Quantize to 1e-6 buckets (stage-2 ranking key).
+
+    Scale / round-half-even / unscale, which is what ``np.rint`` does
+    elementwise — keeping the scalar and batch stage-2 keys
+    bit-identical.
+    """
+    return round(x * 1e6) / 1e6
 
 
 @dataclass(frozen=True)
@@ -54,11 +81,29 @@ class SelectionResult:
 
 
 class ConfigSelector:
-    """Ranks configurations for a goal given the filter state."""
+    """Ranks configurations for a goal given the filter state.
 
-    def __init__(self, space: ConfigurationSpace, estimator: AlertEstimator) -> None:
+    Parameters
+    ----------
+    space / estimator:
+        The candidate space and the scalar reference estimator.
+    use_batch:
+        When True (default) :meth:`select` runs the vectorized batch
+        path; False forces the scalar reference loop everywhere (used
+        by the parity suite and available for debugging).
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        estimator: AlertEstimator,
+        use_batch: bool = True,
+    ) -> None:
         self.space = space
         self.estimator = estimator
+        self.batch = (
+            BatchAlertEstimator(space, estimator) if use_batch else None
+        )
 
     # ------------------------------------------------------------------
     # Ranking keys
@@ -83,7 +128,7 @@ class ConfigSelector:
         )
 
     # ------------------------------------------------------------------
-    # Selection
+    # Selection (dispatch)
     # ------------------------------------------------------------------
     def select(
         self,
@@ -94,6 +139,125 @@ class ConfigSelector:
         tail: tuple[float, float] | None = None,
     ) -> SelectionResult:
         """Pick the best configuration for the current goal and state."""
+        if self.batch is not None:
+            return self._select_batch(goal, xi_mean, xi_sigma, phi, tail)
+        return self.select_scalar(goal, xi_mean, xi_sigma, phi, tail)
+
+    # ------------------------------------------------------------------
+    # Batch fast path
+    # ------------------------------------------------------------------
+    def _select_batch(
+        self,
+        goal: Goal,
+        xi_mean: float,
+        xi_sigma: float,
+        phi: float,
+        tail: tuple[float, float] | None,
+    ) -> SelectionResult:
+        assert self.batch is not None
+        b = self.batch.estimate_batch(goal, xi_mean, xi_sigma, phi, tail)
+        # Precomputed rank equivalent to the scalar (power_w, name)
+        # tie-break plus stable list order — keys stay purely numeric.
+        rank = self.batch.tie_rank
+        n = b.n
+
+        def best(idxs: np.ndarray, keys: tuple[np.ndarray, ...]) -> int:
+            # np.lexsort sorts by the *last* key first; pass the key
+            # tuple reversed so ``keys`` reads in priority order, like
+            # the scalar tuple comparison.
+            order = np.lexsort(tuple(reversed(keys)))
+            return int(idxs[order[0]])
+
+        feasible_mask = b.feasible
+        n_feasible = int(np.count_nonzero(feasible_mask))
+        if n_feasible:
+            idxs = np.flatnonzero(feasible_mask)
+            if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+                keys = (
+                    b.expected_energy_j[idxs],
+                    -b.expected_quality[idxs],
+                    rank[idxs],
+                )
+            else:
+                keys = (
+                    -b.expected_quality[idxs],
+                    b.expected_energy_j[idxs],
+                    rank[idxs],
+                )
+            winner = best(idxs, keys)
+            return SelectionResult(
+                config=b.configs[winner],
+                estimate=b.estimate(winner),
+                feasible=True,
+                relaxation=None,
+                n_candidates=n,
+                n_feasible=n_feasible,
+            )
+
+        for keep_prob, stage in ((True, "constraint"), (False, "probability")):
+            mask = b.meets_latency_mean
+            if keep_prob:
+                mask = mask & b.meets_prob
+            if not mask.any():
+                continue
+            idxs = np.flatnonzero(mask)
+            if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+                # Bit-identical to the scalar key's _quantize6: scale,
+                # round half-to-even, unscale — np.rint and Python
+                # round() agree exactly on integer-rounding doubles.
+                rounded = (
+                    np.rint(b.quality_meet_probability[idxs] * 1e6) / 1e6
+                )
+                keys = (
+                    -rounded,
+                    -b.expected_quality[idxs],
+                    b.expected_energy_j[idxs],
+                    rank[idxs],
+                )
+            else:
+                keys = (
+                    -b.expected_quality[idxs],
+                    b.expected_energy_j[idxs],
+                    rank[idxs],
+                )
+            winner = best(idxs, keys)
+            return SelectionResult(
+                config=b.configs[winner],
+                estimate=b.estimate(winner),
+                feasible=False,
+                relaxation=stage,
+                n_candidates=n,
+                n_feasible=0,
+            )
+
+        idxs = np.arange(n)
+        keys = (
+            b.latency_mean_s,
+            -b.expected_quality,
+            rank,
+        )
+        winner = best(idxs, keys)
+        return SelectionResult(
+            config=b.configs[winner],
+            estimate=b.estimate(winner),
+            feasible=False,
+            relaxation="latency",
+            n_candidates=n,
+            n_feasible=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar reference path
+    # ------------------------------------------------------------------
+    def select_scalar(
+        self,
+        goal: Goal,
+        xi_mean: float,
+        xi_sigma: float,
+        phi: float,
+        tail: tuple[float, float] | None = None,
+    ) -> SelectionResult:
+        """The readable per-configuration reference implementation."""
         estimates = [
             self.estimator.estimate(config, goal, xi_mean, xi_sigma, phi, tail)
             for config in self.space
@@ -184,7 +348,7 @@ class ConfigSelector:
             return min(
                 candidates,
                 key=lambda e: (
-                    -round(e.quality_meet_probability, 6),
+                    -_quantize6(e.quality_meet_probability),
                     -e.expected_quality,
                     e.expected_energy_j,
                     e.config.power_w,

@@ -47,6 +47,9 @@ class ProfileTable:
     inference_power_w: dict[tuple[str, float], float]
     idle_power_w: float
     _by_name: dict[str, DnnModel] = field(default_factory=dict, repr=False)
+    _rung_cache: dict[tuple[str, float], list[float]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -87,13 +90,23 @@ class ProfileTable:
 
         For traditional models returns a single-element list holding
         the full latency, which lets estimator code treat both kinds
-        uniformly.
+        uniformly.  The ladder is computed once per (model, power) and
+        cached — this sits on the estimators' per-decision hot path —
+        so callers must treat the returned list as read-only.
         """
-        model = self.model(model_name)
-        full = self.latency(model_name, power_w)
-        if isinstance(model, AnytimeDnn):
-            return [output.latency_fraction * full for output in model.outputs]
-        return [full]
+        key = (model_name, power_w)
+        cached = self._rung_cache.get(key)
+        if cached is None:
+            model = self.model(model_name)
+            full = self.latency(model_name, power_w)
+            if isinstance(model, AnytimeDnn):
+                cached = [
+                    output.latency_fraction * full for output in model.outputs
+                ]
+            else:
+                cached = [full]
+            self._rung_cache[key] = cached
+        return cached
 
     def configurations(self) -> list[tuple[str, float]]:
         """All (model name, power cap) pairs in the table."""

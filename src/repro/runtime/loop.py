@@ -18,6 +18,8 @@ Violation bookkeeping follows the paper:
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.goals import Goal, GoalAdjuster, ObjectiveKind
 from repro.errors import ConfigurationError
 from repro.models.inference import InferenceEngine
@@ -76,8 +78,6 @@ class ServingLoop:
         if override.deadline_s is not None:
             goal = goal.with_deadline(override.deadline_s)
         if override.accuracy_min is not None or override.energy_budget_j is not None:
-            from dataclasses import replace
-
             kwargs = {}
             if override.accuracy_min is not None:
                 kwargs["accuracy_min"] = override.accuracy_min

@@ -1,0 +1,291 @@
+"""Randomized parity: the batch estimator against the scalar reference.
+
+The vectorized fast path (:mod:`repro.core.batch_estimator`) must be
+indistinguishable from the readable scalar implementation — every
+:class:`ConfigEstimate` field to <= 1e-9, every feasibility flag
+bit-equal, and every :class:`SelectionResult` (configuration, the
+relaxation stage that produced it, feasibility, candidate accounting)
+identical across the full goal grammar: both objectives, with/without
+``accuracy_min`` / ``energy_budget_j`` / ``prob_threshold``, explicit
+periods, tail mixtures, the mean-only ALERT* mode, and the
+``phi >= 1`` energy corner.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.batch_estimator import BatchAlertEstimator, normal_cdf_array
+from repro.core.config_space import ConfigurationSpace
+from repro.core.controller import AlertController
+from repro.core.estimator import AlertEstimator, normal_cdf
+from repro.core.goals import Goal, ObjectiveKind
+from repro.core.selector import ConfigSelector
+
+PARITY_TOL = 1e-9
+
+FIELD_NAMES = (
+    "latency_mean_s",
+    "deadline_probability",
+    "expected_quality",
+    "quality_meet_probability",
+    "expected_energy_j",
+)
+FLAG_NAMES = (
+    "meets_latency",
+    "meets_accuracy",
+    "meets_energy",
+    "meets_prob",
+    "meets_latency_mean",
+)
+
+
+def _goal_grid() -> list[Goal]:
+    """Every structural variant of the goal grammar, at several scales."""
+    goals: list[Goal] = []
+    for deadline in (0.04, 0.18, 0.7):
+        for prob in (None, 0.9, 0.999):
+            goals.append(
+                Goal(
+                    objective=ObjectiveKind.MINIMIZE_ENERGY,
+                    deadline_s=deadline,
+                    accuracy_min=0.9,
+                    prob_threshold=prob,
+                )
+            )
+            goals.append(
+                Goal(
+                    objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+                    deadline_s=deadline,
+                    energy_budget_j=7.0,
+                    prob_threshold=prob,
+                )
+            )
+    # Explicit period, joint constraints, unreachable floor, tiny budget.
+    goals.append(
+        Goal(
+            objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+            deadline_s=0.3,
+            period_s=0.5,
+            energy_budget_j=25.0,
+            accuracy_min=0.85,
+            prob_threshold=0.95,
+        )
+    )
+    goals.append(
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=0.25,
+            accuracy_min=0.999,
+        )
+    )
+    goals.append(
+        Goal(
+            objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+            deadline_s=0.15,
+            energy_budget_j=0.5,
+        )
+    )
+    # Impossible deadline: exercises the best-effort latency stage.
+    goals.append(
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=1e-4,
+            accuracy_min=0.9,
+        )
+    )
+    return goals
+
+
+def _random_states(n: int, seed: int) -> list[tuple]:
+    rng = np.random.default_rng(seed)
+    states = []
+    for _ in range(n):
+        xi_mean = float(rng.uniform(0.6, 3.0))
+        xi_sigma = float(rng.choice([1e-6, rng.uniform(0.01, 0.6)]))
+        phi = float(rng.choice([rng.uniform(0.05, 0.95), 1.05, 1.4]))
+        if rng.random() < 0.3:
+            tail = None
+        elif rng.random() < 0.5:
+            tail = (0.0, 1.0)  # inactive tail
+        else:
+            tail = (float(rng.uniform(0.01, 0.1)), float(rng.uniform(1.2, 3.0)))
+        states.append((xi_mean, xi_sigma, phi, tail))
+    return states
+
+
+@pytest.fixture(params=[True, False], ids=["variance", "mean_only"])
+def paths(request, cpu1_profile, image_models):
+    space = ConfigurationSpace(image_models, list(cpu1_profile.powers))
+    estimator = AlertEstimator(cpu1_profile, variance_aware=request.param)
+    selector = ConfigSelector(space, estimator, use_batch=True)
+    return space, estimator, selector
+
+
+# ----------------------------------------------------------------------
+# The vectorized normal CDF
+# ----------------------------------------------------------------------
+def test_normal_cdf_array_matches_math_erf():
+    xs = np.concatenate(
+        [
+            np.linspace(-40.0, 40.0, 4001),
+            np.array([0.0, 1.0, -1.0, 6.5, -6.5, 1e9, -1e9]),
+        ]
+    )
+    got = normal_cdf_array(xs)
+    ref = np.array([normal_cdf(float(x)) for x in xs])
+    assert np.max(np.abs(got - ref)) <= 1e-12
+    # Saturation must be exact so tie-breaks cannot diverge.
+    assert normal_cdf_array(np.array([50.0]))[0] == 1.0
+    assert normal_cdf_array(np.array([-50.0]))[0] == 0.0
+
+
+def test_erf_saturation_matches_math():
+    # The clip point must agree with math.erf's own rounding to +/-1.
+    for x in (6.5, 7.0, 10.0, 1e6):
+        assert math.erf(x) == 1.0
+        assert math.erf(-x) == -1.0
+
+
+# ----------------------------------------------------------------------
+# Estimate-level parity
+# ----------------------------------------------------------------------
+def test_estimates_match_scalar_reference(paths):
+    space, estimator, selector = paths
+    batch = selector.batch
+    assert isinstance(batch, BatchAlertEstimator)
+    states = _random_states(6, seed=2020)
+    for goal in _goal_grid():
+        for xi_mean, xi_sigma, phi, tail in states:
+            records = batch.estimate_batch(
+                goal, xi_mean, xi_sigma, phi, tail
+            ).estimates()
+            for config, got in zip(space, records):
+                want = estimator.estimate(
+                    config, goal, xi_mean, xi_sigma, phi, tail
+                )
+                assert got.config is config
+                for name in FIELD_NAMES:
+                    assert getattr(got, name) == pytest.approx(
+                        getattr(want, name), abs=PARITY_TOL
+                    ), (name, config.describe(), goal.describe())
+                for name in FLAG_NAMES:
+                    assert getattr(got, name) == getattr(want, name), (
+                        name,
+                        config.describe(),
+                        goal.describe(),
+                    )
+
+
+def test_phi_above_one_energy_corner(paths):
+    """The degenerate idle-power regime of the energy CDF."""
+    space, estimator, selector = paths
+    goal = Goal(
+        objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+        deadline_s=0.2,
+        energy_budget_j=5.0,
+        prob_threshold=0.9,
+    )
+    for phi in (1.0 - 1e-13, 1.0, 1.05, 1.5):
+        batch = selector.batch.estimate_batch(goal, 1.2, 0.15, phi, None)
+        for config, got in zip(space, batch.estimates()):
+            want = estimator.estimate(config, goal, 1.2, 0.15, phi, None)
+            assert got.expected_energy_j == pytest.approx(
+                want.expected_energy_j, abs=PARITY_TOL
+            )
+            assert got.meets_energy == want.meets_energy
+            assert got.meets_prob == want.meets_prob
+
+
+def test_phi_exactly_one_huge_budget_always_met(paths):
+    """phi == 1.0 with an effectively unlimited budget: the in-window
+    energy is constant, so every configuration must meet the budget
+    (regression for the -inf crossing boundary in both paths)."""
+    space, estimator, selector = paths
+    goal = Goal(
+        objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+        deadline_s=0.2,
+        energy_budget_j=1e9,
+    )
+    batch = selector.batch.estimate_batch(goal, 1.2, 0.15, 1.0, None)
+    assert bool(np.all(batch.meets_energy))
+    for config in space:
+        want = estimator.estimate(config, goal, 1.2, 0.15, 1.0, None)
+        assert want.meets_energy
+
+
+# ----------------------------------------------------------------------
+# Selection-level parity
+# ----------------------------------------------------------------------
+def test_selection_identical_across_paths(paths):
+    _, _, selector = paths
+    states = _random_states(8, seed=777)
+    relaxations_seen = set()
+    for goal in _goal_grid():
+        for xi_mean, xi_sigma, phi, tail in states:
+            fast = selector.select(goal, xi_mean, xi_sigma, phi, tail)
+            ref = selector.select_scalar(goal, xi_mean, xi_sigma, phi, tail)
+            context = (goal.describe(), xi_mean, xi_sigma, phi, tail)
+            assert fast.config.key == ref.config.key, context
+            assert fast.relaxation == ref.relaxation, context
+            assert fast.feasible == ref.feasible, context
+            assert fast.n_candidates == ref.n_candidates, context
+            assert fast.n_feasible == ref.n_feasible, context
+            for name in FIELD_NAMES:
+                assert getattr(fast.estimate, name) == pytest.approx(
+                    getattr(ref.estimate, name), abs=PARITY_TOL
+                ), (name, context)
+            relaxations_seen.add(fast.relaxation)
+    # The grid must actually exercise the fallback hierarchy.
+    assert None in relaxations_seen
+    assert relaxations_seen & {"constraint", "probability", "latency"}
+
+
+# ----------------------------------------------------------------------
+# Controller decision memo
+# ----------------------------------------------------------------------
+def test_decision_memo_hits_on_converged_state(cpu1_profile):
+    controller = AlertController(cpu1_profile)
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=0.4,
+        accuracy_min=0.9,
+    )
+    first = controller.decide(goal)
+    second = controller.decide(goal)  # identical state: memo hit
+    assert second is first
+    hits, misses = controller.memo_stats
+    assert hits == 1 and misses == 1
+
+
+def test_decision_memo_invalidates_on_state_change(cpu1_profile):
+    controller = AlertController(cpu1_profile)
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=0.4,
+        accuracy_min=0.9,
+    )
+    controller.decide(goal)
+    choice = controller.last_selection.config
+    t_prof = cpu1_profile.latency(choice.model.name, choice.power_w)
+    controller.observe(choice.model.name, choice.power_w, 2.5 * t_prof)
+    controller.decide(goal)
+    hits, misses = controller.memo_stats
+    assert misses == 2 and hits == 0
+
+
+def test_decision_memo_can_be_disabled(cpu1_profile):
+    controller = AlertController(cpu1_profile, decision_memo=False)
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=0.4,
+        accuracy_min=0.9,
+    )
+    a = controller.decide(goal)
+    b = controller.decide(goal)
+    assert a is not b
+    assert controller.memo_stats == (0, 0)
+    assert a.config.key == b.config.key
