@@ -21,6 +21,7 @@ from repro.baselines.oracle import (
     OracleScheduler,
     best_static_config,
     make_oracle_static,
+    oracle_outcome_grid,
 )
 from repro.baselines.sys_only import SysOnlyScheduler
 
@@ -31,6 +32,7 @@ __all__ = [
     "OracleScheduler",
     "best_static_config",
     "make_oracle_static",
+    "oracle_outcome_grid",
     "make_alert",
     "make_alert_star",
 ]

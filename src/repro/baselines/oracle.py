@@ -16,38 +16,65 @@ exactly that:
 
 Infeasible inputs degrade through the same latency > accuracy > power
 hierarchy ALERT uses, so comparisons stay apples-to-apples.
+
+**The batch path.**  Both oracles run on
+:meth:`repro.models.inference.InferenceEngine.evaluate_batch`, which
+realises the whole (configuration × input) outcome grid as NumPy
+arrays in one pass.  Selection is a feasibility mask plus one stable
+``np.lexsort`` per degradation tier; ``np.lexsort`` lists keys
+least-significant first, so the hierarchy is encoded back to front:
+
+* feasible tier — minimise the goal objective
+  (``(energy, -quality, cap)`` when minimising energy,
+  ``(-quality, energy, cap)`` when maximising accuracy);
+* deadline-met tier — ``(-quality, energy, power)``: accuracy first,
+  then energy, then the gentler cap;
+* last-resort tier — ``(latency, -quality, power)``: fail as fast and
+  as accurately as possible.
+
+Because the stable sort breaks ties by enumeration order, the batch
+pick is *identical* to the scalar ``min``-over-tuples reference, which
+is kept as :meth:`OracleScheduler.decide_scalar` /
+``best_static_config(..., use_batch=False)`` and pinned by the
+randomized parity suite (``tests/test_oracle_parity.py``).
+:func:`best_static_config` applies the paper's 10% rule the same way
+in both paths: qualifying configurations rank by
+``(objective, violation fraction, power)``; when none qualifies, the
+least-violating configuration wins — ``(violation fraction, objective,
+power)``.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.config_space import Configuration, ConfigurationSpace
-from repro.core.goals import Goal, ObjectiveKind
+from repro.core.goals import Goal, ObjectiveKind, outcome_feasible
 from repro.errors import ConfigurationError
-from repro.models.inference import InferenceEngine, InferenceOutcome
+from repro.models.inference import (
+    BatchOutcomeGrid,
+    InferenceEngine,
+    InferenceOutcome,
+)
 from repro.runtime.results import VIOLATION_SETTING_THRESHOLD
 from repro.runtime.scheduler import StaticScheduler
 from repro.workloads.inputs import InputItem, InputStream
 
-__all__ = ["OracleScheduler", "best_static_config", "make_oracle_static"]
+__all__ = [
+    "OracleScheduler",
+    "best_static_config",
+    "make_oracle_static",
+    "oracle_outcome_grid",
+]
 
 
 def _outcome_feasible(outcome: InferenceOutcome, goal: Goal) -> bool:
     """True constraint satisfaction of one realised outcome."""
-    if not outcome.met_deadline:
-        return False
-    if (
-        goal.objective is ObjectiveKind.MINIMIZE_ENERGY
-        and goal.accuracy_min is not None
-        and outcome.quality < goal.accuracy_min - 1e-9
-    ):
-        return False
-    if (
-        goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY
-        and goal.energy_budget_j is not None
-        and outcome.energy_j > goal.energy_budget_j * (1.0 + 1e-9)
-    ):
-        return False
-    return True
+    return bool(
+        outcome_feasible(
+            goal, outcome.met_deadline, outcome.quality, outcome.energy_j
+        )
+    )
 
 
 def _objective_key(outcome: InferenceOutcome, goal: Goal):
@@ -57,16 +84,65 @@ def _objective_key(outcome: InferenceOutcome, goal: Goal):
     return (-outcome.quality, outcome.energy_j, outcome.power_cap_w)
 
 
+def _lexmin(mask: np.ndarray, *keys: np.ndarray) -> int:
+    """Index of the lexicographic minimum of ``keys`` within ``mask``.
+
+    ``np.lexsort`` takes keys least-significant first and sorts stably,
+    so the returned index matches Python's ``min`` over key tuples
+    (first occurrence wins ties) exactly.
+    """
+    candidates = np.flatnonzero(mask)
+    order = np.lexsort(tuple(k[candidates] for k in reversed(keys)))
+    return int(candidates[order[0]])
+
+
+def oracle_outcome_grid(
+    engine: InferenceEngine,
+    space: ConfigurationSpace,
+    goal: Goal,
+    stream: InputStream,
+    n_inputs: int,
+) -> BatchOutcomeGrid:
+    """The full (configuration × input) outcome grid for one setting.
+
+    One vectorized pass over the engine's true environment draws —
+    the "run 90 inputs in all possible configurations" table both
+    oracles read from.  The experiment harness computes this once per
+    (scenario, goal) cell and shares it between Oracle and
+    OracleStatic.
+    """
+    if n_inputs < 1:
+        raise ConfigurationError(f"need at least one input, got {n_inputs}")
+    return engine.evaluate_batch(
+        configs=list(space),
+        indices=range(n_inputs),
+        deadline_s=goal.deadline_s,
+        period_s=goal.period,
+        work_factors=[stream.item(i).work_factor for i in range(n_inputs)],
+    )
+
+
 class OracleScheduler:
     """Per-input optimal configuration with perfect knowledge.
 
     Parameters
     ----------
     engine:
-        The *same* engine instance the serving loop uses, so the oracle
-        sees the true environment draw of each input.
+        The *same* engine instance the serving loop uses (or a
+        bit-identical twin built from the same scenario seed), so the
+        oracle sees the true environment draw of each input.
     space:
         The candidate configuration space.
+    grid:
+        Optional precomputed outcome grid (:func:`oracle_outcome_grid`)
+        over the same candidates.  Decisions whose (deadline, period,
+        work factor, environment draw) match a grid column are answered
+        from the grid; anything else — e.g. group-adjusted sentence
+        deadlines — falls back to a fresh single-input batch
+        evaluation.
+    use_batch:
+        When False every decision runs the scalar reference path
+        (:meth:`decide_scalar`); kept for parity tests and debugging.
     """
 
     def __init__(
@@ -74,12 +150,84 @@ class OracleScheduler:
         engine: InferenceEngine,
         space: ConfigurationSpace,
         name: str = "Oracle",
+        grid: BatchOutcomeGrid | None = None,
+        use_batch: bool = True,
     ) -> None:
         self.engine = engine
         self.space = space
         self.name = name
+        self.use_batch = use_batch
+        self._configs = tuple(space)
+        self._power_w = np.array([c.power_w for c in self._configs])
+        if grid is not None and tuple(grid.configs) != self._configs:
+            raise ConfigurationError(
+                "oracle grid was built for a different configuration space"
+            )
+        self._grid = grid
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def _grid_column(self, item: InputItem, goal: Goal) -> int | None:
+        """Grid column answering this decision, or None on any mismatch."""
+        grid = self._grid
+        if grid is None:
+            return None
+        if goal.deadline_s != grid.deadline_s or goal.period != grid.period_s:
+            return None
+        position = grid.column_for(item.index)
+        if position is None:
+            return None
+        if item.work_factor != grid.work_factors[position]:
+            return None
+        # Guard against a grid realised from a diverged environment.
+        if self.engine.environment(item.index).env_factor != grid.env_factor[position]:
+            return None
+        return position
 
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
+        if not self.use_batch:
+            return self.decide_scalar(item, goal)
+        position = self._grid_column(item, goal)
+        if position is not None:
+            grid = self._grid
+            energy = grid.energy_j[:, position]
+            quality = grid.quality[:, position]
+            met = grid.met_deadline[:, position]
+            latency = grid.latency_s[:, position]
+            cap_w = grid.power_cap_w
+        else:
+            column = self.engine.evaluate_batch(
+                configs=self._configs,
+                indices=[item.index],
+                deadline_s=goal.deadline_s,
+                period_s=goal.period,
+                work_factors=[item.work_factor],
+            )
+            energy = column.energy_j[:, 0]
+            quality = column.quality[:, 0]
+            met = column.met_deadline[:, 0]
+            latency = column.latency_s[:, 0]
+            cap_w = column.power_cap_w
+
+        feasible = outcome_feasible(goal, met, quality, energy)
+        if feasible.any():
+            if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+                keys = (energy, -quality, cap_w)
+            else:
+                keys = (-quality, energy, cap_w)
+            return self._configs[_lexmin(feasible, *keys)]
+
+        # Latency > accuracy > power fallback, on true outcomes.
+        if met.any():
+            return self._configs[_lexmin(met, -quality, energy, self._power_w)]
+        everything = np.ones(len(self._configs), dtype=bool)
+        return self._configs[_lexmin(everything, latency, -quality, self._power_w)]
+
+    # ------------------------------------------------------------------
+    # Scalar reference path (pinned by the parity suite)
+    # ------------------------------------------------------------------
+    def decide_scalar(self, item: InputItem, goal: Goal) -> Configuration:
         outcomes: list[tuple[Configuration, InferenceOutcome]] = []
         for config in self.space:
             outcome = self.engine.evaluate(
@@ -128,6 +276,33 @@ class OracleScheduler:
         """Oracles need no feedback."""
 
 
+def _grid_usable(
+    grid: BatchOutcomeGrid | None,
+    engine: InferenceEngine,
+    configs: tuple[Configuration, ...],
+    goal: Goal,
+    stream: InputStream,
+    n_inputs: int,
+) -> bool:
+    """Whether a supplied grid answers this static-oracle question."""
+    if grid is None:
+        return False
+    if tuple(grid.configs) != configs or grid.n_inputs < n_inputs:
+        return False
+    if goal.deadline_s != grid.deadline_s or goal.period != grid.period_s:
+        return False
+    for position in range(n_inputs):
+        if int(grid.indices[position]) != position:
+            return False
+        if stream.item(position).work_factor != grid.work_factors[position]:
+            return False
+        # Guard against a grid realised from a diverged environment
+        # (same check the per-input oracle applies per column).
+        if engine.environment(position).env_factor != grid.env_factor[position]:
+            return False
+    return True
+
+
 def best_static_config(
     engine: InferenceEngine,
     space: ConfigurationSpace,
@@ -135,6 +310,8 @@ def best_static_config(
     stream: InputStream,
     n_inputs: int,
     violation_threshold: float = VIOLATION_SETTING_THRESHOLD,
+    grid: BatchOutcomeGrid | None = None,
+    use_batch: bool = True,
 ) -> Configuration:
     """The best single configuration over a whole horizon.
 
@@ -142,12 +319,57 @@ def best_static_config(
     environment draws) and picks the one optimising the goal among
     those whose violation fraction stays within the 10% rule; when none
     qualifies, the least-violating configuration wins (ties broken by
-    the objective).
+    the objective, then the lower power cap).
+
+    ``grid`` short-circuits the evaluation with a precomputed outcome
+    grid; ``use_batch=False`` runs the scalar reference loop.
     """
     if n_inputs < 1:
         raise ConfigurationError(f"need at least one input, got {n_inputs}")
+    configs = tuple(self_configs(space))
+    if not use_batch:
+        return _best_static_config_scalar(
+            engine, configs, goal, stream, n_inputs, violation_threshold
+        )
+
+    if not _grid_usable(grid, engine, configs, goal, stream, n_inputs):
+        grid = engine.evaluate_batch(
+            configs=configs,
+            indices=range(n_inputs),
+            deadline_s=goal.deadline_s,
+            period_s=goal.period,
+            work_factors=[stream.item(i).work_factor for i in range(n_inputs)],
+        )
+    met = grid.met_deadline[:, :n_inputs]
+    quality = grid.quality[:, :n_inputs]
+    energy = grid.energy_j[:, :n_inputs]
+    feasible = outcome_feasible(goal, met, quality, energy)
+    violation_fraction = (n_inputs - feasible.sum(axis=1)) / n_inputs
+    if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+        objective = energy.sum(axis=1) / n_inputs
+    else:
+        objective = (1.0 - quality).sum(axis=1) / n_inputs
+    power_w = np.array([config.power_w for config in configs])
+
+    qualifying = violation_fraction <= violation_threshold
+    if qualifying.any():
+        return configs[_lexmin(qualifying, objective, violation_fraction, power_w)]
+    # Nothing meets the 10% rule; prefer the least violating.
+    everything = np.ones(len(configs), dtype=bool)
+    return configs[_lexmin(everything, violation_fraction, objective, power_w)]
+
+
+def _best_static_config_scalar(
+    engine: InferenceEngine,
+    configs: tuple[Configuration, ...],
+    goal: Goal,
+    stream: InputStream,
+    n_inputs: int,
+    violation_threshold: float,
+) -> Configuration:
+    """Scalar reference for :func:`best_static_config`."""
     scored: list[tuple[float, float, Configuration]] = []
-    for config in self_configs(space):
+    for config in configs:
         violations = 0
         objective_total = 0.0
         for index in range(n_inputs):
@@ -173,12 +395,14 @@ def best_static_config(
     qualifying = [
         entry for entry in scored if entry[0] <= violation_threshold
     ]
-    pool = qualifying if qualifying else scored
-    best = min(pool, key=lambda entry: (entry[1], entry[0], entry[2].power_w))
-    if not qualifying:
-        # Nothing meets the 10% rule; prefer the least violating.
-        best = min(scored, key=lambda entry: (entry[0], entry[1], entry[2].power_w))
-    return best[2]
+    if qualifying:
+        return min(
+            qualifying, key=lambda entry: (entry[1], entry[0], entry[2].power_w)
+        )[2]
+    # Nothing meets the 10% rule; prefer the least violating.
+    return min(
+        scored, key=lambda entry: (entry[0], entry[1], entry[2].power_w)
+    )[2]
 
 
 def self_configs(space: ConfigurationSpace) -> list[Configuration]:
@@ -192,9 +416,10 @@ def make_oracle_static(
     goal: Goal,
     stream: InputStream,
     n_inputs: int,
+    grid: BatchOutcomeGrid | None = None,
 ) -> StaticScheduler:
     """Build the OracleStatic scheduler for one setting."""
-    config = best_static_config(engine, space, goal, stream, n_inputs)
+    config = best_static_config(engine, space, goal, stream, n_inputs, grid=grid)
     return StaticScheduler(
         model=config.model,
         power_w=config.power_w,

@@ -21,12 +21,29 @@ import enum
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # avoid a core <-> workloads import cycle
     from repro.workloads.inputs import InputItem
 
-__all__ = ["ObjectiveKind", "Goal", "GoalAdjuster"]
+__all__ = [
+    "ObjectiveKind",
+    "Goal",
+    "GoalAdjuster",
+    "ACCURACY_EPS",
+    "ENERGY_REL_EPS",
+    "outcome_feasible",
+]
+
+#: Tolerance on the quality floor, *absolute* because quality lives on
+#: the fixed [0, 1] scale.  One definition, shared by the serving
+#: loop's violation bookkeeping and the oracles' feasibility masks.
+ACCURACY_EPS = 1e-9
+#: Tolerance on the energy budget, *relative* because budgets span
+#: orders of magnitude across platforms (embedded mJ to GPU tens of J).
+ENERGY_REL_EPS = 1e-9
 
 
 class ObjectiveKind(enum.Enum):
@@ -108,6 +125,41 @@ class Goal:
         """A copy of this goal with a different deadline."""
         return replace(self, deadline_s=deadline_s)
 
+    # ------------------------------------------------------------------
+    # Constraint checks (the single source of tolerance truth)
+    # ------------------------------------------------------------------
+    @property
+    def accuracy_constrained(self) -> bool:
+        """Whether the quality floor applies under this objective."""
+        return (
+            self.objective is ObjectiveKind.MINIMIZE_ENERGY
+            and self.accuracy_min is not None
+        )
+
+    @property
+    def energy_constrained(self) -> bool:
+        """Whether the energy budget applies under this objective."""
+        return (
+            self.objective is ObjectiveKind.MAXIMIZE_ACCURACY
+            and self.energy_budget_j is not None
+        )
+
+    def quality_violated(self, quality):
+        """Whether a delivered quality breaks the floor.
+
+        Accepts a scalar or a NumPy array (elementwise).  Always False
+        when the floor does not apply under this objective.
+        """
+        if not self.accuracy_constrained:
+            return False
+        return quality < self.accuracy_min - ACCURACY_EPS
+
+    def energy_violated(self, energy_j):
+        """Whether a period energy breaks the budget (scalar or array)."""
+        if not self.energy_constrained:
+            return False
+        return energy_j > self.energy_budget_j * (1.0 + ENERGY_REL_EPS)
+
     def describe(self) -> str:
         """Human-readable one-liner for logs and examples."""
         parts = [f"{self.objective.value}", f"T<={self.deadline_s * 1e3:.0f}ms"]
@@ -118,6 +170,23 @@ class Goal:
         if self.prob_threshold is not None:
             parts.append(f"Pr>={self.prob_threshold:.2f}")
         return " ".join(parts)
+
+
+def outcome_feasible(goal: Goal, met_deadline, quality, energy_j):
+    """True constraint satisfaction of realised outcomes.
+
+    Scalar in, scalar out; arrays in, an elementwise boolean mask out.
+    This is the one feasibility predicate the serving loop's violation
+    flags and the oracles' masks both derive from, so the tolerance on
+    each constraint is defined exactly once (:data:`ACCURACY_EPS`,
+    :data:`ENERGY_REL_EPS`).
+    """
+    feasible = np.asarray(met_deadline) if not np.isscalar(met_deadline) else bool(met_deadline)
+    if goal.accuracy_constrained:
+        feasible = feasible & np.logical_not(goal.quality_violated(quality))
+    if goal.energy_constrained:
+        feasible = feasible & np.logical_not(goal.energy_violated(energy_j))
+    return feasible
 
 
 class GoalAdjuster:

@@ -19,16 +19,21 @@ from repro.baselines import (
     make_alert,
     make_alert_star,
     make_oracle_static,
+    oracle_outcome_grid,
 )
 from repro.core.config_space import ConfigurationSpace
 from repro.core.goals import Goal
 from repro.errors import ConfigurationError
+from repro.models.inference import BatchOutcomeGrid
 from repro.runtime.loop import ServingLoop
 from repro.runtime.results import RunResult
 from repro.runtime.scheduler import Scheduler
 from repro.workloads.scenarios import Scenario
 
 __all__ = ["SCHEMES", "make_scheme", "evaluate_schemes", "CellResult"]
+
+#: Schemes that read the perfect-knowledge outcome grid.
+_ORACLE_SCHEMES = frozenset({"Oracle", "OracleStatic"})
 
 #: Scheme names in the paper's presentation order.
 SCHEMES = (
@@ -44,6 +49,14 @@ SCHEMES = (
 )
 
 
+def scheme_space(scenario: Scenario) -> ConfigurationSpace:
+    """The candidate configuration space every scheme selects from."""
+    profile = scenario.profile()
+    return ConfigurationSpace(
+        list(scenario.candidates.models), list(profile.powers)
+    )
+
+
 def make_scheme(
     name: str,
     scenario: Scenario,
@@ -51,20 +64,26 @@ def make_scheme(
     stream,
     goal: Goal,
     n_inputs: int,
+    oracle_grid: BatchOutcomeGrid | None = None,
 ) -> Scheduler:
     """Instantiate one of the Table 3 schemes for a single run.
 
     Oracles need the run's engine/stream (perfect knowledge); the
-    feedback schemes only need the offline profile.
+    feedback schemes only need the offline profile.  ``oracle_grid``
+    optionally supplies the precomputed (configuration × input) outcome
+    grid so Oracle and OracleStatic skip re-deriving it (the draws are
+    bit-identical across fresh engines of one scenario seed).
     """
     profile = scenario.profile()
     candidates = scenario.candidates
-    space = ConfigurationSpace(list(candidates.models), list(profile.powers))
+    space = scheme_space(scenario)
     anytime = candidates.anytime
     if name == "Oracle":
-        return OracleScheduler(engine, space)
+        return OracleScheduler(engine, space, grid=oracle_grid)
     if name == "OracleStatic":
-        return make_oracle_static(engine, space, goal, stream, n_inputs)
+        return make_oracle_static(
+            engine, space, goal, stream, n_inputs, grid=oracle_grid
+        )
     if name == "ALERT":
         return make_alert(profile)
     if name == "ALERT-Any":
@@ -117,20 +136,41 @@ def evaluate_schemes(
 
     Every (scheme, goal) run gets a *fresh* engine and stream built
     from the scenario's seed, so all schemes face bit-identical
-    environments (common random numbers).
+    environments (common random numbers).  That same property lets the
+    oracle outcome grid — every configuration on every input under the
+    true draws — be computed once per (scenario, goal) cell and shared
+    by Oracle and OracleStatic instead of re-evaluated per scheme.
     """
     goal_list = tuple(goals)
     scheme_list = tuple(schemes)
     if not goal_list:
         raise ConfigurationError("need at least one constraint setting")
+    share_grid = scheme_factory is make_scheme and bool(
+        _ORACLE_SCHEMES.intersection(scheme_list)
+    )
     runs: dict[str, list[RunResult]] = {name: [] for name in scheme_list}
     for goal in goal_list:
+        grid: BatchOutcomeGrid | None = None
+        if share_grid:
+            grid = oracle_outcome_grid(
+                scenario.make_engine(),
+                scheme_space(scenario),
+                goal,
+                scenario.make_stream(),
+                n_inputs,
+            )
         for name in scheme_list:
             engine = scenario.make_engine()
             stream = scenario.make_stream()
-            scheduler = scheme_factory(
-                name, scenario, engine, stream, goal, n_inputs
-            )
+            if share_grid:
+                scheduler = scheme_factory(
+                    name, scenario, engine, stream, goal, n_inputs,
+                    oracle_grid=grid,
+                )
+            else:
+                scheduler = scheme_factory(
+                    name, scenario, engine, stream, goal, n_inputs
+                )
             loop = ServingLoop(engine, stream, scheduler, goal)
             runs[name].append(loop.run(n_inputs))
     return CellResult(scenario=scenario, goals=goal_list, runs=runs)

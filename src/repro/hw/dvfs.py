@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import PowerCapError
 from repro.hw.machine import MachineSpec
 
@@ -102,6 +104,55 @@ class DvfsModel:
                 f"minimum {spec.power_min_w} W"
             )
         return min(power_cap_w, spec.peak_power_w)
+
+    # ------------------------------------------------------------------
+    # Vectorized forward maps (per-element identical to the scalar ones)
+    # ------------------------------------------------------------------
+    def frequency_fraction_array(self, power_caps_w: np.ndarray) -> np.ndarray:
+        """:meth:`frequency_fraction` over an array of caps.
+
+        Applies the exact per-element formula of the scalar map so the
+        batch evaluation path stays bit-compatible with the reference.
+        """
+        spec = self.machine
+        caps = np.asarray(power_caps_w, dtype=float)
+        if np.any(caps < spec.power_min_w - 1e-9):
+            bad = float(caps[caps < spec.power_min_w - 1e-9][0])
+            raise PowerCapError(
+                f"{spec.name}: cap {bad} W below the feasible "
+                f"minimum {spec.power_min_w} W"
+            )
+        effective = np.minimum(caps, spec.peak_power_w)
+        headroom = effective - spec.static_power_w
+        full_headroom = spec.peak_power_w - spec.static_power_w
+        fraction = (headroom / full_headroom) ** (1.0 / self.exponent)
+        return np.clip(fraction, self.min_frequency_fraction, 1.0)
+
+    def latency_multiplier_array(
+        self,
+        power_caps_w: np.ndarray,
+        memory_intensity: np.ndarray | float = 0.05,
+    ) -> np.ndarray:
+        """:meth:`latency_multiplier` over arrays of caps/intensities."""
+        intensity = np.asarray(memory_intensity, dtype=float)
+        if np.any(intensity < 0.0) or np.any(intensity > 1.0):
+            raise PowerCapError(
+                f"memory_intensity must lie in [0, 1], got {memory_intensity}"
+            )
+        fraction = self.frequency_fraction_array(power_caps_w)
+        return intensity + (1.0 - intensity) / fraction
+
+    def draw_power_array(self, power_caps_w: np.ndarray) -> np.ndarray:
+        """:meth:`draw_power` over an array of caps."""
+        spec = self.machine
+        caps = np.asarray(power_caps_w, dtype=float)
+        if np.any(caps < spec.power_min_w - 1e-9):
+            bad = float(caps[caps < spec.power_min_w - 1e-9][0])
+            raise PowerCapError(
+                f"{spec.name}: cap {bad} W below the feasible "
+                f"minimum {spec.power_min_w} W"
+            )
+        return np.minimum(caps, spec.peak_power_w)
 
     # ------------------------------------------------------------------
     # Inverse map

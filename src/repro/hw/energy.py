@@ -12,9 +12,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SimulationError
 
-__all__ = ["EnergyBreakdown", "EnergyAccount", "period_energy"]
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyAccount",
+    "period_energy",
+    "period_energy_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,31 @@ def period_energy(
         inference_j=latency_s * inference_power_w,
         idle_j=idle_time * idle_power_w,
     )
+
+
+def period_energy_arrays(
+    latency_s: np.ndarray,
+    period_s: float,
+    inference_power_w: np.ndarray,
+    idle_power_w: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`period_energy` over aligned arrays of periods.
+
+    Returns ``(inference_j, idle_j)`` computed with the exact
+    per-element arithmetic of the scalar bookkeeping, so the batch
+    evaluation path and the metered path agree to the bit.
+    """
+    latency = np.asarray(latency_s, dtype=float)
+    if period_s < 0 or np.any(latency < 0):
+        raise SimulationError(
+            f"negative durations: latency={latency_s}, period={period_s}"
+        )
+    if np.any(np.asarray(inference_power_w) < 0) or np.any(
+        np.asarray(idle_power_w) < 0
+    ):
+        raise SimulationError("power draws must be non-negative")
+    idle_time = np.maximum(0.0, period_s - latency)
+    return latency * inference_power_w, idle_time * idle_power_w
 
 
 class EnergyAccount:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.models.base import DnnModel
 
@@ -85,6 +87,18 @@ class AnytimeDnn(DnnModel):
                 f"{self.name}: the last output's quality ({self.outputs[-1].quality}) "
                 f"must equal the model quality ({self.quality})"
             )
+        # Cached ladder arrays for the vectorized rung lookups; frozen
+        # dataclass, so they go through object.__setattr__ once here.
+        object.__setattr__(
+            self,
+            "_ladder_fractions",
+            np.array([o.latency_fraction for o in self.outputs], dtype=float),
+        )
+        object.__setattr__(
+            self,
+            "_ladder_qualities",
+            np.array([o.quality for o in self.outputs], dtype=float),
+        )
 
     @property
     def is_anytime(self) -> bool:
@@ -117,6 +131,27 @@ class AnytimeDnn(DnnModel):
             if output.latency_fraction <= completed_fraction + 1e-12:
                 count += 1
         return count
+
+    def outputs_completed_array(self, completed_fractions: np.ndarray) -> np.ndarray:
+        """:meth:`outputs_completed` over an array of fractions.
+
+        ``searchsorted`` on the cached ladder counts rungs with
+        ``latency_fraction <= fraction + 1e-12`` — the same tolerance
+        and comparison the scalar lookup applies per rung.
+        """
+        fractions = np.asarray(completed_fractions, dtype=float)
+        ladder: np.ndarray = self._ladder_fractions  # type: ignore[attr-defined]
+        return np.searchsorted(ladder, fractions + 1e-12, side="right")
+
+    def quality_at_fraction_array(self, completed_fractions: np.ndarray) -> np.ndarray:
+        """:meth:`quality_at_fraction` over an array of fractions."""
+        counts = self.outputs_completed_array(completed_fractions)
+        qualities: np.ndarray = self._ladder_qualities  # type: ignore[attr-defined]
+        return np.where(
+            counts > 0,
+            qualities[np.maximum(counts - 1, 0)],
+            self.q_fail,
+        )
 
     def rung_latency_s(self, k: int, full_latency_s: float) -> float:
         """Absolute time of rung ``k`` (0-based) given the full latency."""

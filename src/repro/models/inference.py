@@ -28,6 +28,7 @@ Two properties matter for the evaluation:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,13 +36,18 @@ import numpy as np
 from repro.errors import ConfigurationError, SimulationError
 from repro.hw.contention import ContentionProcess, ContentionSample
 from repro.hw.dvfs import DvfsModel
-from repro.hw.energy import EnergyBreakdown, period_energy
+from repro.hw.energy import EnergyBreakdown, period_energy, period_energy_arrays
 from repro.hw.machine import MachineSpec
 from repro.hw.powercap import PowerActuator, make_actuator
 from repro.models.anytime import AnytimeDnn
 from repro.models.base import DnnModel
 
-__all__ = ["EnvironmentDraw", "InferenceOutcome", "InferenceEngine"]
+__all__ = [
+    "EnvironmentDraw",
+    "InferenceOutcome",
+    "BatchOutcomeGrid",
+    "InferenceEngine",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +122,86 @@ class InferenceOutcome:
         return self.energy.total_j
 
 
+@dataclass
+class BatchOutcomeGrid:
+    """Vectorized outcomes of a (configuration × input) cross product.
+
+    The batch analogue of a grid of :class:`InferenceOutcome` records:
+    every 2-D array is shaped ``(n_configs, n_inputs)`` with rows
+    aligned to ``configs`` and columns to ``indices``; per-configuration
+    quantities (``power_cap_w``, ``inference_power_w``) are 1-D over
+    configurations and per-input quantities (``env_factor``,
+    ``work_factors``) 1-D over inputs.  Produced by
+    :meth:`InferenceEngine.evaluate_batch`, consumed by the oracles and
+    the experiment harness.
+    """
+
+    configs: tuple
+    indices: np.ndarray
+    deadline_s: float
+    period_s: float
+    work_factors: np.ndarray
+    env_factor: np.ndarray
+    power_cap_w: np.ndarray
+    inference_power_w: np.ndarray
+    idle_power_w: np.ndarray
+    latency_s: np.ndarray
+    full_latency_s: np.ndarray
+    met_deadline: np.ndarray
+    quality: np.ndarray
+    completed_rungs: np.ndarray
+    inference_j: np.ndarray
+    idle_j: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._column_of = {int(i): pos for pos, i in enumerate(self.indices)}
+        # Summed once; per-decision grid hits slice columns of this
+        # instead of re-adding the whole grid on every access.
+        self._energy_j = self.inference_j + self.idle_j
+
+    @property
+    def n_configs(self) -> int:
+        """Number of configuration rows."""
+        return len(self.configs)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of input columns."""
+        return int(self.indices.size)
+
+    @property
+    def energy_j(self) -> np.ndarray:
+        """Whole-period energy per (configuration, input)."""
+        return self._energy_j
+
+    def column_for(self, index: int) -> int | None:
+        """Column position of input ``index``; None when not gridded."""
+        return self._column_of.get(int(index))
+
+
+@dataclass
+class _ConfigTable:
+    """Per-configuration static arrays, shared by every batch pass.
+
+    Everything here depends only on the configuration list and the
+    machine — never on inputs — so the engine computes it once per
+    distinct configuration tuple and reuses it across decisions.
+    """
+
+    configs: tuple
+    caps: np.ndarray
+    base_latency: np.ndarray
+    draw: np.ndarray
+    power: np.ndarray
+    sensitivity: np.ndarray
+    any_sensitive: bool
+    rung_fraction: np.ndarray
+    quality: np.ndarray
+    q_fail: np.ndarray
+    traditional_rows: np.ndarray
+    anytime_groups: list[tuple[AnytimeDnn, np.ndarray]]
+
+
 class InferenceEngine:
     """Simulates DNN inference on one machine in one environment.
 
@@ -132,6 +218,9 @@ class InferenceEngine:
         Optional injected power actuator and DVFS model (defaults are
         built from the machine spec).
     """
+
+    #: Upper bound on memoised per-configuration batch tables.
+    _CONFIG_TABLE_CAPACITY = 16
 
     def __init__(
         self,
@@ -151,6 +240,11 @@ class InferenceEngine:
         self.actuator = actuator if actuator is not None else make_actuator(machine)
         self._noise_rng = noise_rng
         self._environment: list[EnvironmentDraw] = []
+        # Config-static batch tables keyed by tuple identity; the
+        # stored tuple keeps the id alive, so keys cannot be recycled.
+        # FIFO-bounded so callers that build fresh tuples per call
+        # cannot grow the cache without limit.
+        self._config_tables: dict[int, tuple[tuple, _ConfigTable]] = {}
 
     # ------------------------------------------------------------------
     # Environment realisation (shared across configurations)
@@ -283,6 +377,214 @@ class InferenceEngine:
         )
 
     # ------------------------------------------------------------------
+    # Vectorized whole-grid evaluation
+    # ------------------------------------------------------------------
+    def evaluate_batch(
+        self,
+        configs: Sequence,
+        indices: Sequence[int],
+        deadline_s: float,
+        period_s: float | None = None,
+        work_factors: Sequence[float] | None = None,
+    ) -> BatchOutcomeGrid:
+        """Evaluate every configuration on every input in one pass.
+
+        The batch counterpart of :meth:`evaluate`: pure, metering
+        nothing, and per-element identical to the scalar reference (the
+        oracle parity suite pins the two paths to <= 1e-9 on every
+        field).  ``configs`` is any sequence of objects exposing
+        ``model``, ``power_w``, and ``rung_cap`` (duck-typed so the
+        engine does not import the configuration space);
+        ``work_factors`` aligns with ``indices`` and defaults to 1.0.
+
+        ``time_budget_s`` has no batch equivalent — the oracles never
+        carry a leftover budget; use :meth:`evaluate` for that.
+        """
+        if deadline_s <= 0:
+            raise ConfigurationError(f"deadline must be positive, got {deadline_s}")
+        period = period_s if period_s is not None else deadline_s
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        config_list = configs if isinstance(configs, tuple) else tuple(configs)
+        if not config_list:
+            raise ConfigurationError("need at least one configuration")
+        index_array = np.asarray(list(indices), dtype=int)
+        if index_array.ndim != 1 or index_array.size == 0:
+            raise ConfigurationError("need a non-empty 1-D sequence of indices")
+        if np.any(index_array < 0):
+            raise ConfigurationError("input indices must be >= 0")
+        if work_factors is None:
+            factors = np.ones(index_array.size, dtype=float)
+        else:
+            factors = np.asarray(list(work_factors), dtype=float)
+            if factors.shape != index_array.shape:
+                raise ConfigurationError(
+                    "work_factors must align one-to-one with indices"
+                )
+            if np.any(factors <= 0):
+                raise ConfigurationError("work factors must be positive")
+
+        # Realise every environment draw up front (memoised).
+        self.environment(int(index_array.max()))
+        env = np.array(
+            [self._environment[i].env_factor for i in index_array], dtype=float
+        )
+        idle_draw = np.array(
+            [self._environment[i].idle_power_w for i in index_array], dtype=float
+        )
+
+        table = self._config_table(config_list)
+        if table.any_sensitive:
+            # work_scale short-circuits to exactly 1.0 for insensitive
+            # models, matching DnnModel.work_scale.
+            work_scale = np.where(
+                table.sensitivity[:, None] == 0.0,
+                1.0,
+                factors[None, :] ** table.sensitivity[:, None],
+            )
+            # Multiplication order mirrors the scalar path:
+            # ((nominal * multiplier) * work_scale) * env_factor.
+            full = (table.base_latency[:, None] * work_scale) * env[None, :]
+        else:
+            # work_scale == 1.0 exactly; x * 1.0 == x bit-for-bit.
+            full = table.base_latency[:, None] * env[None, :]
+        idle_power = np.minimum(idle_draw[None, :], table.draw[:, None])
+
+        n_configs, n_inputs = len(config_list), index_array.size
+        latency = np.empty((n_configs, n_inputs), dtype=float)
+        quality = np.empty((n_configs, n_inputs), dtype=float)
+        rungs = np.zeros((n_configs, n_inputs), dtype=int)
+        met = np.empty((n_configs, n_inputs), dtype=bool)
+
+        trad = table.traditional_rows
+        if trad.size:
+            latency[trad] = full[trad]
+            met[trad] = full[trad] <= deadline_s + 1e-12
+            quality[trad] = np.where(
+                met[trad], table.quality[trad, None], table.q_fail[trad, None]
+            )
+        for model, rows in table.anytime_groups:
+            sub_full = full[rows]
+            stop = np.minimum(sub_full, deadline_s)
+            # rung_fraction is +inf for uncapped ladders, so the
+            # early-stop minimum is a no-op there (full > 0 always).
+            stop = np.minimum(stop, table.rung_fraction[rows, None] * sub_full)
+            fraction = np.divide(
+                stop, sub_full, out=np.ones_like(stop), where=sub_full > 0
+            )
+            quality[rows] = model.quality_at_fraction_array(fraction)
+            rungs[rows] = model.outputs_completed_array(fraction)
+            latency[rows] = stop
+            met[rows] = stop <= deadline_s + 1e-12
+
+        inference_j, idle_j = period_energy_arrays(
+            latency_s=latency,
+            period_s=period,
+            inference_power_w=table.power[:, None],
+            idle_power_w=idle_power,
+        )
+        return BatchOutcomeGrid(
+            configs=config_list,
+            indices=index_array,
+            deadline_s=deadline_s,
+            period_s=period,
+            work_factors=factors,
+            env_factor=env,
+            power_cap_w=table.caps,
+            inference_power_w=table.power,
+            idle_power_w=idle_power,
+            latency_s=latency,
+            full_latency_s=full,
+            met_deadline=met,
+            quality=quality,
+            completed_rungs=rungs,
+            inference_j=inference_j,
+            idle_j=idle_j,
+        )
+
+    def _config_table(self, config_list: tuple) -> _ConfigTable:
+        """The config-static arrays for a configuration tuple (memoised).
+
+        Keyed on tuple identity: repeated batch calls with the *same*
+        tuple object (the oracles hold one) skip the Python-level
+        per-configuration loops entirely.
+        """
+        cached = self._config_tables.get(id(config_list))
+        if cached is not None and cached[0] is config_list:
+            return cached[1]
+
+        spec = self.machine
+        caps = np.array(
+            [spec.clamp_power(config.power_w) for config in config_list], dtype=float
+        )
+        intensity = np.array(
+            [config.model.memory_intensity for config in config_list], dtype=float
+        )
+        multiplier = self.dvfs.latency_multiplier_array(caps, intensity)
+        nominal = np.array(
+            [config.model.nominal_latency(spec) for config in config_list],
+            dtype=float,
+        )
+        draw = self.dvfs.draw_power_array(caps)
+        demand = np.array(
+            [
+                spec.static_power_w
+                + config.model.power_utilization
+                * (spec.peak_power_w - spec.static_power_w)
+                for config in config_list
+            ],
+            dtype=float,
+        )
+        sensitivity = np.array(
+            [config.model.input_sensitivity for config in config_list], dtype=float
+        )
+        quality = np.array(
+            [config.model.quality for config in config_list], dtype=float
+        )
+        q_fail = np.array(
+            [config.model.q_fail for config in config_list], dtype=float
+        )
+        rung_fraction = np.full(len(config_list), np.inf)
+        traditional_rows: list[int] = []
+        groups: dict[int, tuple[AnytimeDnn, list[int]]] = {}
+        for row, config in enumerate(config_list):
+            model = config.model
+            if not isinstance(model, AnytimeDnn):
+                traditional_rows.append(row)
+                continue
+            rung_cap = config.rung_cap
+            if rung_cap is not None:
+                if not 0 <= rung_cap < model.n_outputs:
+                    raise ConfigurationError(
+                        f"{model.name}: rung {rung_cap} out of range "
+                        f"[0, {model.n_outputs})"
+                    )
+                rung_fraction[row] = model.outputs[rung_cap].latency_fraction
+            groups.setdefault(id(model), (model, []))[1].append(row)
+
+        table = _ConfigTable(
+            configs=config_list,
+            caps=caps,
+            base_latency=nominal * multiplier,
+            draw=draw,
+            power=np.minimum(draw, demand),
+            sensitivity=sensitivity,
+            any_sensitive=bool(np.any(sensitivity != 0.0)),
+            rung_fraction=rung_fraction,
+            quality=quality,
+            q_fail=q_fail,
+            traditional_rows=np.array(traditional_rows, dtype=int),
+            anytime_groups=[
+                (model, np.array(rows, dtype=int))
+                for model, rows in groups.values()
+            ],
+        )
+        if len(self._config_tables) >= self._CONFIG_TABLE_CAPACITY:
+            self._config_tables.pop(next(iter(self._config_tables)))
+        self._config_tables[id(config_list)] = (config_list, table)
+        return table
+
+    # ------------------------------------------------------------------
     # Metered execution
     # ------------------------------------------------------------------
     def run(
@@ -298,6 +600,15 @@ class InferenceEngine:
     ) -> InferenceOutcome:
         """Serve one input for real: actuate the cap and meter energy.
 
+        The outcome is computed at the cap the actuator actually
+        enforced (its returned *effective* cap), not the requested one —
+        on platforms whose actuator quantizes (the GPU power-frequency
+        table), latency, draw, and energy all follow the enforced
+        setting, exactly as the real hardware behaves.  The outcome's
+        ``power_cap_w`` still reports the machine-clamped *requested*
+        cap so feedback stays keyed on the configuration the scheduler
+        picked.
+
         The energy that lands in the outcome is read back through the
         simulated RAPL counter (wraparound handling and all), the same
         way the paper's implementation meters energy, and is asserted
@@ -306,7 +617,7 @@ class InferenceEngine:
         effective = self.actuator.set_power_cap(power_cap_w)
         outcome = self.evaluate(
             model=model,
-            power_cap_w=power_cap_w,
+            power_cap_w=effective,
             index=index,
             deadline_s=deadline_s,
             period_s=period_s,
@@ -323,7 +634,11 @@ class InferenceEngine:
                 f"breakdown {outcome.energy.total_j} J"
             )
         return InferenceOutcome(
-            **{**outcome.__dict__, "effective_cap_w": effective}
+            **{
+                **outcome.__dict__,
+                "power_cap_w": self.machine.clamp_power(power_cap_w),
+                "effective_cap_w": effective,
+            }
         )
 
     def _meter(self, outcome: InferenceOutcome) -> float:

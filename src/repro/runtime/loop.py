@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.core.goals import Goal, GoalAdjuster, ObjectiveKind
+from repro.core.goals import Goal, GoalAdjuster
 from repro.errors import ConfigurationError
 from repro.models.inference import InferenceEngine
 from repro.runtime.results import RunResult, ServedInput
@@ -119,24 +119,16 @@ class ServingLoop:
         )
 
     def _record(self, item_goal: Goal, adjusted: Goal, outcome) -> ServedInput:
-        """Build the per-input record with violation flags."""
+        """Build the per-input record with violation flags.
+
+        Tolerances live in one place — :mod:`repro.core.goals` — shared
+        with the oracles' feasibility masks, so "violated" means the
+        same thing to the bookkeeping and to the perfect-knowledge
+        baselines.
+        """
         latency_violation = not outcome.met_deadline
-
-        accuracy_violation = False
-        if (
-            item_goal.objective is ObjectiveKind.MINIMIZE_ENERGY
-            and item_goal.accuracy_min is not None
-        ):
-            accuracy_violation = outcome.quality < item_goal.accuracy_min - 1e-9
-
-        energy_violation = False
-        if (
-            item_goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY
-            and item_goal.energy_budget_j is not None
-        ):
-            energy_violation = outcome.energy_j > item_goal.energy_budget_j * (
-                1.0 + 1e-9
-            )
+        accuracy_violation = bool(item_goal.quality_violated(outcome.quality))
+        energy_violation = bool(item_goal.energy_violated(outcome.energy_j))
 
         xi_mean, xi_sigma = 0.0, 0.0
         state = getattr(self.scheduler, "state", None)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.baselines import (
@@ -14,11 +15,14 @@ from repro.baselines import (
     make_alert_star,
     make_oracle_static,
 )
-from repro.core.config_space import ConfigurationSpace
+from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.goals import Goal, ObjectiveKind
 from repro.errors import ConfigurationError
+from repro.hw.energy import EnergyBreakdown
+from repro.models.base import IMAGE_TASK, DnnModel
+from repro.models.inference import BatchOutcomeGrid, InferenceOutcome
 from repro.runtime.loop import ServingLoop
-from repro.workloads.inputs import InputItem
+from repro.workloads.inputs import ImageStream, InputItem
 
 
 def _goal(deadline=0.6, accuracy=0.9):
@@ -128,6 +132,154 @@ def test_oracle_static_respects_violation_rule(image_scenario, space):
         if not outcome.met_deadline or outcome.quality < goal.accuracy_min:
             violations += 1
     assert violations <= 4
+
+
+class _ScriptedEngine:
+    """Engine stub with scripted per-(model, input) outcomes.
+
+    Both oracle evaluation paths read it: ``evaluate`` for the scalar
+    reference, ``evaluate_batch`` for the vectorized one, so the pinned
+    rule is asserted against both.
+    """
+
+    def __init__(self, script):
+        # script: model name -> (met_fn(index), energy_j)
+        self._script = script
+
+    def _point(self, model, index):
+        met_fn, energy = self._script[model.name]
+        return bool(met_fn(index)), float(energy)
+
+    def evaluate(
+        self,
+        model,
+        power_cap_w,
+        index,
+        deadline_s,
+        period_s=None,
+        work_factor=1.0,
+        rung_cap=None,
+    ):
+        met, energy = self._point(model, index)
+        return InferenceOutcome(
+            index=index,
+            model_name=model.name,
+            power_cap_w=power_cap_w,
+            effective_cap_w=power_cap_w,
+            latency_s=deadline_s * (0.5 if met else 2.0),
+            full_latency_s=deadline_s,
+            met_deadline=met,
+            quality=model.quality,
+            metric_value=model.quality * 100.0,
+            completed_rungs=0,
+            energy=EnergyBreakdown(inference_j=energy, idle_j=0.0),
+            inference_power_w=power_cap_w,
+            idle_power_w=0.0,
+            env_factor=1.0,
+            deadline_s=deadline_s,
+            period_s=period_s if period_s is not None else deadline_s,
+        )
+
+    def evaluate_batch(
+        self, configs, indices, deadline_s, period_s=None, work_factors=None
+    ):
+        configs = tuple(configs)
+        indices = np.asarray(list(indices), dtype=int)
+        n_configs, n_inputs = len(configs), indices.size
+        met = np.empty((n_configs, n_inputs), dtype=bool)
+        energy = np.empty((n_configs, n_inputs), dtype=float)
+        quality = np.empty((n_configs, n_inputs), dtype=float)
+        for row, config in enumerate(configs):
+            for col, index in enumerate(indices):
+                m, e = self._point(config.model, int(index))
+                met[row, col] = m
+                energy[row, col] = e
+                quality[row, col] = config.model.quality
+        period = period_s if period_s is not None else deadline_s
+        latency = np.where(met, deadline_s * 0.5, deadline_s * 2.0)
+        return BatchOutcomeGrid(
+            configs=configs,
+            indices=indices,
+            deadline_s=deadline_s,
+            period_s=period,
+            work_factors=np.ones(n_inputs),
+            env_factor=np.ones(n_inputs),
+            power_cap_w=np.array([c.power_w for c in configs]),
+            inference_power_w=np.array([c.power_w for c in configs]),
+            idle_power_w=np.zeros((n_configs, n_inputs)),
+            latency_s=latency,
+            full_latency_s=np.full((n_configs, n_inputs), deadline_s),
+            met_deadline=met,
+            quality=quality,
+            completed_rungs=np.zeros((n_configs, n_inputs), dtype=int),
+            inference_j=energy,
+            idle_j=np.zeros((n_configs, n_inputs)),
+        )
+
+
+def _scripted_case():
+    """Two configs, neither inside the 10% rule, with conflicting keys.
+
+    Config A violates less often (30%) but costs more energy; config B
+    violates more (50%) but is cheaper.  The documented rule — least
+    violating first, objective as tie-break — must pick A; ranking by
+    objective first (the discarded key order of the old double-``min``)
+    would pick B.
+    """
+    model_a = DnnModel(
+        name="scripted_a", task=IMAGE_TASK, family="cnn",
+        quality=0.9, base_latency_s=0.1,
+    )
+    model_b = DnnModel(
+        name="scripted_b", task=IMAGE_TASK, family="cnn",
+        quality=0.9, base_latency_s=0.1,
+    )
+    engine = _ScriptedEngine(
+        {
+            "scripted_a": (lambda i: i % 10 < 7, 5.0),
+            "scripted_b": (lambda i: i % 2 == 0, 1.0),
+        }
+    )
+    space = [
+        Configuration(model=model_a, power_w=20.0),
+        Configuration(model=model_b, power_w=30.0),
+    ]
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=1.0,
+        accuracy_min=0.5,
+    )
+    return engine, space, goal
+
+
+@pytest.mark.parametrize("use_batch", [True, False], ids=["batch", "scalar"])
+def test_oracle_static_least_violating_rule_pinned(monkeypatch, use_batch):
+    import repro.baselines.oracle as oracle_module
+
+    engine, space, goal = _scripted_case()
+    monkeypatch.setattr(oracle_module, "self_configs", lambda _: list(space))
+    stream = ImageStream(np.random.default_rng(0))
+    chosen = best_static_config(
+        engine, space, goal, stream, n_inputs=20, use_batch=use_batch
+    )
+    # Neither config meets the 10% rule (30% and 50% violations), so
+    # the least-violating config wins despite its worse objective.
+    assert chosen.model.name == "scripted_a"
+
+
+@pytest.mark.parametrize("use_batch", [True, False], ids=["batch", "scalar"])
+def test_oracle_static_qualifying_ranks_by_objective(monkeypatch, use_batch):
+    import repro.baselines.oracle as oracle_module
+
+    engine, space, goal = _scripted_case()
+    monkeypatch.setattr(oracle_module, "self_configs", lambda _: list(space))
+    stream = ImageStream(np.random.default_rng(0))
+    chosen = best_static_config(
+        engine, space, goal, stream, n_inputs=20,
+        violation_threshold=0.6, use_batch=use_batch,
+    )
+    # Both qualify under the loosened threshold: the objective decides.
+    assert chosen.model.name == "scripted_b"
 
 
 def test_oracle_static_scheduler_name(image_scenario, space):

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
+from repro.hw.contention import ContentionKind, ContentionProcess
+from repro.hw.machine import CPU1
+from repro.hw.powercap import PowerActuator
 from repro.models.families import depth_nest_anytime, sparse_resnet_family
+from repro.models.inference import InferenceEngine
 
 
 @pytest.fixture()
@@ -120,3 +126,55 @@ def test_run_matches_evaluate(quiet_engine, dense):
     assert ran.latency_s == evaluated.latency_s
     assert ran.quality == evaluated.quality
     assert ran.energy_j == pytest.approx(evaluated.energy_j)
+
+
+class _QuantizingActuator(PowerActuator):
+    """Enforces caps snapped down to multiples of 10 W (GPU-table-like)."""
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        self._effective = machine.clamp_power(machine.default_power())
+
+    def _apply(self, power_w: float) -> float:
+        quantized = math.floor(power_w / 10.0) * 10.0
+        self._effective = max(self.machine.power_min_w, quantized)
+        return self._effective
+
+    @property
+    def effective_cap_w(self) -> float:
+        return self._effective
+
+
+def test_run_computes_outcome_at_effective_cap(seeds, dense):
+    # Regression: run() used to evaluate at the machine-clamped
+    # *requested* cap and only patch effective_cap_w into the record,
+    # describing a cap the hardware never set.
+    contention = ContentionProcess(
+        kind=ContentionKind.NONE, machine=CPU1, rng=seeds.stream("contention")
+    )
+    engine = InferenceEngine(
+        machine=CPU1,
+        contention=contention,
+        noise_rng=seeds.stream("noise"),
+        actuator=_QuantizingActuator(CPU1),
+    )
+    requested = 37.5
+    outcome = engine.run(dense, requested, 0, deadline_s=5.0)
+    assert outcome.power_cap_w == requested
+    assert outcome.effective_cap_w == 30.0
+
+    at_effective = engine.evaluate(dense, 30.0, 0, deadline_s=5.0)
+    at_requested = engine.evaluate(dense, requested, 0, deadline_s=5.0)
+    assert at_effective.latency_s != at_requested.latency_s
+    assert outcome.latency_s == at_effective.latency_s
+    assert outcome.inference_power_w == at_effective.inference_power_w
+    assert outcome.energy_j == pytest.approx(at_effective.energy_j)
+
+
+def test_run_effective_cap_noop_for_exact_actuators(quiet_engine, dense):
+    # RAPL enforces exactly what was requested: behaviour unchanged.
+    outcome = quiet_engine.run(dense, 32.5, 2, deadline_s=0.5)
+    assert outcome.effective_cap_w == outcome.power_cap_w == 32.5
+    assert outcome.latency_s == quiet_engine.evaluate(
+        dense, 32.5, 2, deadline_s=0.5
+    ).latency_s

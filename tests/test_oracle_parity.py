@@ -1,0 +1,282 @@
+"""Randomized parity: the batch oracle path against the scalar reference.
+
+The vectorized whole-grid evaluation
+(:meth:`repro.models.inference.InferenceEngine.evaluate_batch`) and the
+oracles built on it must be indistinguishable from the scalar
+:meth:`evaluate` reference — every outcome field to <= 1e-9 and every
+oracle *selection* (per-input Oracle picks and the OracleStatic
+configuration) identical, across seeds, environments, both objectives,
+and candidate sets mixing anytime and traditional networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.oracle import (
+    OracleScheduler,
+    best_static_config,
+    make_oracle_static,
+    oracle_outcome_grid,
+)
+from repro.core.config_space import ConfigurationSpace
+from repro.core.goals import Goal, ObjectiveKind
+from repro.experiments.harness import evaluate_schemes, make_scheme
+from repro.workloads.inputs import InputItem
+from repro.workloads.scenarios import build_scenario
+
+PARITY_TOL = 1e-9
+
+#: (platform, task, env, candidate set, seed) — anytime/traditional
+#: mixes on both tasks, quiet and contended environments.
+SCENARIO_GRID = [
+    ("CPU1", "image", "default", "standard", 99),
+    ("CPU1", "image", "memory", "standard", 7),
+    ("CPU1", "image", "default", "trad", 2020),
+    ("CPU1", "image", "compute", "any", 41),
+    ("CPU1", "sentence", "default", "standard", 1234),
+]
+
+
+def _scenario(spec):
+    platform, task, env, candidates, seed = spec
+    return build_scenario(platform, task, env, candidates, seed)
+
+
+def _space(scenario) -> ConfigurationSpace:
+    profile = scenario.profile()
+    return ConfigurationSpace(
+        list(scenario.candidates.models), list(profile.powers)
+    )
+
+
+def _goals(scenario) -> list[Goal]:
+    """Both objectives across tight / mid / loose deadlines."""
+    anchor = scenario.anchor_latency_s()
+    budget_power = scenario.machine.default_power()
+    goals: list[Goal] = []
+    for fraction in (0.5, 1.0, 1.8):
+        deadline = anchor * fraction
+        goals.append(
+            Goal(
+                objective=ObjectiveKind.MINIMIZE_ENERGY,
+                deadline_s=deadline,
+                accuracy_min=0.9,
+            )
+        )
+        goals.append(
+            Goal(
+                objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+                deadline_s=deadline,
+                energy_budget_j=budget_power * deadline * 0.6,
+            )
+        )
+    # Unreachable floor / tiny budget: exercises the fallback tiers.
+    goals.append(
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=anchor * 0.05,
+            accuracy_min=0.999,
+        )
+    )
+    goals.append(
+        Goal(
+            objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+            deadline_s=anchor,
+            energy_budget_j=0.01,
+        )
+    )
+    return goals
+
+
+# ----------------------------------------------------------------------
+# Grid-level parity: evaluate_batch vs the scalar evaluate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", SCENARIO_GRID, ids=lambda s: "-".join(map(str, s)))
+def test_grid_matches_scalar_evaluate(spec):
+    scenario = _scenario(spec)
+    engine = scenario.make_engine()
+    configs = list(_space(scenario))
+    anchor = scenario.anchor_latency_s()
+    rng = np.random.default_rng(spec[-1])
+    n_inputs = 12
+    work_factors = rng.uniform(0.5, 2.0, size=n_inputs)
+    for deadline, period in ((anchor * 0.6, None), (anchor * 1.4, anchor * 1.7)):
+        grid = engine.evaluate_batch(
+            configs,
+            range(n_inputs),
+            deadline_s=deadline,
+            period_s=period,
+            work_factors=work_factors,
+        )
+        for row, config in enumerate(configs):
+            for col in range(n_inputs):
+                want = engine.evaluate(
+                    model=config.model,
+                    power_cap_w=config.power_w,
+                    index=col,
+                    deadline_s=deadline,
+                    period_s=period,
+                    work_factor=float(work_factors[col]),
+                    rung_cap=config.rung_cap,
+                )
+                context = (config.describe(), col, deadline)
+                assert grid.latency_s[row, col] == pytest.approx(
+                    want.latency_s, abs=PARITY_TOL
+                ), context
+                assert grid.full_latency_s[row, col] == pytest.approx(
+                    want.full_latency_s, abs=PARITY_TOL
+                ), context
+                assert grid.quality[row, col] == pytest.approx(
+                    want.quality, abs=PARITY_TOL
+                ), context
+                assert grid.inference_j[row, col] == pytest.approx(
+                    want.energy.inference_j, abs=PARITY_TOL
+                ), context
+                assert grid.idle_j[row, col] == pytest.approx(
+                    want.energy.idle_j, abs=PARITY_TOL
+                ), context
+                assert bool(grid.met_deadline[row, col]) == want.met_deadline, context
+                assert int(grid.completed_rungs[row, col]) == want.completed_rungs, (
+                    context
+                )
+                assert grid.idle_power_w[row, col] == pytest.approx(
+                    want.idle_power_w, abs=PARITY_TOL
+                ), context
+            assert grid.power_cap_w[row] == want.power_cap_w
+            assert grid.inference_power_w[row] == pytest.approx(
+                want.inference_power_w, abs=PARITY_TOL
+            )
+
+
+# ----------------------------------------------------------------------
+# Selection-level parity: the oracles pick identical configurations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", SCENARIO_GRID, ids=lambda s: "-".join(map(str, s)))
+def test_oracle_decisions_identical_across_paths(spec):
+    scenario = _scenario(spec)
+    engine = scenario.make_engine()
+    stream = scenario.make_stream()
+    oracle = OracleScheduler(engine, _space(scenario))
+    fallback_tiers_hit = 0
+    for goal in _goals(scenario):
+        for index in range(10):
+            item = stream.item(index)
+            fast = oracle.decide(item, goal)
+            ref = oracle.decide_scalar(item, goal)
+            assert fast.key == ref.key, (goal.describe(), index)
+            outcome = engine.evaluate(
+                model=fast.model,
+                power_cap_w=fast.power_w,
+                index=index,
+                deadline_s=goal.deadline_s,
+                period_s=goal.period,
+                work_factor=item.work_factor,
+                rung_cap=fast.rung_cap,
+            )
+            if not outcome.met_deadline or goal.quality_violated(outcome.quality):
+                fallback_tiers_hit += 1
+    # The goal grid must actually exercise the degradation hierarchy.
+    assert fallback_tiers_hit > 0
+
+
+@pytest.mark.parametrize("spec", SCENARIO_GRID, ids=lambda s: "-".join(map(str, s)))
+def test_best_static_identical_across_paths(spec):
+    scenario = _scenario(spec)
+    space = _space(scenario)
+    for goal in _goals(scenario):
+        engine = scenario.make_engine()
+        stream = scenario.make_stream()
+        fast = best_static_config(engine, space, goal, stream, n_inputs=30)
+        ref = best_static_config(
+            engine, space, goal, stream, n_inputs=30, use_batch=False
+        )
+        assert fast.key == ref.key, goal.describe()
+
+
+# ----------------------------------------------------------------------
+# Grid reuse: precomputed grids change nothing
+# ----------------------------------------------------------------------
+def test_oracle_grid_backed_decisions_match_fresh(image_scenario):
+    scenario = image_scenario
+    space = _space(scenario)
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=scenario.anchor_latency_s(),
+        accuracy_min=0.9,
+    )
+    n_inputs = 20
+    grid = oracle_outcome_grid(
+        scenario.make_engine(), space, goal, scenario.make_stream(), n_inputs
+    )
+    gridded = OracleScheduler(scenario.make_engine(), space, grid=grid)
+    fresh = OracleScheduler(scenario.make_engine(), space)
+    stream = scenario.make_stream()
+    for index in range(n_inputs):
+        item = stream.item(index)
+        assert gridded.decide(item, goal).key == fresh.decide(item, goal).key
+    # Off-grid inputs and off-grid deadlines still answer correctly.
+    beyond = stream.item(n_inputs + 3)
+    assert (
+        gridded.decide(beyond, goal).key
+        == fresh.decide(beyond, goal).key
+    )
+    shrunk = goal.with_deadline(goal.deadline_s * 0.8)
+    item = stream.item(0)
+    assert gridded.decide(item, shrunk).key == fresh.decide(item, shrunk).key
+
+
+def test_oracle_static_grid_equivalence(image_scenario):
+    scenario = image_scenario
+    space = _space(scenario)
+    goal = Goal(
+        objective=ObjectiveKind.MAXIMIZE_ACCURACY,
+        deadline_s=scenario.anchor_latency_s(),
+        energy_budget_j=scenario.machine.default_power()
+        * scenario.anchor_latency_s()
+        * 0.5,
+    )
+    n_inputs = 25
+    grid = oracle_outcome_grid(
+        scenario.make_engine(), space, goal, scenario.make_stream(), n_inputs
+    )
+    with_grid = make_oracle_static(
+        scenario.make_engine(), space, goal, scenario.make_stream(), n_inputs,
+        grid=grid,
+    )
+    without = make_oracle_static(
+        scenario.make_engine(), space, goal, scenario.make_stream(), n_inputs
+    )
+    item = InputItem(index=0)
+    assert with_grid.decide(item, goal).key == without.decide(item, goal).key
+
+
+def test_evaluate_schemes_shared_grid_unchanged(image_scenario):
+    """The harness's per-cell grid reuse must not change any run."""
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=image_scenario.anchor_latency_s(),
+        accuracy_min=0.9,
+    )
+    schemes = ("Oracle", "OracleStatic")
+    shared = evaluate_schemes(image_scenario, [goal], schemes, n_inputs=20)
+
+    def no_grid_factory(name, scenario, engine, stream, goal, n_inputs):
+        return make_scheme(name, scenario, engine, stream, goal, n_inputs)
+
+    fresh = evaluate_schemes(
+        image_scenario, [goal], schemes, n_inputs=20,
+        scheme_factory=no_grid_factory,
+    )
+    for name in schemes:
+        a = shared.scheme_runs(name)[0]
+        b = fresh.scheme_runs(name)[0]
+        assert [r.outcome.model_name for r in a.records] == [
+            r.outcome.model_name for r in b.records
+        ]
+        assert [r.outcome.power_cap_w for r in a.records] == [
+            r.outcome.power_cap_w for r in b.records
+        ]
+        assert a.mean_energy_j == pytest.approx(b.mean_energy_j, abs=PARITY_TOL)
+        assert a.violation_fraction == b.violation_fraction
