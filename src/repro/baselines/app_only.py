@@ -24,6 +24,10 @@ __all__ = ["AppOnlyScheduler"]
 class AppOnlyScheduler:
     """Anytime network, default power, run-to-deadline."""
 
+    #: The anytime mechanism adapts inside the engine, not via
+    #: feedback; the serving loop may batch whole runs.
+    feedback_free = True
+
     def __init__(
         self,
         anytime: AnytimeDnn,
@@ -44,6 +48,10 @@ class AppOnlyScheduler:
 
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
         return self._config
+
+    def decide_batch(self, items, goal: Goal) -> list[Configuration]:
+        """A whole run's decisions at once: the fixed configuration."""
+        return [self._config] * len(items)
 
     def observe(self, outcome: InferenceOutcome) -> None:
         """The anytime mechanism is self-adapting; no state to update."""

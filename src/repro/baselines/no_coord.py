@@ -38,6 +38,9 @@ __all__ = ["NoCoordScheduler"]
 class NoCoordScheduler:
     """Independent app-level and system-level adaptation."""
 
+    #: Both (mutually oblivious) latency filters read feedback.
+    feedback_free = False
+
     def __init__(
         self,
         profile: ProfileTable,

@@ -84,6 +84,23 @@ def _objective_key(outcome: InferenceOutcome, goal: Goal):
     return (-outcome.quality, outcome.energy_j, outcome.power_cap_w)
 
 
+def _lexargmin_columns(keys: tuple[np.ndarray, ...]) -> np.ndarray:
+    """Per-column lexicographic argmin over axis 0, first occurrence.
+
+    Progressively restricts each column's candidate rows to the argmin
+    set of each key in significance order; the final ``argmax`` picks
+    the first surviving row, matching Python's ``min`` over key tuples
+    (and a stable ``np.lexsort``) exactly — at the cost of a few
+    masked reductions instead of a full sort.
+    """
+    mask = np.ones(keys[0].shape, dtype=bool)
+    for key in keys:
+        masked = np.where(mask, key, np.inf)
+        best = masked.min(axis=0)
+        mask &= masked == best[None, :]
+    return mask.argmax(axis=0)
+
+
 def _lexmin(mask: np.ndarray, *keys: np.ndarray) -> int:
     """Index of the lexicographic minimum of ``keys`` within ``mask``.
 
@@ -144,6 +161,10 @@ class OracleScheduler:
         When False every decision runs the scalar reference path
         (:meth:`decide_scalar`); kept for parity tests and debugging.
     """
+
+    #: Perfect knowledge needs no feedback; the serving loop may
+    #: realise whole Oracle runs on the batch fast path.
+    feedback_free = True
 
     def __init__(
         self,
@@ -223,6 +244,90 @@ class OracleScheduler:
             return self._configs[_lexmin(met, -quality, energy, self._power_w)]
         everything = np.ones(len(self._configs), dtype=bool)
         return self._configs[_lexmin(everything, latency, -quality, self._power_w)]
+
+    def _grid_columns(self, items: list[InputItem], goal: Goal) -> np.ndarray | None:
+        """Grid columns answering a whole run, or None on any mismatch.
+
+        The vectorized counterpart of :meth:`_grid_column`: one array
+        comparison per guard instead of per-item Python checks.
+        """
+        grid = self._grid
+        if grid is None:
+            return None
+        if goal.deadline_s != grid.deadline_s or goal.period != grid.period_s:
+            return None
+        indices = [item.index for item in items]
+        positions = [grid.column_for(index) for index in indices]
+        if any(position is None for position in positions):
+            return None
+        columns = np.asarray(positions, dtype=int)
+        factors = np.array([item.work_factor for item in items], dtype=float)
+        if not np.array_equal(factors, grid.work_factors[columns]):
+            return None
+        # Guard against a grid realised from a diverged environment.
+        engine = self.engine
+        engine.environment(max(indices))
+        env = np.array(
+            [engine.environment(index).env_factor for index in indices],
+            dtype=float,
+        )
+        if not np.array_equal(env, grid.env_factor[columns]):
+            return None
+        return columns
+
+    def decide_batch(
+        self, items: list[InputItem], goal: Goal
+    ) -> list[Configuration]:
+        """All of a run's decisions in one vectorized pass.
+
+        Requires every item to be answerable from the precomputed grid;
+        otherwise (no grid, trace-adjusted deadlines, diverged draws)
+        falls back to per-item :meth:`decide`.  Per column, the scalar
+        tier hierarchy is folded into one lexicographic argmin with the
+        tier number as the most significant key; within a column,
+        cross-tier key comparisons never decide, so the winner matches
+        :meth:`decide` exactly (first occurrence on ties).
+        """
+        if not items:
+            return []
+        if not self.use_batch:
+            return [self.decide(item, goal) for item in items]
+        columns = self._grid_columns(items, goal)
+        if columns is None:
+            return [self.decide(item, goal) for item in items]
+
+        grid = self._grid
+        # The common serving pattern is a prefix of the grid's own
+        # columns; basic slices keep the big arrays as views.
+        n = columns.size
+        if np.array_equal(columns, np.arange(n)):
+            selector = slice(None, n)
+        else:
+            selector = columns
+        energy = grid.energy_j[:, selector]
+        quality = grid.quality[:, selector]
+        met = grid.met_deadline[:, selector]
+        latency = grid.latency_s[:, selector]
+        shape = energy.shape
+        cap_w = np.broadcast_to(grid.power_cap_w[:, None], shape)
+        power_w = np.broadcast_to(self._power_w[:, None], shape)
+        neg_quality = -quality
+
+        feasible = outcome_feasible(goal, met, quality, energy)
+        if goal.objective is ObjectiveKind.MINIMIZE_ENERGY:
+            first, second = energy, neg_quality
+        else:
+            first, second = neg_quality, energy
+        # Tier per (configuration, input): 0 feasible, 1 met-deadline
+        # fallback, 2 last resort — the decide() branch order — with
+        # that tier's own ranking keys behind it.
+        tier = np.where(feasible, 0.0, np.where(met, 1.0, 2.0))
+        key1 = np.where(feasible, first, np.where(met, neg_quality, latency))
+        key2 = np.where(feasible, second, np.where(met, energy, neg_quality))
+        key3 = np.where(feasible, cap_w, power_w)
+        rows = _lexargmin_columns((tier, key1, key2, key3))
+        configs = self._configs
+        return [configs[row] for row in rows.tolist()]
 
     # ------------------------------------------------------------------
     # Scalar reference path (pinned by the parity suite)

@@ -37,6 +37,9 @@ __all__ = ["SysOnlyScheduler"]
 class SysOnlyScheduler:
     """Power-only adaptation around a pinned fastest DNN."""
 
+    #: The Kalman latency filter feeds every power decision.
+    feedback_free = False
+
     def __init__(
         self,
         profile: ProfileTable,

@@ -6,12 +6,19 @@ can be regenerated from a shell::
     python -m repro fig02              # trade-off scatter
     python -m repro fig03              # power sweep
     python -m repro fig06              # single-layer oracles
+    python -m repro fig08 --workers 4  # oracle whiskers
     python -m repro fig09              # contention-burst trace
     python -m repro fig10              # ALERT vs ALERT*
     python -m repro fig11              # xi distributions
-    python -m repro table4 --platform CPU1 --env memory
-    python -m repro table5
+    python -m repro table4 --platform CPU1 --env memory --workers 4
+    python -m repro table5 --workers 4
     python -m repro serve --platform CPU1 --env memory --inputs 200
+
+The grid-evaluating commands (``table4``, ``table5``, ``fig08``) take
+``--workers N`` to fan their (goal × scheme) run plans out over a
+process pool via :class:`repro.runtime.executor.RunExecutor`; results
+are bit-identical to a serial run, so the flag is purely a wall-clock
+knob (use roughly the machine's core count).
 """
 
 from __future__ import annotations
@@ -40,17 +47,31 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("fig02", "fig03", "fig06", "fig09", "fig10", "fig11"):
         sub.add_parser(name, help=f"regenerate {name} of the paper")
 
+    workers_help = (
+        "processes to fan runs out over (default 1 = serial; "
+        "results are bit-identical either way)"
+    )
+
     table4 = sub.add_parser("table4", help="regenerate a Table 4 cell")
     table4.add_argument("--platform", default="CPU1")
     table4.add_argument("--task", default="image")
     table4.add_argument("--env", default="memory")
     table4.add_argument("--inputs", type=int, default=100)
     table4.add_argument("--stride", type=int, default=3)
+    table4.add_argument("--workers", type=int, default=1, help=workers_help)
 
     table5 = sub.add_parser("table5", help="regenerate Table 5")
     table5.add_argument("--platform", default="CPU1")
     table5.add_argument("--inputs", type=int, default=100)
     table5.add_argument("--stride", type=int, default=3)
+    table5.add_argument("--workers", type=int, default=1, help=workers_help)
+
+    fig08 = sub.add_parser("fig08", help="regenerate the Figure 8 whiskers")
+    fig08.add_argument("--platform", default="CPU1")
+    fig08.add_argument("--task", default="image")
+    fig08.add_argument("--inputs", type=int, default=100)
+    fig08.add_argument("--stride", type=int, default=3)
+    fig08.add_argument("--workers", type=int, default=1, help=workers_help)
 
     serve = sub.add_parser("serve", help="run ALERT over one scenario")
     serve.add_argument("--platform", default="CPU1")
@@ -88,6 +109,16 @@ def main(argv: list[str] | None = None) -> int:
         print(experiments.fig03_power_sweep.run().describe())
     elif args.command == "fig06":
         print(experiments.fig06_single_layer.run(n_inputs=30).describe())
+    elif args.command == "fig08":
+        print(
+            experiments.fig08_oracle_comparison.run(
+                platform=args.platform,
+                task=args.task,
+                settings_stride=args.stride,
+                n_inputs=args.inputs,
+                workers=args.workers,
+            ).describe()
+        )
     elif args.command == "fig09":
         print(experiments.fig09_trace.run().describe())
     elif args.command == "fig10":
@@ -106,6 +137,7 @@ def main(argv: list[str] | None = None) -> int:
                 envs=(args.env,),
                 settings_stride=args.stride,
                 n_inputs=args.inputs,
+                workers=args.workers,
             ).describe()
         )
     elif args.command == "table5":
@@ -114,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
                 platforms=(args.platform,),
                 settings_stride=args.stride,
                 n_inputs=args.inputs,
+                workers=args.workers,
             ).describe()
         )
     elif args.command == "serve":

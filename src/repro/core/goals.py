@@ -252,3 +252,13 @@ class GoalAdjuster:
     def group_budget_s(self) -> float:
         """Remaining budget of the active group (0 when none active)."""
         return self._group_budget_s if self._group_id is not None else 0.0
+
+    @property
+    def mid_group(self) -> bool:
+        """Whether a deadline-sharing group is currently in progress.
+
+        The serving loop's batch fast path refuses runs that start
+        mid-group: the remaining budget would couple the new run's
+        deadlines to latencies observed before it began.
+        """
+        return self._group_id is not None

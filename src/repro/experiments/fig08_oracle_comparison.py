@@ -65,14 +65,19 @@ def run(
     settings_stride: int = 3,
     n_inputs: int = 100,
     seed: int = 20200909,
+    workers: int = 1,
 ) -> Fig08Result:
-    """Collect the Figure 8 whiskers for one platform/task."""
+    """Collect the Figure 8 whiskers for one platform/task.
+
+    ``workers`` > 1 fans each environment's runs out over a process
+    pool (results are bit-identical to serial).
+    """
     whiskers: list[Whisker] = []
     for env in envs:
         scenario = build_scenario(platform, task, env, "standard", seed)
         grid = constraint_grid(scenario)
         goals = list(grid.min_energy_goals)[::settings_stride]
-        runs = evaluate_schemes(scenario, goals, SCHEMES, n_inputs)
+        runs = evaluate_schemes(scenario, goals, SCHEMES, n_inputs, workers=workers)
         for scheme in SCHEMES:
             energies = [r.mean_energy_j for r in runs.scheme_runs(scheme)]
             whiskers.append(

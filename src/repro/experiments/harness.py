@@ -1,9 +1,24 @@
 """Shared evaluation harness for the Table 3 scheme zoo.
 
 Builds each scheme the paper compares (Table 3, bottom) for a given
-scenario, runs them over constraint settings, and aggregates Table 4
-style cells.  All experiment drivers go through this module so the
-scheme definitions exist in exactly one place.
+scenario and evaluates whole (goal × scheme) cells.  All experiment
+drivers go through this module so the scheme definitions exist in
+exactly one place.
+
+**Architecture (spec → executor → loop).**  :func:`evaluate_schemes`
+no longer runs anything itself: it compiles the cell into a plan of
+:class:`repro.runtime.executor.RunSpec` entries — one per
+(goal, scheme), each picklable and rebuilt from the scenario's seeds
+in whichever process executes it — and hands the plan to a
+:class:`repro.runtime.executor.RunExecutor`.  With ``workers=1`` the
+plan runs in-process; with more, across a process pool.  Because every
+run derives from the scenario seed (common random numbers), the merged
+:class:`CellResult` is bit-identical regardless of worker count.  Each
+executing process caches oracle outcome grids keyed on
+``(scenario, deadline_s, period_s, n_inputs)``, so all goals sharing a
+timing share one grid.  Custom ``scheme_factory`` callables that are
+not importable by dotted path (closures, lambdas) fall back to an
+equivalent in-process loop.
 """
 
 from __future__ import annotations
@@ -19,13 +34,20 @@ from repro.baselines import (
     make_alert,
     make_alert_star,
     make_oracle_static,
-    oracle_outcome_grid,
 )
 from repro.core.config_space import ConfigurationSpace
 from repro.core.goals import Goal
 from repro.errors import ConfigurationError
 from repro.models.inference import BatchOutcomeGrid
-from repro.runtime.loop import ServingLoop
+from repro.runtime.executor import (
+    RunExecutor,
+    RunSpec,
+    ScenarioKey,
+    factory_accepts_oracle_grid,
+    factory_path,
+    run_single,
+    timing_grid,
+)
 from repro.runtime.results import RunResult
 from repro.runtime.scheduler import Scheduler
 from repro.workloads.scenarios import Scenario
@@ -125,52 +147,118 @@ class CellResult:
         return self.runs[name]
 
 
+def _grid_sharing(
+    scheme_factory: Callable[..., Scheduler],
+    schemes: tuple[str, ...],
+    share_oracle_grid: bool | None,
+) -> bool:
+    """Whether the cell should share per-timing oracle outcome grids.
+
+    The gate is on the *factory's signature*, not its identity: any
+    factory accepting an ``oracle_grid`` keyword (the default
+    :func:`make_scheme`, wrappers around it, ``**kwargs`` factories)
+    participates.  ``share_oracle_grid`` forces the choice: False opts
+    out entirely; True shares even for cells without oracle schemes
+    (useful when a custom factory feeds the grid to other policies, and
+    an error when the factory cannot receive one); None (the default)
+    shares exactly when an oracle scheme is present.
+    """
+    accepts = factory_accepts_oracle_grid(scheme_factory)
+    if share_oracle_grid is not None:
+        if share_oracle_grid and not accepts:
+            raise ConfigurationError(
+                "share_oracle_grid=True needs a scheme factory that "
+                "accepts an oracle_grid keyword argument"
+            )
+        return share_oracle_grid
+    return accepts and bool(_ORACLE_SCHEMES.intersection(schemes))
+
+
+def _evaluate_in_process(
+    scenario: Scenario,
+    goals: tuple[Goal, ...],
+    schemes: tuple[str, ...],
+    n_inputs: int,
+    scheme_factory: Callable[..., Scheduler],
+    share_grid: bool,
+) -> dict[str, list[RunResult]]:
+    """Fallback for factories that cannot cross a process boundary.
+
+    Mirrors the executor's behaviour exactly — same run construction
+    (:func:`repro.runtime.executor.run_single`), same per-timing grid
+    cache — but calls the factory object directly.
+    """
+    grids: dict[tuple, BatchOutcomeGrid] = {}
+    runs: dict[str, list[RunResult]] = {name: [] for name in schemes}
+    for goal in goals:
+        grid = None
+        if share_grid:
+            timing = (goal.deadline_s, goal.period, n_inputs)
+            grid = grids.get(timing)
+            if grid is None:
+                grid = timing_grid(scenario, goal, n_inputs)
+                grids[timing] = grid
+        for name in schemes:
+            runs[name].append(
+                run_single(
+                    scenario, goal, name, n_inputs, scheme_factory,
+                    oracle_grid=grid,
+                )
+            )
+    return runs
+
+
 def evaluate_schemes(
     scenario: Scenario,
     goals: Iterable[Goal],
     schemes: Iterable[str],
     n_inputs: int = 100,
     scheme_factory: Callable[..., Scheduler] = make_scheme,
+    workers: int = 1,
+    share_oracle_grid: bool | None = None,
 ) -> CellResult:
     """Run every scheme over every constraint setting of a cell.
 
     Every (scheme, goal) run gets a *fresh* engine and stream built
     from the scenario's seed, so all schemes face bit-identical
-    environments (common random numbers).  That same property lets the
-    oracle outcome grid — every configuration on every input under the
-    true draws — be computed once per (scenario, goal) cell and shared
-    by Oracle and OracleStatic instead of re-evaluated per scheme.
+    environments (common random numbers) — and so the cell can be
+    executed by any number of ``workers`` with bit-identical results.
+    That same property lets the oracle outcome grid — every
+    configuration on every input under the true draws — be computed
+    once per (scenario, deadline, period) *timing* and shared across
+    all goals and oracle schemes that use it; ``share_oracle_grid``
+    overrides the automatic gate (see the module docstring).
     """
     goal_list = tuple(goals)
     scheme_list = tuple(schemes)
     if not goal_list:
         raise ConfigurationError("need at least one constraint setting")
-    share_grid = scheme_factory is make_scheme and bool(
-        _ORACLE_SCHEMES.intersection(scheme_list)
-    )
-    runs: dict[str, list[RunResult]] = {name: [] for name in scheme_list}
-    for goal in goal_list:
-        grid: BatchOutcomeGrid | None = None
-        if share_grid:
-            grid = oracle_outcome_grid(
-                scenario.make_engine(),
-                scheme_space(scenario),
-                goal,
-                scenario.make_stream(),
-                n_inputs,
-            )
-        for name in scheme_list:
-            engine = scenario.make_engine()
-            stream = scenario.make_stream()
-            if share_grid:
-                scheduler = scheme_factory(
-                    name, scenario, engine, stream, goal, n_inputs,
-                    oracle_grid=grid,
-                )
-            else:
-                scheduler = scheme_factory(
-                    name, scenario, engine, stream, goal, n_inputs
-                )
-            loop = ServingLoop(engine, stream, scheduler, goal)
-            runs[name].append(loop.run(n_inputs))
+    share_grid = _grid_sharing(scheme_factory, scheme_list, share_oracle_grid)
+
+    key = ScenarioKey.for_scenario(scenario)
+    path = factory_path(scheme_factory)
+    if key is None or path is None:
+        runs = _evaluate_in_process(
+            scenario, goal_list, scheme_list, n_inputs, scheme_factory,
+            share_grid,
+        )
+        return CellResult(scenario=scenario, goals=goal_list, runs=runs)
+
+    plan = [
+        RunSpec(
+            scenario=key,
+            goal=goal,
+            scheme=name,
+            n_inputs=n_inputs,
+            factory=path,
+            use_oracle_grid=share_grid,
+        )
+        for goal in goal_list
+        for name in scheme_list
+    ]
+    executor = RunExecutor(workers=workers, chunksize=len(scheme_list))
+    results = executor.run_plan(plan, scenarios={key: scenario})
+    runs = {name: [] for name in scheme_list}
+    for spec, result in zip(plan, results):
+        runs[spec.scheme].append(result)
     return CellResult(scenario=scenario, goals=goal_list, runs=runs)

@@ -68,8 +68,13 @@ def run(
     settings_stride: int = 3,
     n_inputs: int = 100,
     seed: int = 20200808,
+    workers: int = 1,
 ) -> Table5Result:
-    """Evaluate the candidate-set comparison on the image task."""
+    """Evaluate the candidate-set comparison on the image task.
+
+    ``workers`` > 1 fans each cell's runs out over a process pool
+    (results are bit-identical to serial).
+    """
     result = Table5Result()
     for platform in platforms:
         for env in envs:
@@ -82,7 +87,9 @@ def run(
                     else grid.min_error_goals
                 )
                 subset = list(goals)[::settings_stride]
-                runs = evaluate_schemes(scenario, subset, SCHEMES, n_inputs)
+                runs = evaluate_schemes(
+                    scenario, subset, SCHEMES, n_inputs, workers=workers
+                )
                 baseline = runs.scheme_runs("OracleStatic")
                 cell = {
                     scheme: summarize_runs(

@@ -80,6 +80,17 @@ class Task:
             return _quality_to_perplexity(quality)
         return quality * 100.0
 
+    def quality_to_metric_list(self, qualities: list[float]) -> list[float]:
+        """:meth:`quality_to_metric` over a whole run's qualities.
+
+        The affine accuracy conversion vectorises bit-identically; the
+        perplexity map stays a per-element loop because ``math.exp``
+        and NumPy's ``exp`` may round differently.
+        """
+        if self.kind is TaskKind.SENTENCE_PREDICTION:
+            return [_quality_to_perplexity(quality) for quality in qualities]
+        return [quality * 100.0 for quality in qualities]
+
     def metric_to_quality(self, metric: float) -> float:
         """Convert the reported metric to internal quality."""
         if self.kind is TaskKind.SENTENCE_PREDICTION:

@@ -154,7 +154,9 @@ class BatchOutcomeGrid:
     idle_j: np.ndarray
 
     def __post_init__(self) -> None:
-        self._column_of = {int(i): pos for pos, i in enumerate(self.indices)}
+        # Built on first column_for() call; the serving fast path
+        # realises single-row grids it never looks up by index.
+        self._column_of: dict[int, int] | None = None
         # Summed once; per-decision grid hits slice columns of this
         # instead of re-adding the whole grid on every access.
         self._energy_j = self.inference_j + self.idle_j
@@ -176,6 +178,10 @@ class BatchOutcomeGrid:
 
     def column_for(self, index: int) -> int | None:
         """Column position of input ``index``; None when not gridded."""
+        if self._column_of is None:
+            self._column_of = {
+                int(i): pos for pos, i in enumerate(self.indices)
+            }
         return self._column_of.get(int(index))
 
 

@@ -1,20 +1,28 @@
-"""The feedback serving loop and its measurement records.
+"""The serving loop, its measurement records, and the run executor.
 
 * :mod:`repro.runtime.scheduler` — the :class:`Scheduler` protocol all
   policies implement, plus :class:`AlertScheduler` adapting
   :class:`repro.core.AlertController` to it.
 * :mod:`repro.runtime.loop` — :class:`ServingLoop`, which drives one
   policy over one scenario's input stream and environment, applying
-  goal adjustment and recording per-input measurements.
+  goal adjustment and recording per-input measurements; feedback-free
+  policies are served on a vectorized batch fast path.
 * :mod:`repro.runtime.results` — :class:`ServedInput` and
   :class:`RunResult` with the violation accounting the paper's tables
   use (a setting "violates" when more than 10% of its inputs break a
   constraint).
+* :mod:`repro.runtime.executor` — :class:`RunSpec` and
+  :class:`RunExecutor`: declarative (scenario × goal × scheme) run
+  plans executed serially or across a process pool with a
+  deterministic, bit-identical merge.
 """
 
 from repro.runtime.loop import ServingLoop
 from repro.runtime.results import RunResult, ServedInput
 from repro.runtime.scheduler import AlertScheduler, Scheduler, StaticScheduler
+
+# Imported last: the executor builds on the loop and results modules.
+from repro.runtime.executor import RunExecutor, RunSpec, ScenarioKey
 
 __all__ = [
     "ServingLoop",
@@ -23,4 +31,7 @@ __all__ = [
     "Scheduler",
     "AlertScheduler",
     "StaticScheduler",
+    "RunExecutor",
+    "RunSpec",
+    "ScenarioKey",
 ]

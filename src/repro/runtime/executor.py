@@ -1,0 +1,348 @@
+"""The run executor: declarative run specs, serial or parallel.
+
+The experiment stack evaluates large (scenario × goal × scheme) grids,
+and every run in such a grid is independent: it gets a *fresh* engine
+and input stream rebuilt from the scenario's root seed (common random
+numbers), so no state crosses run boundaries.  This module turns that
+independence into an execution plan:
+
+* :class:`ScenarioKey` — the picklable identity of a scenario
+  (platform, task, env, candidate set, seed) from which a worker can
+  rebuild the full :class:`~repro.workloads.scenarios.Scenario`;
+* :class:`RunSpec` — one unit of work: a scenario key, a goal, a
+  scheme name, an input count, and a dotted path to the scheme
+  factory.  Specs are plain picklable data, so a plan can cross a
+  process boundary;
+* :class:`RunExecutor` — executes a plan either serially in-process or
+  across a ``concurrent.futures`` process pool.  Results are merged
+  back in plan order, so the output is *bit-identical* regardless of
+  worker count: every run derives from its scenario seed, never from
+  which worker ran it or in what order.
+
+Each worker keeps a small per-process cache of oracle outcome grids
+keyed on ``(scenario, deadline_s, period_s, n_inputs)`` — the grid
+depends only on the run's *timing*, not on the accuracy/energy
+constraint — so the many goals of a constraint grid that share one
+deadline reuse one grid instead of recomputing it per goal.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Mapping
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.goals import Goal
+from repro.errors import ConfigurationError
+from repro.runtime.loop import ServingLoop
+from repro.runtime.results import RunResult
+from repro.workloads.scenarios import Scenario, build_scenario
+
+__all__ = [
+    "ScenarioKey",
+    "RunSpec",
+    "RunExecutor",
+    "run_single",
+    "factory_path",
+    "resolve_factory",
+    "factory_accepts_oracle_grid",
+]
+
+#: Default dotted path of the scheme factory (module:attribute).
+DEFAULT_FACTORY = "repro.experiments.harness:make_scheme"
+
+#: Upper bound on per-process cached oracle outcome grids.
+_GRID_CACHE_CAPACITY = 32
+
+
+@dataclass(frozen=True)
+class ScenarioKey:
+    """Picklable identity of a scenario, rebuildable in any process.
+
+    Workers never receive live :class:`Scenario` objects; they receive
+    this key and call :meth:`build`, which derives engines, streams,
+    and profiles from the root ``seed`` — the same construction the
+    submitting process would have performed.
+    """
+
+    platform: str
+    task: str
+    env: str
+    candidates: str = "standard"
+    seed: int = 20200417
+
+    def build(self) -> Scenario:
+        """Rebuild the full scenario from its seeds."""
+        return build_scenario(
+            self.platform, self.task, self.env, self.candidates, self.seed
+        )
+
+    @classmethod
+    def for_scenario(cls, scenario: Scenario) -> "ScenarioKey | None":
+        """The key of a scenario, or None when it cannot round-trip.
+
+        Scenarios made by :func:`~repro.workloads.scenarios.build_scenario`
+        always round-trip.  Hand-built scenarios may not — a customized
+        machine spec or candidate set reusing a stock name must not be
+        silently replaced by the stock one in a worker — so the rebuilt
+        scenario is compared field by field, not by name.  (An
+        explicitly injected ``_profile`` is the one customization this
+        cannot see; workers always re-derive the analytic profile.)
+        """
+        key = cls(
+            platform=scenario.machine.name,
+            task=scenario.task.kind.value,
+            env=scenario.env.value,
+            candidates=scenario.candidates.name,
+            seed=scenario.seed,
+        )
+        try:
+            rebuilt = key.build()
+        except ConfigurationError:
+            return None
+        if (
+            rebuilt.name != scenario.name
+            or rebuilt.seed != scenario.seed
+            or rebuilt.machine != scenario.machine
+            or rebuilt.task != scenario.task
+            or rebuilt.env is not scenario.env
+            or rebuilt.candidates != scenario.candidates
+        ):
+            return None
+        return key
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One planned run: scheme × goal × scenario × horizon.
+
+    ``factory`` is a dotted ``"module:attribute"`` path so the spec
+    stays picklable; it is resolved in the executing process.  When
+    ``use_oracle_grid`` is True and the resolved factory accepts an
+    ``oracle_grid`` keyword, the executor supplies the cached
+    (configuration × input) outcome grid for the spec's timing.
+    """
+
+    scenario: ScenarioKey
+    goal: Goal
+    scheme: str
+    n_inputs: int
+    factory: str = DEFAULT_FACTORY
+    use_oracle_grid: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ConfigurationError(
+                f"need at least one input, got {self.n_inputs}"
+            )
+
+
+def resolve_factory(path: str) -> Callable:
+    """Import a scheme factory from its ``"module:attribute"`` path."""
+    module_name, sep, attribute = path.partition(":")
+    if not sep or not module_name or not attribute:
+        raise ConfigurationError(
+            f"factory path must look like 'module:attribute', got {path!r}"
+        )
+    module = importlib.import_module(module_name)
+    target = module
+    for part in attribute.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def factory_path(factory: Callable) -> str | None:
+    """The importable ``"module:attribute"`` path of a factory, if any.
+
+    Returns None for closures, lambdas, bound methods, and anything
+    else that does not resolve back to the same object — those can
+    only run in-process.
+    """
+    module = getattr(factory, "__module__", None)
+    qualname = getattr(factory, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        return None
+    path = f"{module}:{qualname}"
+    try:
+        resolved = resolve_factory(path)
+    except (ConfigurationError, ImportError, AttributeError):
+        return None
+    return path if resolved is factory else None
+
+
+def factory_accepts_oracle_grid(factory: Callable) -> bool:
+    """Whether a scheme factory can receive an ``oracle_grid`` kwarg."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "oracle_grid" and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+def run_single(
+    scenario: Scenario,
+    goal: Goal,
+    scheme: str,
+    n_inputs: int,
+    factory: Callable,
+    oracle_grid=None,
+) -> RunResult:
+    """Execute one run: fresh engine + stream, one serving loop.
+
+    The single place both the serial and the pooled paths (and the
+    harness's in-process fallback) funnel through, so "one run" means
+    exactly the same thing everywhere.
+    """
+    engine = scenario.make_engine()
+    stream = scenario.make_stream()
+    if oracle_grid is not None:
+        scheduler = factory(
+            scheme, scenario, engine, stream, goal, n_inputs,
+            oracle_grid=oracle_grid,
+        )
+    else:
+        scheduler = factory(scheme, scenario, engine, stream, goal, n_inputs)
+    return ServingLoop(engine, stream, scheduler, goal).run(n_inputs)
+
+
+def timing_grid(scenario: Scenario, goal: Goal, n_inputs: int):
+    """The oracle outcome grid for one (scenario, timing) pair.
+
+    The grid realises every candidate configuration on every input
+    under the goal's deadline and period; it does not depend on the
+    accuracy floor or energy budget, so every goal sharing the timing
+    shares the grid.
+    """
+    # Imported lazily: baselines imports repro.runtime, so a module
+    # level import here would be circular.
+    from repro.baselines.oracle import oracle_outcome_grid
+    from repro.core.config_space import ConfigurationSpace
+
+    profile = scenario.profile()
+    space = ConfigurationSpace(
+        list(scenario.candidates.models), list(profile.powers)
+    )
+    return oracle_outcome_grid(
+        scenario.make_engine(), space, goal, scenario.make_stream(), n_inputs
+    )
+
+
+class _WorkerState:
+    """Per-process caches: scenarios, factories, and outcome grids."""
+
+    def __init__(self, scenarios: Mapping[ScenarioKey, Scenario] | None = None):
+        self._scenarios: dict[ScenarioKey, Scenario] = dict(scenarios or {})
+        self._factories: dict[str, Callable] = {}
+        self._grids: OrderedDict[tuple, object] = OrderedDict()
+
+    def scenario(self, key: ScenarioKey) -> Scenario:
+        cached = self._scenarios.get(key)
+        if cached is None:
+            cached = key.build()
+            self._scenarios[key] = cached
+        return cached
+
+    def factory(self, path: str) -> Callable:
+        cached = self._factories.get(path)
+        if cached is None:
+            cached = resolve_factory(path)
+            self._factories[path] = cached
+        return cached
+
+    def grid(self, key: ScenarioKey, goal: Goal, n_inputs: int):
+        cache_key = (key, goal.deadline_s, goal.period, n_inputs)
+        cached = self._grids.get(cache_key)
+        if cached is None:
+            cached = timing_grid(self.scenario(key), goal, n_inputs)
+            if len(self._grids) >= _GRID_CACHE_CAPACITY:
+                self._grids.popitem(last=False)
+            self._grids[cache_key] = cached
+        return cached
+
+    def execute(self, spec: RunSpec) -> RunResult:
+        scenario = self.scenario(spec.scenario)
+        factory = self.factory(spec.factory)
+        grid = None
+        if spec.use_oracle_grid and factory_accepts_oracle_grid(factory):
+            grid = self.grid(spec.scenario, spec.goal, spec.n_inputs)
+        return run_single(
+            scenario, spec.goal, spec.scheme, spec.n_inputs, factory,
+            oracle_grid=grid,
+        )
+
+
+#: Lazily-created state of a pool worker process.
+_POOL_STATE: _WorkerState | None = None
+
+
+def _pool_execute(spec: RunSpec) -> RunResult:
+    """Top-level pool entry point (must be picklable by reference)."""
+    global _POOL_STATE
+    if _POOL_STATE is None:
+        _POOL_STATE = _WorkerState()
+    return _POOL_STATE.execute(spec)
+
+
+class RunExecutor:
+    """Executes a plan of :class:`RunSpec` runs, serially or pooled.
+
+    Parameters
+    ----------
+    workers:
+        1 executes in-process; >1 fans runs out over a
+        ``ProcessPoolExecutor`` of that many workers.  Results come
+        back in plan order either way, and because every run rebuilds
+        its environment from the scenario seed, parallel output is
+        bit-identical to serial output.
+    chunksize:
+        How many consecutive specs one worker task takes.  Plans are
+        typically ordered goal-major, so a chunk the size of the
+        scheme list keeps one goal's runs (which share an oracle grid)
+        on one worker.
+    """
+
+    def __init__(self, workers: int = 1, chunksize: int = 1) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"need at least one worker, got {workers}"
+            )
+        if chunksize < 1:
+            raise ConfigurationError(
+                f"chunksize must be at least 1, got {chunksize}"
+            )
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def run_plan(
+        self,
+        specs: Iterable[RunSpec],
+        scenarios: Mapping[ScenarioKey, Scenario] | None = None,
+    ) -> list[RunResult]:
+        """Execute every spec; results align one-to-one with the plan.
+
+        ``scenarios`` optionally seeds the serial path's scenario cache
+        with already-built objects (preserving their memoised
+        profiles); pool workers always rebuild from keys.
+        """
+        plan = list(specs)
+        if not plan:
+            return []
+        if self.workers == 1 or len(plan) == 1:
+            state = _WorkerState(scenarios)
+            return [state.execute(spec) for spec in plan]
+        n_workers = min(self.workers, len(plan))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(
+                pool.map(_pool_execute, plan, chunksize=self.chunksize)
+            )

@@ -7,6 +7,31 @@ back to the policy.  The loop owns goal adjustment (workflow step 2):
 requirement-trace overrides, shared sentence deadlines, and the
 policy's declared overhead reservation.
 
+In the spec → executor → loop architecture the loop is the innermost
+layer: :class:`repro.runtime.executor.RunExecutor` turns a declarative
+plan of runs into ``ServingLoop.run`` calls (serially or across a
+process pool), and the experiment harness builds those plans.
+
+**Two serving paths.**  The loop serves a run one of two ways:
+
+* the *sequential* path — the faithful per-input round trip above,
+  required whenever the policy's decisions can depend on observed
+  outcomes (ALERT and every feedback scheme), a requirement trace
+  rewrites goals mid-run, or inputs share group deadlines (NLP
+  sentences), since all three thread state from one input to the next;
+* the *batch fast path* — when the policy declares itself
+  **feedback-free** (``scheduler.feedback_free`` is True: decisions
+  never read observations and ``observe`` is a no-op, e.g. Oracle,
+  OracleStatic, App-only) and no cross-input goal state applies, every
+  decision is known up front, so the loop realises the whole run as
+  one :meth:`~repro.models.inference.InferenceEngine.evaluate_batch`
+  pass per distinct configuration plus vectorized violation
+  bookkeeping instead of ``n_inputs`` engine round trips.  The fast
+  path is pure with respect to the engine's RAPL meter (nothing is
+  metered) and matches the sequential records exactly up to
+  floating-point associativity (≤ 1 ulp; discrete fields identical),
+  pinned by ``tests/test_serving_batch_parity.py``.
+
 Violation bookkeeping follows the paper:
 
 * **latency** — the final answer landed after the (base) deadline;
@@ -20,15 +45,34 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import numpy as np
+
 from repro.core.goals import Goal, GoalAdjuster
 from repro.errors import ConfigurationError
-from repro.models.inference import InferenceEngine
+from repro.hw.energy import EnergyBreakdown
+from repro.models.inference import InferenceEngine, InferenceOutcome
 from repro.runtime.results import RunResult, ServedInput
 from repro.runtime.scheduler import Scheduler
-from repro.workloads.inputs import InputStream
+from repro.workloads.inputs import InputItem, InputStream
 from repro.workloads.traces import RequirementTrace
 
 __all__ = ["ServingLoop"]
+
+
+class _CapOverride:
+    """A configuration view evaluated at the actuator's effective cap.
+
+    The sequential path runs physics at the cap the actuator actually
+    enforced; the batch path mirrors that by re-labelling the
+    configuration with the effective cap before the grid evaluation.
+    """
+
+    __slots__ = ("model", "power_w", "rung_cap")
+
+    def __init__(self, model, power_w: float, rung_cap: int | None) -> None:
+        self.model = model
+        self.power_w = power_w
+        self.rung_cap = rung_cap
 
 
 class ServingLoop:
@@ -65,6 +109,10 @@ class ServingLoop:
         self.goal = goal
         self.trace = requirement_trace or RequirementTrace()
         self.adjuster = adjuster if adjuster is not None else GoalAdjuster()
+        # Batch-path configuration tuples, keyed on (model, effective
+        # cap, rung): reusing the same tuple object across runs lets
+        # the engine's identity-keyed config-table memo hit.
+        self._batch_configs: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # Goal plumbing
@@ -89,13 +137,63 @@ class ServingLoop:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, n_inputs: int) -> RunResult:
-        """Serve ``n_inputs`` inputs and aggregate the records."""
+    def batch_eligible(self, items: list[InputItem]) -> bool:
+        """Whether the run can take the feedback-free batch fast path.
+
+        Requires a scheduler that declares ``feedback_free``, no
+        requirement trace, no deadline-sharing groups among the items,
+        and an adjuster that is not mid-group from an earlier run —
+        anything else threads state between inputs.  Streams declaring
+        ``has_groups`` False (the :class:`InputStream` contract) skip
+        the per-item group scan.
+        """
+        if not getattr(self.scheduler, "feedback_free", False):
+            return False
+        if not self.trace.is_empty:
+            return False
+        if self.adjuster.mid_group:
+            return False
+        if not self.stream.has_groups:
+            return True
+        return all(item.group_size == 1 for item in items)
+
+    def run(self, n_inputs: int, batch: bool | None = None) -> RunResult:
+        """Serve ``n_inputs`` inputs and aggregate the records.
+
+        ``batch`` selects the serving path: None (the default) takes
+        the batch fast path whenever :meth:`batch_eligible` allows it,
+        False forces the sequential reference path, and True demands
+        the fast path (raising :class:`ConfigurationError` when the
+        run is ineligible — useful in tests and benchmarks).
+        """
         if n_inputs < 1:
             raise ConfigurationError(f"need at least one input, got {n_inputs}")
+        items = [self.stream.item(index) for index in range(n_inputs)]
+        if batch is None:
+            batch = self.batch_eligible(items)
+        elif batch and not self.batch_eligible(items):
+            raise ConfigurationError(
+                f"scheduler {self.scheduler.name!r} cannot take the batch "
+                "path: it needs feedback, a requirement trace is active, "
+                "or inputs share group deadlines"
+            )
+        records = self._run_batch(items) if batch else self._run_sequential(items)
+        return RunResult(
+            scheduler_name=self.scheduler.name, goal=self.goal, records=records
+        )
+
+    # ------------------------------------------------------------------
+    # Sequential reference path
+    # ------------------------------------------------------------------
+    def _run_sequential(self, items: list[InputItem]) -> list[ServedInput]:
+        """The per-input round trip: decide → run → observe → record."""
         records: list[ServedInput] = []
-        for index in range(n_inputs):
-            item = self.stream.item(index)
+        # Resolve the optional state accessor once per run, not per
+        # input; the state itself is still read per input (ALERT's ξ
+        # belief evolves with every observation — Figure 9's traces).
+        has_state = hasattr(self.scheduler, "state")
+        for item in items:
+            index = item.index
             base_goal = self._base_goal_at(index)
             adjusted = self.adjuster.adjust(base_goal, item)
 
@@ -111,14 +209,20 @@ class ServingLoop:
             )
             self.scheduler.observe(outcome)
             self.adjuster.consume(item, outcome.latency_s)
+            state = self.scheduler.state if has_state else None
             records.append(
-                self._record(item_goal=base_goal, adjusted=adjusted, outcome=outcome)
+                self._record(
+                    item_goal=base_goal,
+                    adjusted=adjusted,
+                    outcome=outcome,
+                    state=state,
+                )
             )
-        return RunResult(
-            scheduler_name=self.scheduler.name, goal=self.goal, records=records
-        )
+        return records
 
-    def _record(self, item_goal: Goal, adjusted: Goal, outcome) -> ServedInput:
+    def _record(
+        self, item_goal: Goal, adjusted: Goal, outcome, state=None
+    ) -> ServedInput:
         """Build the per-input record with violation flags.
 
         Tolerances live in one place — :mod:`repro.core.goals` — shared
@@ -131,7 +235,6 @@ class ServingLoop:
         energy_violation = bool(item_goal.energy_violated(outcome.energy_j))
 
         xi_mean, xi_sigma = 0.0, 0.0
-        state = getattr(self.scheduler, "state", None)
         if state is not None:
             xi_mean, xi_sigma = state.xi_mean, state.xi_sigma
 
@@ -145,3 +248,156 @@ class ServingLoop:
             xi_mean=xi_mean,
             xi_sigma=xi_sigma,
         )
+
+    # ------------------------------------------------------------------
+    # Feedback-free batch fast path
+    # ------------------------------------------------------------------
+    def _run_batch(self, items: list[InputItem]) -> list[ServedInput]:
+        """Realise a feedback-free run in vectorized passes.
+
+        All decisions are collected up front (``decide_batch`` when the
+        scheduler offers it), grouped by configuration, and each group
+        is realised with one pure ``evaluate_batch`` pass at the cap
+        the actuator would have enforced; violation flags are computed
+        on the whole arrays.  Nothing is metered and ``observe`` is
+        never called (feedback-free policies declare it a no-op).
+        """
+        base_goal = self.goal
+        # Trace is empty and no item is grouped, so the adjusted goal
+        # (overhead reservation only) is the same for every input.
+        adjusted = self.adjuster.adjust(base_goal, items[0])
+        scheduler = self.scheduler
+        decide_batch = getattr(scheduler, "decide_batch", None)
+        if decide_batch is not None:
+            configs = decide_batch(items, adjusted)
+        else:
+            configs = [scheduler.decide(item, adjusted) for item in items]
+
+        engine = self.engine
+        clamp = engine.machine.clamp_power
+        deadline = adjusted.deadline_s
+        period = base_goal.period
+        item_indices = [item.index for item in items]
+
+        # Group input positions by decided configuration.  Identity
+        # grouping suffices: schedulers hand out their candidate
+        # objects, so equal decisions are the same object (and a
+        # duplicate object would only cost one extra engine pass).
+        groups: dict[int, list[int]] = {}
+        group_config: dict[int, object] = {}
+        for position, config in enumerate(configs):
+            key = id(config)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [position]
+                group_config[key] = config
+            else:
+                bucket.append(position)
+
+        n = len(items)
+        records: list[ServedInput | None] = [None] * n
+
+        # Feedback-free schedulers promise constant state (observe is
+        # a no-op), so the belief trace is one snapshot for the run.
+        state = getattr(scheduler, "state", None)
+        if state is not None:
+            xi_mean, xi_sigma = state.xi_mean, state.xi_sigma
+        else:
+            xi_mean, xi_sigma = 0.0, 0.0
+
+        for key, positions in groups.items():
+            config = group_config[key]
+            effective = engine.actuator.set_power_cap(config.power_w)
+            requested = clamp(config.power_w)
+            shim_key = (id(config.model), effective, config.rung_cap)
+            shim = self._batch_configs.get(shim_key)
+            if shim is None:
+                shim = (_CapOverride(config.model, effective, config.rung_cap),)
+                self._batch_configs[shim_key] = shim
+            column = engine.evaluate_batch(
+                configs=shim,
+                indices=[item_indices[p] for p in positions],
+                deadline_s=deadline,
+                period_s=period,
+                work_factors=[items[p].work_factor for p in positions],
+            )
+
+            model = config.model
+            model_name = model.name
+            power = float(column.inference_power_w[0])
+            met_row = column.met_deadline[0]
+            quality_row = column.quality[0]
+            energy_row = column.energy_j[0]
+            latency = column.latency_s[0].tolist()
+            full = column.full_latency_s[0].tolist()
+            met = met_row.tolist()
+            quality = quality_row.tolist()
+            metric = model.task.quality_to_metric_list(quality)
+            rungs = column.completed_rungs[0].tolist()
+            inference_j = column.inference_j[0].tolist()
+            idle_j = column.idle_j[0].tolist()
+            idle_power = column.idle_power_w[0].tolist()
+            env = column.env_factor.tolist()
+
+            # Vectorized violation bookkeeping (one place of tolerance
+            # truth: repro.core.goals, shared with the sequential
+            # _record and the oracles' feasibility masks).
+            latency_violation = np.logical_not(met_row).tolist()
+            accuracy = base_goal.quality_violated(quality_row)
+            if isinstance(accuracy, np.ndarray):
+                accuracy_violation = accuracy.tolist()
+            else:
+                accuracy_violation = [bool(accuracy)] * len(positions)
+            budget = base_goal.energy_violated(energy_row)
+            if isinstance(budget, np.ndarray):
+                energy_violation = budget.tolist()
+            else:
+                energy_violation = [bool(budget)] * len(positions)
+
+            # Records are assembled by direct __dict__ fill: the frozen
+            # dataclass __init__ (one object.__setattr__ per field) is
+            # the fast path's dominant cost, and these classes have no
+            # __post_init__ to skip.  The parity suite pins the result
+            # against constructor-built sequential records field by
+            # field.
+            fill = object.__setattr__  # frozen dataclasses veto assignment
+            for j, position in enumerate(positions):
+                energy = object.__new__(EnergyBreakdown)
+                fill(energy, "__dict__", {
+                    "inference_j": inference_j[j],
+                    "idle_j": idle_j[j],
+                })
+                outcome = object.__new__(InferenceOutcome)
+                fill(outcome, "__dict__", {
+                    "index": item_indices[position],
+                    "model_name": model_name,
+                    "power_cap_w": requested,
+                    "effective_cap_w": effective,
+                    "latency_s": latency[j],
+                    "full_latency_s": full[j],
+                    "met_deadline": met[j],
+                    "quality": quality[j],
+                    "metric_value": metric[j],
+                    "completed_rungs": rungs[j],
+                    "energy": energy,
+                    "inference_power_w": power,
+                    "idle_power_w": idle_power[j],
+                    "env_factor": env[j],
+                    "deadline_s": deadline,
+                    "period_s": period,
+                })
+                record = object.__new__(ServedInput)
+                fill(record, "__dict__", {
+                    "outcome": outcome,
+                    "goal": base_goal,
+                    "effective_deadline_s": deadline,
+                    "latency_violation": latency_violation[j],
+                    "accuracy_violation": accuracy_violation[j],
+                    "energy_violation": energy_violation[j],
+                    "xi_mean": xi_mean,
+                    "xi_sigma": xi_sigma,
+                })
+                records[position] = record
+        # The sequential path leaves the actuator at the last decision.
+        engine.actuator.set_power_cap(configs[-1].power_w)
+        return records

@@ -24,7 +24,19 @@ __all__ = ["Scheduler", "AlertScheduler", "StaticScheduler"]
 
 @runtime_checkable
 class Scheduler(Protocol):
-    """What the serving loop needs from a policy."""
+    """What the serving loop needs from a policy.
+
+    Policies may additionally declare two optional members the loop
+    probes with ``getattr``:
+
+    * ``feedback_free`` (bool, default False) — a promise that
+      ``decide`` never depends on anything ``observe`` saw and that
+      ``observe`` is a no-op.  The serving loop realises such runs on
+      the vectorized batch fast path (one engine pass instead of
+      per-input round trips) and may skip ``observe`` entirely.
+    * ``decide_batch(items, goal)`` — vectorized decisions for a whole
+      run at once; only consulted on the batch fast path.
+    """
 
     name: str
 
@@ -49,6 +61,9 @@ class AlertScheduler:
     * the idle-power filter only receives samples from periods that
       actually had an idle phase.
     """
+
+    #: ALERT's whole point is reacting to observed slowdowns.
+    feedback_free = False
 
     def __init__(self, controller: AlertController, name: str = "ALERT") -> None:
         self.controller = controller
@@ -82,6 +97,10 @@ class StaticScheduler:
     sweep single configurations (Figures 2 and 3).
     """
 
+    #: A fixed configuration never reads feedback; the serving loop
+    #: may realise whole runs in one batch pass.
+    feedback_free = True
+
     def __init__(
         self,
         model: DnnModel,
@@ -96,6 +115,10 @@ class StaticScheduler:
 
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
         return self._config
+
+    def decide_batch(self, items, goal: Goal) -> list[Configuration]:
+        """A whole run's decisions at once: the fixed configuration."""
+        return [self._config] * len(items)
 
     def observe(self, outcome: InferenceOutcome) -> None:
         """Static policies ignore feedback."""

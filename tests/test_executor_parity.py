@@ -1,0 +1,300 @@
+"""Parity suite for the run executor.
+
+Pins the contract of :mod:`repro.runtime.executor`: a plan executed
+across a process pool must return results *bit-identical* to the same
+plan executed serially (common random numbers — every run rebuilds its
+environment from the scenario seed), and the per-timing oracle grid
+cache must never change a run's outcome.  Also covers the grid-sharing
+gate of :func:`repro.experiments.harness.evaluate_schemes`: sharing is
+keyed on the factory's *signature* (an ``oracle_grid`` kwarg), not on
+its identity, with an explicit opt-out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+import repro.baselines.oracle as oracle_module
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.experiments.harness import evaluate_schemes, make_scheme
+from repro.runtime.executor import (
+    RunExecutor,
+    RunSpec,
+    ScenarioKey,
+    factory_accepts_oracle_grid,
+    factory_path,
+)
+from repro.workloads.scenarios import Scenario, build_scenario
+
+
+def _goals(scenario, objective=ObjectiveKind.MINIMIZE_ENERGY):
+    anchor = scenario.anchor_latency_s()
+    if objective is ObjectiveKind.MINIMIZE_ENERGY:
+        return [
+            Goal(objective=objective, deadline_s=anchor, accuracy_min=0.9),
+            Goal(objective=objective, deadline_s=anchor * 1.5, accuracy_min=0.85),
+        ]
+    budget = scenario.machine.default_power() * anchor * 0.6
+    return [
+        Goal(objective=objective, deadline_s=anchor, energy_budget_j=budget),
+    ]
+
+
+def _spec_plan(key, goals, schemes, n_inputs):
+    return [
+        RunSpec(scenario=key, goal=goal, scheme=name, n_inputs=n_inputs)
+        for goal in goals
+        for name in schemes
+    ]
+
+
+def _assert_runs_identical(a, b):
+    assert a.scheduler_name == b.scheduler_name
+    assert a.goal == b.goal
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        # ServedInput and InferenceOutcome are (frozen) dataclasses:
+        # equality compares every field, so this pins bit-identity.
+        assert ra == rb
+
+
+# ----------------------------------------------------------------------
+# Spec plumbing
+# ----------------------------------------------------------------------
+def test_runspec_is_picklable():
+    key = ScenarioKey("CPU1", "image", "memory")
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY, deadline_s=0.1, accuracy_min=0.9
+    )
+    spec = RunSpec(scenario=key, goal=goal, scheme="Oracle", n_inputs=10)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+
+
+def test_runspec_rejects_empty_horizon():
+    key = ScenarioKey("CPU1", "image", "default")
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY, deadline_s=0.1, accuracy_min=0.9
+    )
+    with pytest.raises(ConfigurationError):
+        RunSpec(scenario=key, goal=goal, scheme="Oracle", n_inputs=0)
+
+
+def test_scenario_key_roundtrip():
+    scenario = build_scenario("CPU2", "sentence", "compute", "trad", seed=77)
+    key = ScenarioKey.for_scenario(scenario)
+    assert key is not None
+    rebuilt = key.build()
+    assert rebuilt.name == scenario.name
+    assert rebuilt.seed == scenario.seed
+    # The rebuilt scenario draws the same environment and inputs.
+    assert [
+        rebuilt.make_stream().item(i).work_factor for i in range(5)
+    ] == [scenario.make_stream().item(i).work_factor for i in range(5)]
+
+
+def test_scenario_key_rejects_customized_stock_platform():
+    """Regression: a tweaked MachineSpec reusing a stock name must not
+    round-trip — a worker would silently rebuild the stock machine."""
+    stock = build_scenario("CPU1", "image", "memory", "standard", seed=3)
+    tweaked = Scenario(
+        name=stock.name,
+        machine=dataclasses.replace(stock.machine, peak_power_w=21.0),
+        task=stock.task,
+        candidates=stock.candidates,
+        env=stock.env,
+        seed=stock.seed,
+    )
+    assert ScenarioKey.for_scenario(stock) is not None
+    assert ScenarioKey.for_scenario(tweaked) is None
+
+
+def test_scenario_key_rejects_unregistered_platform():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=3)
+    custom = Scenario(
+        name=scenario.name,
+        machine=dataclasses.replace(scenario.machine, name="CPU1-custom"),
+        task=scenario.task,
+        candidates=scenario.candidates,
+        env=scenario.env,
+        seed=scenario.seed,
+    )
+    assert ScenarioKey.for_scenario(custom) is None
+
+
+def test_factory_path_roundtrips_module_level_functions():
+    path = factory_path(make_scheme)
+    assert path == "repro.experiments.harness:make_scheme"
+
+    def local_factory(name, scenario, engine, stream, goal, n_inputs):
+        return make_scheme(name, scenario, engine, stream, goal, n_inputs)
+
+    assert factory_path(local_factory) is None
+    assert factory_path(lambda *a, **k: None) is None
+
+
+def test_factory_accepts_oracle_grid_by_signature():
+    assert factory_accepts_oracle_grid(make_scheme)
+
+    def with_kwargs(name, scenario, engine, stream, goal, n_inputs, **extras):
+        return None
+
+    def without(name, scenario, engine, stream, goal, n_inputs):
+        return None
+
+    assert factory_accepts_oracle_grid(with_kwargs)
+    assert not factory_accepts_oracle_grid(without)
+
+
+# ----------------------------------------------------------------------
+# Parallel execution is bit-identical to serial
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("platform", "task", "env", "seed"),
+    [
+        ("CPU1", "image", "default", 5),
+        ("CPU2", "image", "memory", 17),
+        ("CPU1", "sentence", "compute", 29),
+    ],
+)
+def test_parallel_plan_bit_identical_to_serial(platform, task, env, seed):
+    scenario = build_scenario(platform, task, env, "standard", seed=seed)
+    key = ScenarioKey.for_scenario(scenario)
+    assert key is not None
+    schemes = ("ALERT", "Oracle", "OracleStatic", "App-only")
+    plan = _spec_plan(key, _goals(scenario), schemes, n_inputs=15)
+
+    serial = RunExecutor(workers=1).run_plan(plan, scenarios={key: scenario})
+    pooled = RunExecutor(workers=2, chunksize=len(schemes)).run_plan(plan)
+    assert len(serial) == len(pooled) == len(plan)
+    for a, b in zip(serial, pooled):
+        _assert_runs_identical(a, b)
+
+
+def test_evaluate_schemes_workers_bit_identical(image_scenario):
+    goals = _goals(image_scenario, ObjectiveKind.MAXIMIZE_ACCURACY)
+    schemes = ("ALERT", "Oracle", "OracleStatic")
+    one = evaluate_schemes(image_scenario, goals, schemes, n_inputs=12)
+    two = evaluate_schemes(
+        image_scenario, goals, schemes, n_inputs=12, workers=2
+    )
+    assert one.goals == two.goals
+    for name in schemes:
+        for a, b in zip(one.scheme_runs(name), two.scheme_runs(name)):
+            _assert_runs_identical(a, b)
+
+
+def test_executor_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError):
+        RunExecutor(workers=0)
+    with pytest.raises(ConfigurationError):
+        RunExecutor(workers=1, chunksize=0)
+    assert RunExecutor(workers=1).run_plan([]) == []
+
+
+# ----------------------------------------------------------------------
+# Grid sharing: per-timing cache and the signature-based gate
+# ----------------------------------------------------------------------
+def test_goals_sharing_timing_share_one_grid(image_scenario, monkeypatch):
+    anchor = image_scenario.anchor_latency_s()
+    goals = [
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=anchor,
+            accuracy_min=floor,
+        )
+        for floor in (0.85, 0.90, 0.95)
+    ]
+    calls = []
+    real = oracle_module.oracle_outcome_grid
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(oracle_module, "oracle_outcome_grid", counting)
+    evaluate_schemes(
+        image_scenario, goals, ("Oracle", "OracleStatic"), n_inputs=10
+    )
+    # Three goals, one shared deadline/period: one grid build.
+    assert len(calls) == 1
+
+
+def test_custom_factory_with_oracle_grid_kwarg_gets_shared_grid(image_scenario):
+    """Regression: sharing used to be disabled for any custom factory."""
+    goal = _goals(image_scenario)[0]
+    received = []
+
+    def recording_factory(
+        name, scenario, engine, stream, goal, n_inputs, oracle_grid=None
+    ):
+        received.append(oracle_grid)
+        return make_scheme(
+            name, scenario, engine, stream, goal, n_inputs,
+            oracle_grid=oracle_grid,
+        )
+
+    evaluate_schemes(
+        image_scenario, [goal], ("Oracle", "OracleStatic"), n_inputs=10,
+        scheme_factory=recording_factory,
+    )
+    assert received and all(grid is not None for grid in received)
+
+
+def test_share_oracle_grid_opt_out(image_scenario):
+    goal = _goals(image_scenario)[0]
+    received = []
+
+    def recording_factory(
+        name, scenario, engine, stream, goal, n_inputs, oracle_grid=None
+    ):
+        received.append(oracle_grid)
+        return make_scheme(
+            name, scenario, engine, stream, goal, n_inputs,
+            oracle_grid=oracle_grid,
+        )
+
+    evaluate_schemes(
+        image_scenario, [goal], ("Oracle",), n_inputs=10,
+        scheme_factory=recording_factory, share_oracle_grid=False,
+    )
+    assert received == [None]
+
+
+def test_share_oracle_grid_true_demands_capable_factory(image_scenario):
+    goal = _goals(image_scenario)[0]
+
+    def gridless_factory(name, scenario, engine, stream, goal, n_inputs):
+        return make_scheme(name, scenario, engine, stream, goal, n_inputs)
+
+    with pytest.raises(ConfigurationError):
+        evaluate_schemes(
+            image_scenario, [goal], ("Oracle",), n_inputs=5,
+            scheme_factory=gridless_factory, share_oracle_grid=True,
+        )
+
+
+def test_shared_grid_does_not_change_runs(image_scenario):
+    goal = _goals(image_scenario)[0]
+    schemes = ("Oracle", "OracleStatic")
+    shared = evaluate_schemes(image_scenario, [goal], schemes, n_inputs=12)
+    isolated = evaluate_schemes(
+        image_scenario, [goal], schemes, n_inputs=12, share_oracle_grid=False
+    )
+    for name in schemes:
+        for a, b in zip(shared.scheme_runs(name), isolated.scheme_runs(name)):
+            assert a.scheduler_name == b.scheduler_name
+            assert [r.outcome.model_name for r in a.records] == [
+                r.outcome.model_name for r in b.records
+            ]
+            assert [r.outcome.power_cap_w for r in a.records] == [
+                r.outcome.power_cap_w for r in b.records
+            ]
+            assert a.violation_fraction == b.violation_fraction
+            assert a.mean_energy_j == pytest.approx(
+                b.mean_energy_j, rel=1e-12
+            )
