@@ -10,6 +10,13 @@ trajectory of the decision engine is tracked from PR to PR.
 Run directly (no pytest machinery needed)::
 
     PYTHONPATH=src python benchmarks/bench_decide_throughput.py
+    PYTHONPATH=src python benchmarks/bench_decide_throughput.py --smoke
+
+``--smoke`` runs a sub-second miniature and writes nothing — CI
+invokes it so the script cannot rot, and the bench-regression gate
+reuses :func:`run` with a short window to compare the measured
+``speedup`` ratio against the committed baseline (ratios are
+machine-relative, so they transfer across runner hardware).
 
 The file is named ``bench_*`` on purpose: the tier-1 pytest run only
 collects ``test_*`` files, so this never slows the test gate.
@@ -17,6 +24,7 @@ collects ``test_*`` files, so this never slows the test gate.
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -106,7 +114,24 @@ def run(min_seconds: float = 2.0) -> dict:
     return result
 
 
+def smoke() -> None:
+    """Sub-second end-to-end exercise of both paths (for CI)."""
+    result = run(min_seconds=0.05)
+    assert result["speedup"] > 0
+    print("bench_decide_throughput smoke ok")
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run exercising both paths; writes no JSON",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke()
+        return
     result = run()
     OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))

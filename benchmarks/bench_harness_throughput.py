@@ -1,12 +1,20 @@
-"""Harness throughput: serving fast path and multi-worker execution.
+"""Harness throughput: serving fast path, cell fusion, multi-worker.
 
-Two layers of the spec → executor → loop stack are measured on the
+Three layers of the spec → executor → loop stack are measured on the
 Table 4 image scenario (CPU1, default environment):
 
 * **Serving loop** — for each feedback-free scheme (Oracle with a
   precomputed grid, OracleStatic, App-only), one run served by the
   sequential per-input round trip (``batch=False``) versus the batch
   fast path (``batch=True``), in inputs/second.
+* **Cell fusion** — whole (goal × scheme) cells evaluated by
+  :func:`repro.experiments.harness.evaluate_schemes` with
+  ``fuse_cells=True`` (one outcome grid per timing serving every
+  scheme through a trusted grid view) versus ``fuse_cells=False``
+  (the PR 3 path: isolated per-run realisations), in cells/second —
+  once for the feedback-free scheme subset and once for the full
+  Table 4 zoo.  Fused results are bit-identical to unfused, so this
+  too is purely a wall-clock measurement.
 * **Run executor** — a table4-style cell plan (constraint-grid goals ×
   schemes, ALERT included so the plan carries real feedback work)
   executed by :class:`repro.runtime.executor.RunExecutor` with 1, 2,
@@ -23,8 +31,11 @@ directly (no pytest machinery needed)::
     PYTHONPATH=src python benchmarks/bench_harness_throughput.py
     PYTHONPATH=src python benchmarks/bench_harness_throughput.py --smoke
 
-``--smoke`` runs a seconds-scale miniature of both measurements and
-writes nothing — CI invokes it so the script cannot rot.
+``--smoke`` runs a seconds-scale miniature of every measurement and
+writes nothing — CI invokes it so the script cannot rot.  The CI
+bench-regression gate additionally calls :func:`quick_metrics` and
+compares the machine-relative speedup ratios against the committed
+baseline (see ``benchmarks/README.md``).
 
 The file is named ``bench_*`` on purpose: the tier-1 pytest run only
 collects ``test_*`` files, so this never slows the test gate.
@@ -39,7 +50,7 @@ import time
 from pathlib import Path
 
 from repro.core.goals import Goal, ObjectiveKind
-from repro.experiments.harness import make_scheme
+from repro.experiments.harness import evaluate_schemes, make_scheme
 from repro.runtime.executor import (
     RunExecutor,
     RunSpec,
@@ -53,6 +64,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_harness.json"
 
 FEEDBACK_FREE_SCHEMES = ("Oracle", "OracleStatic", "App-only")
+TABLE4_SCHEMES = (
+    "ALERT",
+    "ALERT-Any",
+    "Sys-only",
+    "App-only",
+    "No-coord",
+    "Oracle",
+    "OracleStatic",
+)
 PLAN_SCHEMES = ("ALERT", "Oracle", "OracleStatic", "App-only")
 WORKER_COUNTS = (1, 2, 4)
 
@@ -116,6 +136,72 @@ def bench_serving(n_inputs: int, min_seconds: float) -> dict:
         "n_inputs": n_inputs,
         "schemes": schemes,
         "min_speedup": min(entry["speedup"] for entry in schemes.values()),
+    }
+
+
+def _table3_goals(scenario, n_deadlines: int, n_floors: int) -> list[Goal]:
+    """A Table-3-shaped constraint subset: floors nested per deadline.
+
+    This is the shape real cells have (35 settings = 7 deadlines × 5
+    accuracy floors), so goals sharing a timing — and therefore one
+    outcome grid — appear in realistic proportion.
+    """
+    goals = list(constraint_grid(scenario).min_energy_goals)
+    deadlines: dict[float, list[Goal]] = {}
+    for goal in goals:
+        deadlines.setdefault(goal.deadline_s, []).append(goal)
+    subset: list[Goal] = []
+    for deadline in sorted(deadlines)[:n_deadlines]:
+        subset.extend(deadlines[deadline][:n_floors])
+    return subset
+
+
+def bench_cell_fusion(
+    n_deadlines: int, n_floors: int, n_inputs: int, repeats: int = 3
+) -> dict:
+    """Fused vs. unfused whole-cell evaluation, per scheme subset."""
+    scenario = _scenario()
+    goals = _table3_goals(scenario, n_deadlines, n_floors)
+    sections: dict = {}
+    for label, schemes in (
+        ("feedback_free", FEEDBACK_FREE_SCHEMES),
+        ("table4", TABLE4_SCHEMES),
+    ):
+        timings = {}
+        for fused in (True, False):
+            evaluate_schemes(
+                scenario, goals, schemes, n_inputs=n_inputs, fuse_cells=fused
+            )  # warm-up (grids, profiles, memos)
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                evaluate_schemes(
+                    scenario, goals, schemes, n_inputs=n_inputs,
+                    fuse_cells=fused,
+                )
+                best = min(best, time.perf_counter() - start)
+            timings[fused] = best
+        sections[label] = {
+            "schemes": list(schemes),
+            "fused_seconds": round(timings[True], 4),
+            "unfused_seconds": round(timings[False], 4),
+            "fused_cells_per_sec": round(len(goals) / timings[True], 2),
+            "unfused_cells_per_sec": round(len(goals) / timings[False], 2),
+            "speedup": round(timings[False] / timings[True], 2),
+        }
+    return {
+        "n_goals": len(goals),
+        "n_deadlines": n_deadlines,
+        "n_floors": n_floors,
+        "n_inputs": n_inputs,
+        "feedback_free": sections["feedback_free"],
+        "table4": sections["table4"],
+        "note": (
+            "fused = evaluate_schemes(fuse_cells=True): one outcome grid "
+            "per timing serves every scheme of the cell; unfused is the "
+            "PR 3 isolated-run path.  Results are bit-identical "
+            "(tests/test_cell_fusion_parity.py); speedup is wall-clock."
+        ),
     }
 
 
@@ -184,14 +270,39 @@ def run(
         "platform": "CPU1",
         "task": "image",
         "serving": bench_serving(n_inputs, min_seconds),
+        "cell_fusion": bench_cell_fusion(
+            n_deadlines=3, n_floors=5, n_inputs=n_inputs, repeats=5
+        ),
         "executor": bench_executor(n_goals, plan_inputs),
     }
 
 
+def quick_metrics(min_seconds: float = 0.1) -> dict:
+    """A fast, reduced measurement with the committed JSON's shape.
+
+    The CI bench-regression gate compares the *ratio* metrics of this
+    against the committed ``BENCH_harness.json`` — ratios (batch vs
+    sequential, fused vs unfused) are machine-relative, so they
+    transfer across runner hardware where absolute throughput does
+    not.
+    """
+    return {
+        "serving": bench_serving(n_inputs=120, min_seconds=min_seconds),
+        "cell_fusion": bench_cell_fusion(
+            n_deadlines=3, n_floors=5, n_inputs=120, repeats=3
+        ),
+    }
+
+
 def smoke() -> None:
-    """Seconds-scale end-to-end exercise of both bench paths (for CI)."""
+    """Seconds-scale end-to-end exercise of every bench path (for CI)."""
     serving = bench_serving(n_inputs=20, min_seconds=0.05)
     assert set(serving["schemes"]) == set(FEEDBACK_FREE_SCHEMES)
+    fusion = bench_cell_fusion(
+        n_deadlines=1, n_floors=2, n_inputs=10, repeats=1
+    )
+    assert fusion["n_goals"] == 2
+    assert set(fusion["feedback_free"]["schemes"]) == set(FEEDBACK_FREE_SCHEMES)
     executor = bench_executor(
         n_goals=2, n_inputs=10, worker_counts=(1, 2)
     )
@@ -204,7 +315,7 @@ def main() -> None:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny run exercising both paths; writes no JSON",
+        help="tiny run exercising every path; writes no JSON",
     )
     args = parser.parse_args()
     if args.smoke:
@@ -215,6 +326,8 @@ def main() -> None:
     print(json.dumps(result, indent=2))
     if result["serving"]["min_speedup"] < 5.0:
         print("WARNING: batch serving path below the 5x target")
+    if result["cell_fusion"]["feedback_free"]["speedup"] < 2.0:
+        print("WARNING: fused feedback-free cells below the 2x target")
 
 
 if __name__ == "__main__":

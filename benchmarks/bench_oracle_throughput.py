@@ -15,6 +15,13 @@ oracle-path performance trajectory is tracked from PR to PR.  Run
 directly (no pytest machinery needed)::
 
     PYTHONPATH=src python benchmarks/bench_oracle_throughput.py
+    PYTHONPATH=src python benchmarks/bench_oracle_throughput.py --smoke
+
+``--smoke`` runs a seconds-scale miniature and writes nothing — CI
+invokes it so the script cannot rot, and the bench-regression gate
+reuses :func:`run` with a short window to compare the measured
+speedup ratios against the committed baseline (ratios are
+machine-relative, so they transfer across runner hardware).
 
 The file is named ``bench_*`` on purpose: the tier-1 pytest run only
 collects ``test_*`` files, so this never slows the test gate.
@@ -22,6 +29,7 @@ collects ``test_*`` files, so this never slows the test gate.
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -141,7 +149,24 @@ def run(min_seconds: float = 1.5) -> dict:
     }
 
 
+def smoke() -> None:
+    """Seconds-scale end-to-end exercise of every path (for CI)."""
+    result = run(min_seconds=0.05)
+    assert result["speedup"] > 0
+    print("bench_oracle_throughput smoke ok")
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run exercising every path; writes no JSON",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        smoke()
+        return
     result = run()
     OUTPUT.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))

@@ -24,8 +24,14 @@ def make_alert(
     powers: list[float] | None = None,
     name: str = "ALERT",
     q0: float = 0.1,
+    grid_view=None,
 ) -> AlertScheduler:
-    """The full ALERT scheduler (variance-aware, rung expansion on)."""
+    """The full ALERT scheduler (variance-aware, rung expansion on).
+
+    ``grid_view`` optionally carries a shared-realisation view for the
+    serving loop (the fused-cell path); ALERT's decisions never read
+    it — only its engine outcomes are served from it.
+    """
     controller = AlertController(
         profile=profile,
         models=models,
@@ -34,7 +40,7 @@ def make_alert(
         expand_anytime_rungs=True,
         q0=q0,
     )
-    return AlertScheduler(controller, name=name)
+    return AlertScheduler(controller, name=name, grid_view=grid_view)
 
 
 def make_alert_star(
@@ -42,6 +48,7 @@ def make_alert_star(
     models: list[DnnModel] | None = None,
     powers: list[float] | None = None,
     name: str = "ALERT*",
+    grid_view=None,
 ) -> AlertScheduler:
     """The mean-only ablation: identical except variance is ignored."""
     controller = AlertController(
@@ -51,4 +58,4 @@ def make_alert_star(
         variance_aware=False,
         expand_anytime_rungs=True,
     )
-    return AlertScheduler(controller, name=name)
+    return AlertScheduler(controller, name=name, grid_view=grid_view)

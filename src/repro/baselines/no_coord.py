@@ -47,6 +47,7 @@ class NoCoordScheduler:
         anytime: AnytimeDnn,
         powers: list[float] | None = None,
         name: str = "No-coord",
+        grid_view=None,
     ) -> None:
         if not isinstance(anytime, AnytimeDnn):
             raise ConfigurationError("No-coord requires an anytime network")
@@ -60,6 +61,7 @@ class NoCoordScheduler:
         self._sys_filter = GlobalSlowdownEstimator()
         self._last_power = self.default_power
         self.name = name
+        self.grid_view = grid_view
 
     # ------------------------------------------------------------------
     # Application side: pick the stop rung, assuming default power.

@@ -157,6 +157,14 @@ class OracleScheduler:
         from the grid; anything else — e.g. group-adjusted sentence
         deadlines — falls back to a fresh single-input batch
         evaluation.
+    grid_view:
+        Optional :class:`~repro.models.inference.GridView` carried for
+        the serving loop's shared-realisation path.  When it wraps the
+        same grid object and is *trusted* (the fused-cell executor
+        builds it so: grid and engine derive from one scenario seed),
+        the per-decision environment-draw guards are skipped — the
+        draws are identical by construction.  When ``grid`` is omitted
+        the view's grid stands in for it.
     use_batch:
         When False every decision runs the scalar reference path
         (:meth:`decide_scalar`); kept for parity tests and debugging.
@@ -172,12 +180,16 @@ class OracleScheduler:
         space: ConfigurationSpace,
         name: str = "Oracle",
         grid: BatchOutcomeGrid | None = None,
+        grid_view=None,
         use_batch: bool = True,
     ) -> None:
         self.engine = engine
         self.space = space
         self.name = name
         self.use_batch = use_batch
+        self.grid_view = grid_view
+        if grid is None and grid_view is not None:
+            grid = grid_view.grid
         self._configs = tuple(space)
         self._power_w = np.array([c.power_w for c in self._configs])
         if grid is not None and tuple(grid.configs) != self._configs:
@@ -185,6 +197,12 @@ class OracleScheduler:
                 "oracle grid was built for a different configuration space"
             )
         self._grid = grid
+        self._grid_trusted = bool(
+            grid is not None
+            and grid_view is not None
+            and grid_view.trusted
+            and grid_view.grid is grid
+        )
 
     # ------------------------------------------------------------------
     # Batch path
@@ -201,8 +219,12 @@ class OracleScheduler:
             return None
         if item.work_factor != grid.work_factors[position]:
             return None
-        # Guard against a grid realised from a diverged environment.
-        if self.engine.environment(item.index).env_factor != grid.env_factor[position]:
+        # Guard against a grid realised from a diverged environment
+        # (skipped for trusted grids: same scenario seed, same draws).
+        if not self._grid_trusted and (
+            self.engine.environment(item.index).env_factor
+            != grid.env_factor[position]
+        ):
             return None
         return position
 
@@ -264,15 +286,19 @@ class OracleScheduler:
         factors = np.array([item.work_factor for item in items], dtype=float)
         if not np.array_equal(factors, grid.work_factors[columns]):
             return None
-        # Guard against a grid realised from a diverged environment.
-        engine = self.engine
-        engine.environment(max(indices))
-        env = np.array(
-            [engine.environment(index).env_factor for index in indices],
-            dtype=float,
-        )
-        if not np.array_equal(env, grid.env_factor[columns]):
-            return None
+        # Guard against a grid realised from a diverged environment
+        # (skipped for trusted grids: same scenario seed, same draws —
+        # this also spares the engine realising draws the grid-served
+        # run never otherwise needs).
+        if not self._grid_trusted:
+            engine = self.engine
+            engine.environment(max(indices))
+            env = np.array(
+                [engine.environment(index).env_factor for index in indices],
+                dtype=float,
+            )
+            if not np.array_equal(env, grid.env_factor[columns]):
+                return None
         return columns
 
     def decide_batch(
@@ -388,14 +414,24 @@ def _grid_usable(
     goal: Goal,
     stream: InputStream,
     n_inputs: int,
+    trusted: bool = False,
 ) -> bool:
-    """Whether a supplied grid answers this static-oracle question."""
+    """Whether a supplied grid answers this static-oracle question.
+
+    ``trusted`` skips the per-input work-factor and environment scans:
+    a trusted grid derives from the same scenario seed as ``engine``
+    and ``stream``, so those match by construction (the cheap
+    structural checks — configuration rows, timing, horizon — still
+    apply).
+    """
     if grid is None:
         return False
     if tuple(grid.configs) != configs or grid.n_inputs < n_inputs:
         return False
     if goal.deadline_s != grid.deadline_s or goal.period != grid.period_s:
         return False
+    if trusted:
+        return True
     for position in range(n_inputs):
         if int(grid.indices[position]) != position:
             return False
@@ -416,6 +452,7 @@ def best_static_config(
     n_inputs: int,
     violation_threshold: float = VIOLATION_SETTING_THRESHOLD,
     grid: BatchOutcomeGrid | None = None,
+    grid_view=None,
     use_batch: bool = True,
 ) -> Configuration:
     """The best single configuration over a whole horizon.
@@ -427,7 +464,9 @@ def best_static_config(
     the objective, then the lower power cap).
 
     ``grid`` short-circuits the evaluation with a precomputed outcome
-    grid; ``use_batch=False`` runs the scalar reference loop.
+    grid (``grid_view`` can stand in for it and, when trusted, waives
+    the per-input provenance scans); ``use_batch=False`` runs the
+    scalar reference loop.
     """
     if n_inputs < 1:
         raise ConfigurationError(f"need at least one input, got {n_inputs}")
@@ -437,7 +476,15 @@ def best_static_config(
             engine, configs, goal, stream, n_inputs, violation_threshold
         )
 
-    if not _grid_usable(grid, engine, configs, goal, stream, n_inputs):
+    if grid is None and grid_view is not None:
+        grid = grid_view.grid
+    trusted = bool(
+        grid is not None
+        and grid_view is not None
+        and grid_view.trusted
+        and grid_view.grid is grid
+    )
+    if not _grid_usable(grid, engine, configs, goal, stream, n_inputs, trusted):
         grid = engine.evaluate_batch(
             configs=configs,
             indices=range(n_inputs),
@@ -522,12 +569,21 @@ def make_oracle_static(
     stream: InputStream,
     n_inputs: int,
     grid: BatchOutcomeGrid | None = None,
+    grid_view=None,
 ) -> StaticScheduler:
-    """Build the OracleStatic scheduler for one setting."""
-    config = best_static_config(engine, space, goal, stream, n_inputs, grid=grid)
+    """Build the OracleStatic scheduler for one setting.
+
+    ``grid_view`` is carried on the returned scheduler for the serving
+    loop's shared-realisation path and, when trusted, lets the static
+    selection skip the grid's per-input provenance scans.
+    """
+    config = best_static_config(
+        engine, space, goal, stream, n_inputs, grid=grid, grid_view=grid_view
+    )
     return StaticScheduler(
         model=config.model,
         power_w=config.power_w,
         rung_cap=config.rung_cap,
         name="OracleStatic",
+        grid_view=grid_view,
     )

@@ -46,6 +46,7 @@ class SysOnlyScheduler:
         models: list[DnnModel],
         powers: list[float] | None = None,
         name: str = "Sys-only",
+        grid_view=None,
     ) -> None:
         traditional = [m for m in models if not m.is_anytime]
         if not traditional:
@@ -61,6 +62,7 @@ class SysOnlyScheduler:
         self.slowdown = GlobalSlowdownEstimator()
         self.profile = profile
         self.name = name
+        self.grid_view = grid_view
 
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
         xi_mean, xi_sigma = self.slowdown.snapshot()

@@ -16,9 +16,12 @@ can be regenerated from a shell::
 
 The grid-evaluating commands (``table4``, ``table5``, ``fig08``) take
 ``--workers N`` to fan their (goal × scheme) run plans out over a
-process pool via :class:`repro.runtime.executor.RunExecutor`; results
-are bit-identical to a serial run, so the flag is purely a wall-clock
-knob (use roughly the machine's core count).
+process pool via :class:`repro.runtime.executor.RunExecutor`, and
+``--fuse-cells/--no-fuse-cells`` (fused by default) to serve every
+scheme of a cell from one shared engine realisation.  Results are
+bit-identical whichever way the plan executes, so both flags are
+purely wall-clock knobs (use roughly the machine's core count for
+``--workers``; disable fusion only to measure the isolated path).
 """
 
 from __future__ import annotations
@@ -51,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
         "processes to fan runs out over (default 1 = serial; "
         "results are bit-identical either way)"
     )
+    fuse_help = (
+        "serve every scheme of a cell from one shared engine "
+        "realisation (default on; bit-identical either way)"
+    )
 
     table4 = sub.add_parser("table4", help="regenerate a Table 4 cell")
     table4.add_argument("--platform", default="CPU1")
@@ -59,12 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     table4.add_argument("--inputs", type=int, default=100)
     table4.add_argument("--stride", type=int, default=3)
     table4.add_argument("--workers", type=int, default=1, help=workers_help)
+    table4.add_argument(
+        "--fuse-cells",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=fuse_help,
+    )
 
     table5 = sub.add_parser("table5", help="regenerate Table 5")
     table5.add_argument("--platform", default="CPU1")
     table5.add_argument("--inputs", type=int, default=100)
     table5.add_argument("--stride", type=int, default=3)
     table5.add_argument("--workers", type=int, default=1, help=workers_help)
+    table5.add_argument(
+        "--fuse-cells",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=fuse_help,
+    )
 
     fig08 = sub.add_parser("fig08", help="regenerate the Figure 8 whiskers")
     fig08.add_argument("--platform", default="CPU1")
@@ -72,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig08.add_argument("--inputs", type=int, default=100)
     fig08.add_argument("--stride", type=int, default=3)
     fig08.add_argument("--workers", type=int, default=1, help=workers_help)
+    fig08.add_argument(
+        "--fuse-cells",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=fuse_help,
+    )
 
     serve = sub.add_parser("serve", help="run ALERT over one scenario")
     serve.add_argument("--platform", default="CPU1")
@@ -117,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
                 settings_stride=args.stride,
                 n_inputs=args.inputs,
                 workers=args.workers,
+                fuse_cells=args.fuse_cells,
             ).describe()
         )
     elif args.command == "fig09":
@@ -138,6 +164,7 @@ def main(argv: list[str] | None = None) -> int:
                 settings_stride=args.stride,
                 n_inputs=args.inputs,
                 workers=args.workers,
+                fuse_cells=args.fuse_cells,
             ).describe()
         )
     elif args.command == "table5":
@@ -147,6 +174,7 @@ def main(argv: list[str] | None = None) -> int:
                 settings_stride=args.stride,
                 n_inputs=args.inputs,
                 workers=args.workers,
+                fuse_cells=args.fuse_cells,
             ).describe()
         )
     elif args.command == "serve":

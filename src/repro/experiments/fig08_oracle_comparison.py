@@ -66,18 +66,23 @@ def run(
     n_inputs: int = 100,
     seed: int = 20200909,
     workers: int = 1,
+    fuse_cells: bool = True,
 ) -> Fig08Result:
     """Collect the Figure 8 whiskers for one platform/task.
 
     ``workers`` > 1 fans each environment's runs out over a process
-    pool (results are bit-identical to serial).
+    pool; ``fuse_cells`` shares one engine realisation per cell.  Both
+    are bit-identical to the serial isolated run.
     """
     whiskers: list[Whisker] = []
     for env in envs:
         scenario = build_scenario(platform, task, env, "standard", seed)
         grid = constraint_grid(scenario)
         goals = list(grid.min_energy_goals)[::settings_stride]
-        runs = evaluate_schemes(scenario, goals, SCHEMES, n_inputs, workers=workers)
+        runs = evaluate_schemes(
+            scenario, goals, SCHEMES, n_inputs, workers=workers,
+            fuse_cells=fuse_cells,
+        )
         for scheme in SCHEMES:
             energies = [r.mean_energy_j for r in runs.scheme_runs(scheme)]
             whiskers.append(

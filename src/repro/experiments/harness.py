@@ -6,19 +6,29 @@ drivers go through this module so the scheme definitions exist in
 exactly one place.
 
 **Architecture (spec → executor → loop).**  :func:`evaluate_schemes`
-no longer runs anything itself: it compiles the cell into a plan of
-:class:`repro.runtime.executor.RunSpec` entries — one per
-(goal, scheme), each picklable and rebuilt from the scenario's seeds
-in whichever process executes it — and hands the plan to a
-:class:`repro.runtime.executor.RunExecutor`.  With ``workers=1`` the
-plan runs in-process; with more, across a process pool.  Because every
-run derives from the scenario seed (common random numbers), the merged
-:class:`CellResult` is bit-identical regardless of worker count.  Each
-executing process caches oracle outcome grids keyed on
-``(scenario, deadline_s, period_s, n_inputs)``, so all goals sharing a
-timing share one grid.  Custom ``scheme_factory`` callables that are
-not importable by dotted path (closures, lambdas) fall back to an
-equivalent in-process loop.
+no longer runs anything itself: it compiles the cell into a plan and
+hands it to a :class:`repro.runtime.executor.RunExecutor`.  By default
+the plan is *fused* — one
+:class:`repro.runtime.executor.CellSpec` per goal, grouping every
+scheme of the (scenario, goal) cell so the executing process realises
+the (configuration × input) outcome grid once per timing and serves
+all schemes from it (feedback-free schemes via the serving loop's
+batch fast path over grid slices, feedback-driven schemes
+sequentially with their engine outcomes read from the same grid).
+``fuse_cells=False`` compiles the pre-fusion plan instead — one
+:class:`repro.runtime.executor.RunSpec` per (goal, scheme) — which is
+value-identical (``tests/test_cell_fusion_parity.py``) but realises
+engine outcomes per run.  Either way specs are picklable and rebuilt
+from the scenario's seeds in whichever process executes them: with
+``workers=1`` the plan runs in-process, with more across a process
+pool, and the merged :class:`CellResult` is bit-identical regardless
+of worker count (common random numbers).  Each executing process
+caches oracle outcome grids keyed on
+``(scenario, deadline_s, period_s, n_inputs)`` plus the candidate
+fingerprint, so all goals sharing a timing share one grid.  Custom
+``scheme_factory`` callables that are not importable by dotted path
+(closures, lambdas) fall back to an equivalent in-process loop,
+fused the same way.
 """
 
 from __future__ import annotations
@@ -38,14 +48,17 @@ from repro.baselines import (
 from repro.core.config_space import ConfigurationSpace
 from repro.core.goals import Goal
 from repro.errors import ConfigurationError
-from repro.models.inference import BatchOutcomeGrid
+from repro.models.inference import BatchOutcomeGrid, GridView
 from repro.runtime.executor import (
+    CellSpec,
     RunExecutor,
     RunSpec,
     ScenarioKey,
+    factory_accepts,
     factory_accepts_oracle_grid,
     factory_path,
     run_single,
+    space_fingerprint,
     timing_grid,
 )
 from repro.runtime.results import RunResult
@@ -72,11 +85,12 @@ SCHEMES = (
 
 
 def scheme_space(scenario: Scenario) -> ConfigurationSpace:
-    """The candidate configuration space every scheme selects from."""
-    profile = scenario.profile()
-    return ConfigurationSpace(
-        list(scenario.candidates.models), list(profile.powers)
-    )
+    """The candidate configuration space every scheme selects from.
+
+    Memoised on the scenario, so every run of a cell (and the cell's
+    outcome grid) shares one space object.
+    """
+    return scenario.space()
 
 
 def make_scheme(
@@ -87,6 +101,7 @@ def make_scheme(
     goal: Goal,
     n_inputs: int,
     oracle_grid: BatchOutcomeGrid | None = None,
+    grid_view: GridView | None = None,
 ) -> Scheduler:
     """Instantiate one of the Table 3 schemes for a single run.
 
@@ -94,41 +109,53 @@ def make_scheme(
     feedback schemes only need the offline profile.  ``oracle_grid``
     optionally supplies the precomputed (configuration × input) outcome
     grid so Oracle and OracleStatic skip re-deriving it (the draws are
-    bit-identical across fresh engines of one scenario seed).
+    bit-identical across fresh engines of one scenario seed);
+    ``grid_view`` is carried by the built scheduler so any serving
+    loop — not just the executor's — can serve the run from the shared
+    realisation.
     """
     profile = scenario.profile()
     candidates = scenario.candidates
     space = scheme_space(scenario)
     anytime = candidates.anytime
     if name == "Oracle":
-        return OracleScheduler(engine, space, grid=oracle_grid)
+        return OracleScheduler(engine, space, grid=oracle_grid, grid_view=grid_view)
     if name == "OracleStatic":
         return make_oracle_static(
-            engine, space, goal, stream, n_inputs, grid=oracle_grid
+            engine, space, goal, stream, n_inputs, grid=oracle_grid,
+            grid_view=grid_view,
         )
     if name == "ALERT":
-        return make_alert(profile)
+        return make_alert(profile, grid_view=grid_view)
     if name == "ALERT-Any":
         if anytime is None:
             raise ConfigurationError("ALERT-Any needs an anytime candidate")
-        return make_alert(profile, models=[anytime], name="ALERT-Any")
+        return make_alert(
+            profile, models=[anytime], name="ALERT-Any", grid_view=grid_view
+        )
     if name == "ALERT-Trad":
         traditional = list(candidates.traditional)
         if not traditional:
             raise ConfigurationError("ALERT-Trad needs traditional candidates")
-        return make_alert(profile, models=traditional, name="ALERT-Trad")
+        return make_alert(
+            profile, models=traditional, name="ALERT-Trad", grid_view=grid_view
+        )
     if name == "ALERT*":
-        return make_alert_star(profile)
+        return make_alert_star(profile, grid_view=grid_view)
     if name == "App-only":
         if anytime is None:
             raise ConfigurationError("App-only needs an anytime candidate")
-        return AppOnlyScheduler(anytime, scenario.machine.default_power())
+        return AppOnlyScheduler(
+            anytime, scenario.machine.default_power(), grid_view=grid_view
+        )
     if name == "Sys-only":
-        return SysOnlyScheduler(profile, list(candidates.models))
+        return SysOnlyScheduler(
+            profile, list(candidates.models), grid_view=grid_view
+        )
     if name == "No-coord":
         if anytime is None:
             raise ConfigurationError("No-coord needs an anytime candidate")
-        return NoCoordScheduler(profile, anytime)
+        return NoCoordScheduler(profile, anytime, grid_view=grid_view)
     raise ConfigurationError(f"unknown scheme {name!r}; choose from {SCHEMES}")
 
 
@@ -181,28 +208,55 @@ def _evaluate_in_process(
     n_inputs: int,
     scheme_factory: Callable[..., Scheduler],
     share_grid: bool,
+    fuse: bool,
 ) -> dict[str, list[RunResult]]:
     """Fallback for factories that cannot cross a process boundary.
 
     Mirrors the executor's behaviour exactly — same run construction
     (:func:`repro.runtime.executor.run_single`), same per-timing grid
-    cache — but calls the factory object directly.
+    cache (candidate-fingerprinted), same fused grid-view serving —
+    but calls the factory object directly.
     """
     grids: dict[tuple, BatchOutcomeGrid] = {}
+    default_fingerprint = space_fingerprint(scheme_space(scenario))
+    shared_engine = scenario.make_engine() if fuse else None
+    shared_stream = scenario.make_stream() if fuse else None
+
+    def cached_grid(goal: Goal, space=None) -> BatchOutcomeGrid:
+        fingerprint = (
+            default_fingerprint if space is None else space_fingerprint(space)
+        )
+        timing = (goal.deadline_s, goal.period, n_inputs, fingerprint)
+        grid = grids.get(timing)
+        if grid is None:
+            grid = timing_grid(
+                scenario, goal, n_inputs, space=space,
+                engine=shared_engine, stream=shared_stream,
+            )
+            grids[timing] = grid
+        return grid
+
+    accepts_provider = factory_accepts(scheme_factory, "grid_provider")
     runs: dict[str, list[RunResult]] = {name: [] for name in schemes}
     for goal in goals:
         grid = None
-        if share_grid:
-            timing = (goal.deadline_s, goal.period, n_inputs)
-            grid = grids.get(timing)
-            if grid is None:
-                grid = timing_grid(scenario, goal, n_inputs)
-                grids[timing] = grid
+        view = None
+        if fuse or share_grid:
+            grid = cached_grid(goal)
+        if fuse:
+            view = GridView(grid, trusted=True)
+        provider = None
+        if accepts_provider:
+            provider = lambda space, _goal=goal: cached_grid(_goal, space)  # noqa: E731
         for name in schemes:
             runs[name].append(
                 run_single(
                     scenario, goal, name, n_inputs, scheme_factory,
-                    oracle_grid=grid,
+                    oracle_grid=grid if share_grid else None,
+                    grid_view=view,
+                    grid_provider=provider,
+                    engine=shared_engine,
+                    stream=shared_stream,
                 )
             )
     return runs
@@ -216,6 +270,7 @@ def evaluate_schemes(
     scheme_factory: Callable[..., Scheduler] = make_scheme,
     workers: int = 1,
     share_oracle_grid: bool | None = None,
+    fuse_cells: bool | None = None,
 ) -> CellResult:
     """Run every scheme over every constraint setting of a cell.
 
@@ -223,25 +278,56 @@ def evaluate_schemes(
     from the scenario's seed, so all schemes face bit-identical
     environments (common random numbers) — and so the cell can be
     executed by any number of ``workers`` with bit-identical results.
-    That same property lets the oracle outcome grid — every
-    configuration on every input under the true draws — be computed
-    once per (scenario, deadline, period) *timing* and shared across
-    all goals and oracle schemes that use it; ``share_oracle_grid``
-    overrides the automatic gate (see the module docstring).
+    That same property lets the engine realisation itself be shared:
+    by default each (scenario, goal) cell is *fused* — one outcome
+    grid per timing serves every scheme (see the module docstring) —
+    and the oracle grid handed to capable factories is the same
+    object.  ``fuse_cells`` overrides the default: None fuses unless
+    ``share_oracle_grid=False`` opted the cell out of shared
+    realisations entirely; True/False force the choice (True together
+    with ``share_oracle_grid=False`` is contradictory and raises).
+    ``share_oracle_grid`` keeps its pre-fusion meaning for the factory
+    handoff (see :func:`_grid_sharing`).
     """
     goal_list = tuple(goals)
     scheme_list = tuple(schemes)
     if not goal_list:
         raise ConfigurationError("need at least one constraint setting")
     share_grid = _grid_sharing(scheme_factory, scheme_list, share_oracle_grid)
+    if fuse_cells and share_oracle_grid is False:
+        raise ConfigurationError(
+            "fuse_cells=True contradicts share_oracle_grid=False: a fused "
+            "cell is exactly a shared realisation"
+        )
+    fuse = share_oracle_grid is not False if fuse_cells is None else fuse_cells
 
     key = ScenarioKey.for_scenario(scenario)
     path = factory_path(scheme_factory)
     if key is None or path is None:
         runs = _evaluate_in_process(
             scenario, goal_list, scheme_list, n_inputs, scheme_factory,
-            share_grid,
+            share_grid, fuse,
         )
+        return CellResult(scenario=scenario, goals=goal_list, runs=runs)
+
+    if fuse:
+        plan = [
+            CellSpec(
+                scenario=key,
+                goal=goal,
+                schemes=scheme_list,
+                n_inputs=n_inputs,
+                factory=path,
+                use_oracle_grid=share_grid,
+            )
+            for goal in goal_list
+        ]
+        executor = RunExecutor(workers=workers, chunksize=1)
+        cell_results = executor.run_plan(plan, scenarios={key: scenario})
+        runs = {name: [] for name in scheme_list}
+        for cell in cell_results:
+            for name, result in zip(scheme_list, cell):
+                runs[name].append(result)
         return CellResult(scenario=scenario, goals=goal_list, runs=runs)
 
     plan = [

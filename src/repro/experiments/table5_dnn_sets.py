@@ -69,11 +69,13 @@ def run(
     n_inputs: int = 100,
     seed: int = 20200808,
     workers: int = 1,
+    fuse_cells: bool = True,
 ) -> Table5Result:
     """Evaluate the candidate-set comparison on the image task.
 
-    ``workers`` > 1 fans each cell's runs out over a process pool
-    (results are bit-identical to serial).
+    ``workers`` > 1 fans each cell's runs out over a process pool;
+    ``fuse_cells`` shares one engine realisation per (goal × scheme)
+    cell.  Both are bit-identical to the serial isolated run.
     """
     result = Table5Result()
     for platform in platforms:
@@ -88,7 +90,8 @@ def run(
                 )
                 subset = list(goals)[::settings_stride]
                 runs = evaluate_schemes(
-                    scenario, subset, SCHEMES, n_inputs, workers=workers
+                    scenario, subset, SCHEMES, n_inputs, workers=workers,
+                    fuse_cells=fuse_cells,
                 )
                 baseline = runs.scheme_runs("OracleStatic")
                 cell = {

@@ -125,7 +125,19 @@ class DvfsModel:
         effective = np.minimum(caps, spec.peak_power_w)
         headroom = effective - spec.static_power_w
         full_headroom = spec.peak_power_w - spec.static_power_w
-        fraction = (headroom / full_headroom) ** (1.0 / self.exponent)
+        ratio = headroom / full_headroom
+        # The exponentiation runs per element through Python's float
+        # ``**`` (libm pow) instead of numpy's vectorized kernel: the
+        # two can disagree by 1 ulp, and this map feeds the memoised
+        # config-static tables of ``evaluate_batch``, which the fused
+        # cell path serves to *feedback* schedulers — a 1-ulp latency
+        # difference there would let fused and unfused ALERT runs
+        # diverge.  The array is config-sized and memoised downstream,
+        # so the scalar loop costs nothing measurable.
+        inverse = 1.0 / self.exponent
+        fraction = np.array(
+            [value**inverse for value in ratio.tolist()], dtype=float
+        ).reshape(ratio.shape)
         return np.clip(fraction, self.min_frequency_fraction, 1.0)
 
     def latency_multiplier_array(

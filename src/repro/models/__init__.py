@@ -37,7 +37,7 @@ from repro.models.families import (
     sparse_resnet_family,
     width_nest_anytime,
 )
-from repro.models.inference import InferenceEngine, InferenceOutcome
+from repro.models.inference import GridView, InferenceEngine, InferenceOutcome
 from repro.models.profiles import ProfileTable, Profiler
 from repro.models.zoo import imagenet_zoo
 
@@ -58,6 +58,7 @@ __all__ = [
     "width_nest_anytime",
     "InferenceEngine",
     "InferenceOutcome",
+    "GridView",
     "ProfileTable",
     "Profiler",
     "imagenet_zoo",

@@ -46,6 +46,7 @@ __all__ = [
     "EnvironmentDraw",
     "InferenceOutcome",
     "BatchOutcomeGrid",
+    "GridView",
     "InferenceEngine",
 ]
 
@@ -183,6 +184,156 @@ class BatchOutcomeGrid:
                 int(i): pos for pos, i in enumerate(self.indices)
             }
         return self._column_of.get(int(index))
+
+
+class GridView:
+    """Serving accessors over one shared :class:`BatchOutcomeGrid`.
+
+    The sequential consumers' counterpart of the oracles' column reads:
+    maps a *decided* configuration to its grid row — keyed on the model
+    identity, the cap the actuator enforced, and the rung cap, so
+    schedulers handing out their own :class:`Configuration` objects
+    (ALERT's candidates are not the grid's row objects) still resolve —
+    and realises single :class:`InferenceOutcome` records straight from
+    the grid columns, value-identical to what
+    :meth:`InferenceEngine.run` would have computed for the same
+    enforced cap.  One view serves every run of a fused cell; any
+    lookup miss (unknown configuration, off-grid input, mismatched
+    timing or work factor) returns ``None`` and the caller falls back
+    to the live engine.
+
+    ``trusted`` is a provenance flag: True promises the grid was
+    realised from the same scenario seed as the engines it serves (the
+    executor builds fused-cell grids exactly that way), letting
+    consumers skip the per-input environment-draw guard — and with it
+    the cost of re-realising draws the run never otherwise needs.
+    Hand-built views default to untrusted and are guarded per input.
+    """
+
+    def __init__(self, grid: BatchOutcomeGrid, trusted: bool = False) -> None:
+        self.grid = grid
+        self.trusted = trusted
+        self._rows: dict[tuple[int, float, int | None], int] | None = None
+
+    def matches_timing(self, deadline_s: float, period_s: float) -> bool:
+        """Whether the grid was realised under this exact timing."""
+        grid = self.grid
+        return deadline_s == grid.deadline_s and period_s == grid.period_s
+
+    def row_for(
+        self, model, effective_cap_w: float, rung_cap: int | None
+    ) -> int | None:
+        """Grid row realising ``model`` at the enforced cap, or None.
+
+        Rows are keyed on the cap the grid evaluation actually used
+        (machine-clamped), so a decision only resolves when the
+        actuator's *effective* cap equals a row's cap — on quantizing
+        actuators a mismatch simply falls back to the live engine.
+        """
+        rows = self._rows
+        if rows is None:
+            grid = self.grid
+            caps = grid.power_cap_w
+            rows = {}
+            for position, config in enumerate(grid.configs):
+                key = (id(config.model), float(caps[position]), config.rung_cap)
+                # First occurrence wins; duplicates are physically
+                # identical rows (same model, cap, and rung).
+                rows.setdefault(key, position)
+                # A cap at the final rung of a full-length ladder is
+                # physically the uncapped ladder (stop = min(stop,
+                # 1.0 * full) is a no-op), so grids built from
+                # rung-expanded spaces also answer ``rung_cap=None``
+                # decisions (App-only's run-to-deadline config).
+                grid_rung = config.rung_cap
+                if grid_rung is not None:
+                    outputs = getattr(config.model, "outputs", None)
+                    if (
+                        outputs is not None
+                        and grid_rung == len(outputs) - 1
+                        and outputs[grid_rung].latency_fraction == 1.0
+                    ):
+                        rows.setdefault(
+                            (id(config.model), float(caps[position]), None),
+                            position,
+                        )
+            self._rows = rows
+        return rows.get((id(model), effective_cap_w, rung_cap))
+
+    def column_for(self, index: int, work_factor: float) -> int | None:
+        """Grid column serving input ``index``, or None on any mismatch."""
+        grid = self.grid
+        position = grid.column_for(index)
+        if position is None or work_factor != grid.work_factors[position]:
+            return None
+        return position
+
+    def columns_for(self, indices, work_factors) -> np.ndarray | None:
+        """Columns serving a whole run, or None when any input misses."""
+        grid = self.grid
+        positions = [grid.column_for(index) for index in indices]
+        if any(position is None for position in positions):
+            return None
+        columns = np.asarray(positions, dtype=int)
+        factors = np.asarray(list(work_factors), dtype=float)
+        if not np.array_equal(factors, grid.work_factors[columns]):
+            return None
+        return columns
+
+    def env_matches(self, engine: "InferenceEngine", index: int, position: int) -> bool:
+        """Guard one column against a grid from diverged draws."""
+        return (
+            engine.environment(index).env_factor
+            == float(self.grid.env_factor[position])
+        )
+
+    def outcome(
+        self,
+        row: int,
+        position: int,
+        index: int,
+        power_cap_w: float,
+        deadline_s: float,
+        period_s: float,
+    ) -> InferenceOutcome:
+        """One :class:`InferenceOutcome` read out of the grid.
+
+        ``power_cap_w`` is the machine-clamped *requested* cap the
+        record reports (feedback stays keyed on what the scheduler
+        picked); the row's own cap is the enforced one.  Records are
+        assembled by direct ``__dict__`` fill — this sits on the fused
+        sequential path's per-input hot loop, and the frozen dataclass
+        ``__init__`` would dominate it.
+        """
+        grid = self.grid
+        model = grid.configs[row].model
+        quality = float(grid.quality[row, position])
+        energy = object.__new__(EnergyBreakdown)
+        fill = object.__setattr__
+        fill(energy, "__dict__", {
+            "inference_j": float(grid.inference_j[row, position]),
+            "idle_j": float(grid.idle_j[row, position]),
+        })
+        outcome = object.__new__(InferenceOutcome)
+        fill(outcome, "__dict__", {
+            "index": index,
+            "model_name": model.name,
+            "power_cap_w": power_cap_w,
+            "effective_cap_w": float(grid.power_cap_w[row]),
+            "latency_s": float(grid.latency_s[row, position]),
+            "full_latency_s": float(grid.full_latency_s[row, position]),
+            "met_deadline": bool(grid.met_deadline[row, position]),
+            "quality": quality,
+            "metric_value": model.task.quality_to_metric(quality),
+            "completed_rungs": int(grid.completed_rungs[row, position]),
+            "energy": energy,
+            "inference_power_w": float(grid.inference_power_w[row]),
+            "idle_power_w": float(grid.idle_power_w[row, position]),
+            "env_factor": float(grid.env_factor[position]),
+            "deadline_s": deadline_s,
+            "period_s": period_s,
+        })
+        return outcome
 
 
 @dataclass

@@ -13,6 +13,18 @@ independence into an execution plan:
   scheme name, an input count, and a dotted path to the scheme
   factory.  Specs are plain picklable data, so a plan can cross a
   process boundary;
+* :class:`CellSpec` — one *fused* unit of work: every scheme of one
+  (scenario, goal) cell.  The executing process realises the
+  (configuration × input) outcome grid for the cell's timing once and
+  serves all schemes from it: feedback-free schemes ride the serving
+  loop's batch fast path over grid column slices, and feedback-driven
+  schemes (ALERT and friends) still run sequentially but read their
+  latency/energy columns from the same grid instead of calling
+  :meth:`~repro.models.inference.InferenceEngine.run` per input —
+  the amortize-the-simulation trick of trace-driven schedulers:
+  many policies, one realisation.  Fused results are value-identical
+  to the equivalent isolated :class:`RunSpec` runs
+  (``tests/test_cell_fusion_parity.py``);
 * :class:`RunExecutor` — executes a plan either serially in-process or
   across a ``concurrent.futures`` process pool.  Results are merged
   back in plan order, so the output is *bit-identical* regardless of
@@ -20,10 +32,16 @@ independence into an execution plan:
   which worker ran it or in what order.
 
 Each worker keeps a small per-process cache of oracle outcome grids
-keyed on ``(scenario, deadline_s, period_s, n_inputs)`` — the grid
-depends only on the run's *timing*, not on the accuracy/energy
-constraint — so the many goals of a constraint grid that share one
-deadline reuse one grid instead of recomputing it per goal.
+keyed on ``(scenario, deadline_s, period_s, n_inputs)`` plus the
+fingerprint of the candidate configuration list the grid covers — the
+grid depends only on the run's *timing* and its configuration rows,
+not on the accuracy/energy constraint — so the many goals of a
+constraint grid that share one deadline reuse one grid instead of
+recomputing it per goal, while schemes evaluating *different*
+candidate sets under one timing still get distinct grids.  Scheme
+factories can tap the same cache directly by accepting a
+``grid_provider`` keyword: a callable ``(space) -> BatchOutcomeGrid``
+bound to the executing process's cache and the spec's timing.
 """
 
 from __future__ import annotations
@@ -37,6 +55,7 @@ from dataclasses import dataclass
 
 from repro.core.goals import Goal
 from repro.errors import ConfigurationError
+from repro.models.inference import GridView
 from repro.runtime.loop import ServingLoop
 from repro.runtime.results import RunResult
 from repro.workloads.scenarios import Scenario, build_scenario
@@ -44,11 +63,14 @@ from repro.workloads.scenarios import Scenario, build_scenario
 __all__ = [
     "ScenarioKey",
     "RunSpec",
+    "CellSpec",
     "RunExecutor",
     "run_single",
     "factory_path",
     "resolve_factory",
+    "factory_accepts",
     "factory_accepts_oracle_grid",
+    "space_fingerprint",
 ]
 
 #: Default dotted path of the scheme factory (module:attribute).
@@ -140,6 +162,37 @@ class RunSpec:
             )
 
 
+@dataclass(frozen=True)
+class CellSpec:
+    """One fused cell: every scheme of one (scenario, goal) pair.
+
+    The executing process realises the cell's outcome grid once (via
+    the per-process timing cache) and serves all ``schemes`` from it
+    through a trusted :class:`~repro.models.inference.GridView`; runs
+    come back aligned one-to-one with ``schemes``.  ``use_oracle_grid``
+    gates only whether the grid is additionally handed to the scheme
+    factory as its ``oracle_grid`` keyword — grid-view serving is what
+    makes the cell fused and is always on.
+    """
+
+    scenario: ScenarioKey
+    goal: Goal
+    schemes: tuple[str, ...]
+    n_inputs: int
+    factory: str = DEFAULT_FACTORY
+    use_oracle_grid: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.schemes, tuple):
+            object.__setattr__(self, "schemes", tuple(self.schemes))
+        if not self.schemes:
+            raise ConfigurationError("a cell needs at least one scheme")
+        if self.n_inputs < 1:
+            raise ConfigurationError(
+                f"need at least one input, got {self.n_inputs}"
+            )
+
+
 def resolve_factory(path: str) -> Callable:
     """Import a scheme factory from its ``"module:attribute"`` path."""
     module_name, sep, attribute = path.partition(":")
@@ -173,21 +226,83 @@ def factory_path(factory: Callable) -> str | None:
     return path if resolved is factory else None
 
 
-def factory_accepts_oracle_grid(factory: Callable) -> bool:
-    """Whether a scheme factory can receive an ``oracle_grid`` kwarg."""
+#: Memo of per-(factory, keyword, mode) signature probes, keyed on
+#: identity with the factory kept alive (ids cannot be recycled).
+#: FIFO-bounded: the closure-fallback path can feed per-call factory
+#: objects through here, and an unbounded map would pin every one —
+#: plus everything it captured — for the life of the process.
+_ACCEPTS_CACHE: OrderedDict[tuple[int, str, bool], tuple[Callable, bool]] = (
+    OrderedDict()
+)
+_ACCEPTS_CACHE_CAPACITY = 256
+
+
+def factory_accepts(
+    factory: Callable, keyword: str, var_keyword: bool = False
+) -> bool:
+    """Whether a scheme factory can receive ``keyword`` as a kwarg.
+
+    ``var_keyword`` additionally counts a ``**kwargs`` catch-all as
+    accepting.  The legacy ``oracle_grid`` handoff keeps that loose
+    contract; the newer ``grid_view``/``grid_provider`` hooks require
+    the parameter to be named explicitly, so ``**kwargs`` wrappers
+    around grid-unaware factories never get surprise keywords (the
+    fused serving path does not need the factory's cooperation — the
+    executor hands the view to the serving loop directly).
+    """
+    cache_key = (id(factory), keyword, var_keyword)
+    cached = _ACCEPTS_CACHE.get(cache_key)
+    if cached is not None and cached[0] is factory:
+        return cached[1]
     try:
         signature = inspect.signature(factory)
     except (TypeError, ValueError):
-        return False
-    for parameter in signature.parameters.values():
-        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
-            return True
-        if parameter.name == "oracle_grid" and parameter.kind in (
-            inspect.Parameter.POSITIONAL_OR_KEYWORD,
-            inspect.Parameter.KEYWORD_ONLY,
-        ):
-            return True
-    return False
+        signature = None
+    accepts = False
+    if signature is not None:
+        for parameter in signature.parameters.values():
+            if var_keyword and parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                accepts = True
+                break
+            if parameter.name == keyword and parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ):
+                accepts = True
+                break
+    if len(_ACCEPTS_CACHE) >= _ACCEPTS_CACHE_CAPACITY:
+        _ACCEPTS_CACHE.popitem(last=False)
+    _ACCEPTS_CACHE[cache_key] = (factory, accepts)
+    return accepts
+
+
+def factory_accepts_oracle_grid(factory: Callable) -> bool:
+    """Whether a scheme factory can receive an ``oracle_grid`` kwarg."""
+    return factory_accepts(factory, "oracle_grid", var_keyword=True)
+
+
+def space_fingerprint(configs: Iterable) -> tuple:
+    """A hashable identity of a candidate configuration list.
+
+    Grids are cached per timing, but two grids over the same timing
+    are interchangeable only when their configuration rows match; this
+    fingerprint is what the cache keys on.  It includes ``id(model)``
+    alongside the display name so two *different* model objects that
+    happen to share a name can never alias one grid — safe per process
+    because every cached grid keeps its configuration (and therefore
+    model) objects alive, pinning the ids in its key; and stable
+    because consumers rebuild spaces from the scenario's memoised
+    model objects, not fresh copies.
+    """
+    return tuple(
+        (
+            id(config.model),
+            config.model.name,
+            config.power_w,
+            config.rung_cap,
+        )
+        for config in configs
+    )
 
 
 def run_single(
@@ -197,54 +312,81 @@ def run_single(
     n_inputs: int,
     factory: Callable,
     oracle_grid=None,
+    grid_view: GridView | None = None,
+    grid_provider: Callable | None = None,
+    engine=None,
+    stream=None,
 ) -> RunResult:
-    """Execute one run: fresh engine + stream, one serving loop.
+    """Execute one run: one engine + stream, one serving loop.
 
     The single place both the serial and the pooled paths (and the
     harness's in-process fallback) funnel through, so "one run" means
-    exactly the same thing everywhere.
+    exactly the same thing everywhere.  ``grid_view`` feeds the
+    serving loop's shared-realisation path; ``grid_view`` and
+    ``grid_provider`` are additionally offered to the factory when its
+    signature accepts them.  ``engine``/``stream`` default to fresh
+    per-run builds; the fused cell path passes shared ones — engines
+    are deterministic functions of the scenario seed (actuator and
+    meter state never feed back into outcomes) and streams memoise
+    their items, so sharing changes wall-clock, not results.
     """
-    engine = scenario.make_engine()
-    stream = scenario.make_stream()
+    if engine is None:
+        engine = scenario.make_engine()
+    if stream is None:
+        stream = scenario.make_stream()
+    kwargs = {}
     if oracle_grid is not None:
-        scheduler = factory(
-            scheme, scenario, engine, stream, goal, n_inputs,
-            oracle_grid=oracle_grid,
-        )
-    else:
-        scheduler = factory(scheme, scenario, engine, stream, goal, n_inputs)
-    return ServingLoop(engine, stream, scheduler, goal).run(n_inputs)
+        kwargs["oracle_grid"] = oracle_grid
+    if grid_view is not None and factory_accepts(factory, "grid_view"):
+        kwargs["grid_view"] = grid_view
+    if grid_provider is not None and factory_accepts(factory, "grid_provider"):
+        kwargs["grid_provider"] = grid_provider
+    scheduler = factory(scheme, scenario, engine, stream, goal, n_inputs, **kwargs)
+    return ServingLoop(
+        engine, stream, scheduler, goal, grid_view=grid_view
+    ).run(n_inputs)
 
 
-def timing_grid(scenario: Scenario, goal: Goal, n_inputs: int):
+def timing_grid(
+    scenario: Scenario,
+    goal: Goal,
+    n_inputs: int,
+    space=None,
+    engine=None,
+    stream=None,
+):
     """The oracle outcome grid for one (scenario, timing) pair.
 
     The grid realises every candidate configuration on every input
     under the goal's deadline and period; it does not depend on the
     accuracy floor or energy budget, so every goal sharing the timing
-    shares the grid.
+    shares the grid.  ``space`` overrides the scenario's full candidate
+    space (custom factories evaluating reduced sets);
+    ``engine``/``stream`` reuse an existing realisation (one engine's
+    memoised draws serve every timing of a scenario).
     """
     # Imported lazily: baselines imports repro.runtime, so a module
     # level import here would be circular.
     from repro.baselines.oracle import oracle_outcome_grid
-    from repro.core.config_space import ConfigurationSpace
 
-    profile = scenario.profile()
-    space = ConfigurationSpace(
-        list(scenario.candidates.models), list(profile.powers)
-    )
-    return oracle_outcome_grid(
-        scenario.make_engine(), space, goal, scenario.make_stream(), n_inputs
-    )
+    if space is None:
+        space = scenario.space()
+    if engine is None:
+        engine = scenario.make_engine()
+    if stream is None:
+        stream = scenario.make_stream()
+    return oracle_outcome_grid(engine, space, goal, stream, n_inputs)
 
 
 class _WorkerState:
-    """Per-process caches: scenarios, factories, and outcome grids."""
+    """Per-process caches: scenarios, factories, spaces, outcome grids."""
 
     def __init__(self, scenarios: Mapping[ScenarioKey, Scenario] | None = None):
         self._scenarios: dict[ScenarioKey, Scenario] = dict(scenarios or {})
         self._factories: dict[str, Callable] = {}
+        self._spaces: dict[ScenarioKey, object] = {}
         self._grids: OrderedDict[tuple, object] = OrderedDict()
+        self._realisations: dict[ScenarioKey, tuple] = {}
 
     def scenario(self, key: ScenarioKey) -> Scenario:
         cached = self._scenarios.get(key)
@@ -260,33 +402,114 @@ class _WorkerState:
             self._factories[path] = cached
         return cached
 
-    def grid(self, key: ScenarioKey, goal: Goal, n_inputs: int):
-        cache_key = (key, goal.deadline_s, goal.period, n_inputs)
+    def space(self, key: ScenarioKey):
+        cached = self._spaces.get(key)
+        if cached is None:
+            cached = self.scenario(key).space()
+            self._spaces[key] = cached
+        return cached
+
+    def realisation(self, key: ScenarioKey) -> tuple:
+        """One shared (engine, stream) pair per scenario.
+
+        Engines are deterministic functions of the scenario seed and
+        memoise their environment draws; streams memoise their items.
+        Fused cells share this pair across every run and grid build of
+        a scenario, so a plan realises each scenario's environment
+        exactly once.
+        """
+        cached = self._realisations.get(key)
+        if cached is None:
+            scenario = self.scenario(key)
+            cached = (scenario.make_engine(), scenario.make_stream())
+            self._realisations[key] = cached
+        return cached
+
+    def grid(self, key: ScenarioKey, goal: Goal, n_inputs: int, space=None):
+        if space is None:
+            space = self.space(key)
+        # The fingerprint keeps grids over *different* candidate lists
+        # (grid_provider requests from custom factories) from aliasing
+        # under a shared timing.
+        cache_key = (
+            key,
+            goal.deadline_s,
+            goal.period,
+            n_inputs,
+            space_fingerprint(space),
+        )
         cached = self._grids.get(cache_key)
         if cached is None:
-            cached = timing_grid(self.scenario(key), goal, n_inputs)
+            engine, stream = self.realisation(key)
+            cached = timing_grid(
+                self.scenario(key), goal, n_inputs, space=space,
+                engine=engine, stream=stream,
+            )
             if len(self._grids) >= _GRID_CACHE_CAPACITY:
                 self._grids.popitem(last=False)
             self._grids[cache_key] = cached
         return cached
 
-    def execute(self, spec: RunSpec) -> RunResult:
+    def _grid_provider(self, key: ScenarioKey, goal: Goal, n_inputs: int):
+        """The cache-backed grid hook offered to capable factories."""
+
+        def provider(space):
+            return self.grid(key, goal, n_inputs, space=space)
+
+        return provider
+
+    def execute(self, spec: "RunSpec | CellSpec"):
+        if isinstance(spec, CellSpec):
+            return self.execute_cell(spec)
         scenario = self.scenario(spec.scenario)
         factory = self.factory(spec.factory)
         grid = None
         if spec.use_oracle_grid and factory_accepts_oracle_grid(factory):
             grid = self.grid(spec.scenario, spec.goal, spec.n_inputs)
+        provider = None
+        if factory_accepts(factory, "grid_provider"):
+            provider = self._grid_provider(spec.scenario, spec.goal, spec.n_inputs)
         return run_single(
             scenario, spec.goal, spec.scheme, spec.n_inputs, factory,
-            oracle_grid=grid,
+            oracle_grid=grid, grid_provider=provider,
         )
+
+    def execute_cell(self, spec: CellSpec) -> list[RunResult]:
+        """Realise one grid, serve every scheme of the cell from it.
+
+        The grid comes from the same per-timing cache the isolated
+        path uses, so consecutive cells sharing a timing (a constraint
+        grid's goals) still build it once.  The view is trusted: the
+        grid and every run's engine derive from the same scenario
+        seed, so their environment draws are identical by
+        construction.
+        """
+        scenario = self.scenario(spec.scenario)
+        factory = self.factory(spec.factory)
+        grid = self.grid(spec.scenario, spec.goal, spec.n_inputs)
+        view = GridView(grid, trusted=True)
+        oracle_grid = None
+        if spec.use_oracle_grid and factory_accepts_oracle_grid(factory):
+            oracle_grid = grid
+        provider = None
+        if factory_accepts(factory, "grid_provider"):
+            provider = self._grid_provider(spec.scenario, spec.goal, spec.n_inputs)
+        engine, stream = self.realisation(spec.scenario)
+        return [
+            run_single(
+                scenario, spec.goal, scheme, spec.n_inputs, factory,
+                oracle_grid=oracle_grid, grid_view=view, grid_provider=provider,
+                engine=engine, stream=stream,
+            )
+            for scheme in spec.schemes
+        ]
 
 
 #: Lazily-created state of a pool worker process.
 _POOL_STATE: _WorkerState | None = None
 
 
-def _pool_execute(spec: RunSpec) -> RunResult:
+def _pool_execute(spec: "RunSpec | CellSpec"):
     """Top-level pool entry point (must be picklable by reference)."""
     global _POOL_STATE
     if _POOL_STATE is None:
@@ -295,7 +518,7 @@ def _pool_execute(spec: RunSpec) -> RunResult:
 
 
 class RunExecutor:
-    """Executes a plan of :class:`RunSpec` runs, serially or pooled.
+    """Executes a plan of :class:`RunSpec`/:class:`CellSpec` entries.
 
     Parameters
     ----------
@@ -306,10 +529,11 @@ class RunExecutor:
         its environment from the scenario seed, parallel output is
         bit-identical to serial output.
     chunksize:
-        How many consecutive specs one worker task takes.  Plans are
-        typically ordered goal-major, so a chunk the size of the
-        scheme list keeps one goal's runs (which share an oracle grid)
-        on one worker.
+        How many consecutive specs one worker task takes.  Isolated
+        plans are typically ordered goal-major, so a chunk the size of
+        the scheme list keeps one goal's runs (which share an oracle
+        grid) on one worker; fused plans carry one :class:`CellSpec`
+        per goal, so the default chunk of 1 is already cell-granular.
     """
 
     def __init__(self, workers: int = 1, chunksize: int = 1) -> None:
@@ -326,14 +550,16 @@ class RunExecutor:
 
     def run_plan(
         self,
-        specs: Iterable[RunSpec],
+        specs: Iterable["RunSpec | CellSpec"],
         scenarios: Mapping[ScenarioKey, Scenario] | None = None,
-    ) -> list[RunResult]:
+    ) -> list:
         """Execute every spec; results align one-to-one with the plan.
 
-        ``scenarios`` optionally seeds the serial path's scenario cache
-        with already-built objects (preserving their memoised
-        profiles); pool workers always rebuild from keys.
+        A :class:`RunSpec` yields one :class:`RunResult`; a
+        :class:`CellSpec` yields a list of them, aligned with its
+        ``schemes``.  ``scenarios`` optionally seeds the serial path's
+        scenario cache with already-built objects (preserving their
+        memoised profiles); pool workers always rebuild from keys.
         """
         plan = list(specs)
         if not plan:

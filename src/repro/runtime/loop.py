@@ -32,6 +32,24 @@ process pool), and the experiment harness builds those plans.
   floating-point associativity (≤ 1 ulp; discrete fields identical),
   pinned by ``tests/test_serving_batch_parity.py``.
 
+**Shared realisations.**  Both paths can additionally serve from a
+:class:`~repro.models.inference.GridView` over a precomputed
+(configuration × input) outcome grid — the fused-cell execution path
+realises one grid per (scenario, timing) and every scheme of the cell
+reads it.  On the sequential path each decision that resolves to a
+grid (row, column) is answered from the grid instead of
+:meth:`InferenceEngine.run` (the actuator is still driven, so effective
+caps and end state match the live path; nothing is metered); on the
+batch path whole configuration groups become column slices instead of
+fresh ``evaluate_batch`` passes.  Any lookup miss — off-grid input,
+unknown configuration, quantized cap, trace-adjusted deadline —
+falls back to the live engine per input, so a view is always an
+optimisation, never a semantics change
+(``tests/test_cell_fusion_parity.py`` pins fused ≡ unfused).  The view
+comes from the ``grid_view`` constructor argument, or, failing that,
+from an optional ``grid_view`` attribute on the scheduler (the
+baselines accept one).
+
 Violation bookkeeping follows the paper:
 
 * **latency** — the final answer landed after the (base) deadline;
@@ -50,7 +68,7 @@ import numpy as np
 from repro.core.goals import Goal, GoalAdjuster
 from repro.errors import ConfigurationError
 from repro.hw.energy import EnergyBreakdown
-from repro.models.inference import InferenceEngine, InferenceOutcome
+from repro.models.inference import GridView, InferenceEngine, InferenceOutcome
 from repro.runtime.results import RunResult, ServedInput
 from repro.runtime.scheduler import Scheduler
 from repro.workloads.inputs import InputItem, InputStream
@@ -92,6 +110,10 @@ class ServingLoop:
         Optional mid-run requirement changes.
     adjuster:
         Goal adjuster; a fresh one is built when omitted.
+    grid_view:
+        Optional shared-realisation view (see the module docstring).
+        When omitted, the loop probes the scheduler for a ``grid_view``
+        attribute.
     """
 
     def __init__(
@@ -102,6 +124,7 @@ class ServingLoop:
         goal: Goal,
         requirement_trace: RequirementTrace | None = None,
         adjuster: GoalAdjuster | None = None,
+        grid_view: GridView | None = None,
     ) -> None:
         self.engine = engine
         self.stream = stream
@@ -109,6 +132,9 @@ class ServingLoop:
         self.goal = goal
         self.trace = requirement_trace or RequirementTrace()
         self.adjuster = adjuster if adjuster is not None else GoalAdjuster()
+        if grid_view is None:
+            grid_view = getattr(scheduler, "grid_view", None)
+        self.grid_view = grid_view
         # Batch-path configuration tuples, keyed on (model, effective
         # cap, rung): reusing the same tuple object across runs lets
         # the engine's identity-keyed config-table memo hit.
@@ -185,6 +211,36 @@ class ServingLoop:
     # ------------------------------------------------------------------
     # Sequential reference path
     # ------------------------------------------------------------------
+    def _grid_outcome(
+        self, view: GridView, config, item: InputItem, adjusted: Goal, period: float
+    ) -> InferenceOutcome | None:
+        """Serve one decision from the shared grid, or None on any miss.
+
+        Mirrors :meth:`InferenceEngine.run` exactly minus the metering:
+        the actuator is driven to the requested cap, the outcome is the
+        grid row realised at the cap the actuator actually enforced,
+        and the reported ``power_cap_w`` is the machine-clamped request.
+        """
+        engine = self.engine
+        index = item.index
+        effective = engine.actuator.set_power_cap(config.power_w)
+        row = view.row_for(config.model, effective, config.rung_cap)
+        if row is None:
+            return None
+        position = view.column_for(index, item.work_factor)
+        if position is None:
+            return None
+        if not view.trusted and not view.env_matches(engine, index, position):
+            return None
+        return view.outcome(
+            row,
+            position,
+            index=index,
+            power_cap_w=engine.machine.clamp_power(config.power_w),
+            deadline_s=adjusted.deadline_s,
+            period_s=period,
+        )
+
     def _run_sequential(self, items: list[InputItem]) -> list[ServedInput]:
         """The per-input round trip: decide → run → observe → record."""
         records: list[ServedInput] = []
@@ -192,21 +248,30 @@ class ServingLoop:
         # input; the state itself is still read per input (ALERT's ξ
         # belief evolves with every observation — Figure 9's traces).
         has_state = hasattr(self.scheduler, "state")
+        view = self.grid_view
         for item in items:
             index = item.index
             base_goal = self._base_goal_at(index)
             adjusted = self.adjuster.adjust(base_goal, item)
 
             config = self.scheduler.decide(item, adjusted)
-            outcome = self.engine.run(
-                model=config.model,
-                power_cap_w=config.power_w,
-                index=index,
-                deadline_s=adjusted.deadline_s,
-                period_s=base_goal.period,
-                work_factor=item.work_factor,
-                rung_cap=config.rung_cap,
-            )
+            outcome = None
+            if view is not None and view.matches_timing(
+                adjusted.deadline_s, base_goal.period
+            ):
+                outcome = self._grid_outcome(
+                    view, config, item, adjusted, base_goal.period
+                )
+            if outcome is None:
+                outcome = self.engine.run(
+                    model=config.model,
+                    power_cap_w=config.power_w,
+                    index=index,
+                    deadline_s=adjusted.deadline_s,
+                    period_s=base_goal.period,
+                    work_factor=item.work_factor,
+                    rung_cap=config.rung_cap,
+                )
             self.scheduler.observe(outcome)
             self.adjuster.consume(item, outcome.latency_s)
             state = self.scheduler.state if has_state else None
@@ -297,6 +362,30 @@ class ServingLoop:
         n = len(items)
         records: list[ServedInput | None] = [None] * n
 
+        # Shared-realisation serving: when a grid view covers this
+        # run's timing and every input, configuration groups become
+        # column slices of the precomputed grid instead of fresh
+        # evaluate_batch passes.
+        view = self.grid_view
+        grid = None
+        grid_columns = None
+        if view is not None and view.matches_timing(deadline, period):
+            grid_columns = view.columns_for(
+                item_indices, [item.work_factor for item in items]
+            )
+            if grid_columns is not None and not view.trusted:
+                engine.environment(max(item_indices))
+                observed = np.array(
+                    [engine.environment(i).env_factor for i in item_indices],
+                    dtype=float,
+                )
+                if not np.array_equal(
+                    observed, view.grid.env_factor[grid_columns]
+                ):
+                    grid_columns = None
+            if grid_columns is not None:
+                grid = view.grid
+
         # Feedback-free schedulers promise constant state (observe is
         # a no-op), so the belief trace is one snapshot for the run.
         state = getattr(scheduler, "state", None)
@@ -307,37 +396,54 @@ class ServingLoop:
 
         for key, positions in groups.items():
             config = group_config[key]
+            model = config.model
             effective = engine.actuator.set_power_cap(config.power_w)
             requested = clamp(config.power_w)
-            shim_key = (id(config.model), effective, config.rung_cap)
-            shim = self._batch_configs.get(shim_key)
-            if shim is None:
-                shim = (_CapOverride(config.model, effective, config.rung_cap),)
-                self._batch_configs[shim_key] = shim
-            column = engine.evaluate_batch(
-                configs=shim,
-                indices=[item_indices[p] for p in positions],
-                deadline_s=deadline,
-                period_s=period,
-                work_factors=[items[p].work_factor for p in positions],
-            )
+            row = None
+            if grid is not None:
+                row = view.row_for(model, effective, config.rung_cap)
+            if row is not None:
+                cols = grid_columns[positions]
+                power = float(grid.inference_power_w[row])
+                met_row = grid.met_deadline[row, cols]
+                quality_row = grid.quality[row, cols]
+                energy_row = grid.energy_j[row, cols]
+                latency = grid.latency_s[row, cols].tolist()
+                full = grid.full_latency_s[row, cols].tolist()
+                rungs = grid.completed_rungs[row, cols].tolist()
+                inference_j = grid.inference_j[row, cols].tolist()
+                idle_j = grid.idle_j[row, cols].tolist()
+                idle_power = grid.idle_power_w[row, cols].tolist()
+                env = grid.env_factor[cols].tolist()
+            else:
+                shim_key = (id(model), effective, config.rung_cap)
+                shim = self._batch_configs.get(shim_key)
+                if shim is None:
+                    shim = (_CapOverride(model, effective, config.rung_cap),)
+                    self._batch_configs[shim_key] = shim
+                column = engine.evaluate_batch(
+                    configs=shim,
+                    indices=[item_indices[p] for p in positions],
+                    deadline_s=deadline,
+                    period_s=period,
+                    work_factors=[items[p].work_factor for p in positions],
+                )
+                power = float(column.inference_power_w[0])
+                met_row = column.met_deadline[0]
+                quality_row = column.quality[0]
+                energy_row = column.energy_j[0]
+                latency = column.latency_s[0].tolist()
+                full = column.full_latency_s[0].tolist()
+                rungs = column.completed_rungs[0].tolist()
+                inference_j = column.inference_j[0].tolist()
+                idle_j = column.idle_j[0].tolist()
+                idle_power = column.idle_power_w[0].tolist()
+                env = column.env_factor.tolist()
 
-            model = config.model
             model_name = model.name
-            power = float(column.inference_power_w[0])
-            met_row = column.met_deadline[0]
-            quality_row = column.quality[0]
-            energy_row = column.energy_j[0]
-            latency = column.latency_s[0].tolist()
-            full = column.full_latency_s[0].tolist()
             met = met_row.tolist()
             quality = quality_row.tolist()
             metric = model.task.quality_to_metric_list(quality)
-            rungs = column.completed_rungs[0].tolist()
-            inference_j = column.inference_j[0].tolist()
-            idle_j = column.idle_j[0].tolist()
-            idle_power = column.idle_power_w[0].tolist()
-            env = column.env_factor.tolist()
 
             # Vectorized violation bookkeeping (one place of tolerance
             # truth: repro.core.goals, shared with the sequential

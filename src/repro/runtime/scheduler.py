@@ -26,7 +26,7 @@ __all__ = ["Scheduler", "AlertScheduler", "StaticScheduler"]
 class Scheduler(Protocol):
     """What the serving loop needs from a policy.
 
-    Policies may additionally declare two optional members the loop
+    Policies may additionally declare three optional members the loop
     probes with ``getattr``:
 
     * ``feedback_free`` (bool, default False) — a promise that
@@ -36,6 +36,10 @@ class Scheduler(Protocol):
       per-input round trips) and may skip ``observe`` entirely.
     * ``decide_batch(items, goal)`` — vectorized decisions for a whole
       run at once; only consulted on the batch fast path.
+    * ``grid_view`` (:class:`repro.models.inference.GridView` or None)
+      — a shared-realisation view the loop may serve the run's engine
+      outcomes from (the fused-cell execution path); purely an
+      optimisation, never a behaviour change.
     """
 
     name: str
@@ -65,9 +69,15 @@ class AlertScheduler:
     #: ALERT's whole point is reacting to observed slowdowns.
     feedback_free = False
 
-    def __init__(self, controller: AlertController, name: str = "ALERT") -> None:
+    def __init__(
+        self,
+        controller: AlertController,
+        name: str = "ALERT",
+        grid_view=None,
+    ) -> None:
         self.controller = controller
         self.name = name
+        self.grid_view = grid_view
 
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
         result = self.controller.decide(goal)
@@ -107,11 +117,13 @@ class StaticScheduler:
         power_w: float,
         rung_cap: int | None = None,
         name: str | None = None,
+        grid_view=None,
     ) -> None:
         if power_w <= 0:
             raise ConfigurationError(f"power must be positive, got {power_w}")
         self._config = Configuration(model=model, power_w=power_w, rung_cap=rung_cap)
         self.name = name if name is not None else f"static:{self._config.describe()}"
+        self.grid_view = grid_view
 
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
         return self._config

@@ -131,6 +131,7 @@ class Scenario:
     env: ContentionKind
     seed: int
     _profile: ProfileTable | None = field(default=None, repr=False)
+    _space: object | None = field(default=None, repr=False)
 
     @property
     def seeds(self) -> SeedSequenceFactory:
@@ -171,6 +172,24 @@ class Scenario:
             profiler = Profiler(self.machine)
             self._profile = profiler.analytic(list(self.candidates.models))
         return self._profile
+
+    def space(self):
+        """The full candidate configuration space (memoised).
+
+        Every consumer — the scheme factory, the oracles, the timing
+        grids — shares one space object per scenario, so the grid's
+        configuration rows and a scheduler's candidates are the *same*
+        objects and tuple comparisons collapse to pointer checks.
+        """
+        if self._space is None:
+            # Imported here: core.config_space must stay importable
+            # without the workloads package (and vice versa).
+            from repro.core.config_space import ConfigurationSpace
+
+            self._space = ConfigurationSpace(
+                list(self.candidates.models), list(self.profile().powers)
+            )
+        return self._space
 
     def anchor_latency_s(self) -> float:
         """Mean default-environment latency of the largest anytime DNN.

@@ -1,0 +1,428 @@
+"""Parity suite for the cell-fused execution path.
+
+Pins the contract of the shared-realisation machinery: a fused cell
+(one outcome grid per timing serving every scheme, via
+:class:`repro.runtime.executor.CellSpec` and the serving loop's
+:class:`~repro.models.inference.GridView` path) must reproduce the
+isolated per-run path — discrete record fields exactly, float fields
+to ≤1e-12 relative — for feedback-free *and* feedback-driven schemes,
+serially and across a process pool.  Also covers the grid machinery
+itself: one grid build per timing per cell, zero
+:meth:`InferenceEngine.run` calls on fused runs, the untrusted view's
+environment guard, and the candidate-fingerprinted grid cache
+(regression: two schemes evaluating different candidate sets in one
+cell must not alias one grid).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.baselines.oracle as oracle_module
+import repro.runtime.executor as executor_module
+from repro.baselines.oracle import OracleScheduler
+from repro.cli import build_parser
+from repro.core.config_space import ConfigurationSpace
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.experiments.harness import evaluate_schemes, make_scheme
+from repro.models.inference import GridView
+from repro.runtime.executor import (
+    CellSpec,
+    RunExecutor,
+    ScenarioKey,
+    timing_grid,
+)
+from repro.runtime.loop import ServingLoop
+from repro.workloads.scenarios import build_scenario
+
+#: Float tolerance of the fused path (the acceptance bar; in practice
+#: the grid read is bit-identical to the live engine).
+REL_TOL = 1e-12
+
+FLOAT_FIELDS = (
+    "latency_s",
+    "full_latency_s",
+    "quality",
+    "metric_value",
+    "energy_j",
+    "inference_power_w",
+    "idle_power_w",
+    "env_factor",
+)
+DISCRETE_FIELDS = (
+    "index",
+    "model_name",
+    "power_cap_w",
+    "effective_cap_w",
+    "met_deadline",
+    "completed_rungs",
+    "deadline_s",
+    "period_s",
+)
+
+#: The full Table 3 zoo: feedback-free and feedback-driven members.
+ALL_SCHEMES = (
+    "Oracle",
+    "OracleStatic",
+    "ALERT",
+    "ALERT*",
+    "App-only",
+    "Sys-only",
+    "No-coord",
+)
+
+
+def _goals(scenario, objective=ObjectiveKind.MINIMIZE_ENERGY):
+    anchor = scenario.anchor_latency_s()
+    if objective is ObjectiveKind.MINIMIZE_ENERGY:
+        return [
+            Goal(objective=objective, deadline_s=anchor, accuracy_min=0.9),
+            Goal(objective=objective, deadline_s=anchor, accuracy_min=0.85),
+            Goal(objective=objective, deadline_s=anchor * 1.5, accuracy_min=0.9),
+        ]
+    budget = scenario.machine.default_power() * anchor * 0.6
+    return [
+        Goal(objective=objective, deadline_s=anchor, energy_budget_j=budget),
+        Goal(objective=objective, deadline_s=anchor * 1.5, energy_budget_j=budget),
+    ]
+
+
+def _assert_cells_match(fused, unfused, schemes):
+    assert fused.goals == unfused.goals
+    for name in schemes:
+        for a, b in zip(fused.scheme_runs(name), unfused.scheme_runs(name)):
+            assert a.scheduler_name == b.scheduler_name
+            assert len(a.records) == len(b.records)
+            for ra, rb in zip(a.records, b.records):
+                for field in DISCRETE_FIELDS:
+                    assert getattr(ra.outcome, field) == getattr(
+                        rb.outcome, field
+                    ), (name, field)
+                for field in FLOAT_FIELDS:
+                    assert getattr(ra.outcome, field) == pytest.approx(
+                        getattr(rb.outcome, field), rel=REL_TOL, abs=0.0
+                    ), (name, field)
+                assert ra.goal == rb.goal
+                assert ra.effective_deadline_s == rb.effective_deadline_s
+                assert ra.latency_violation == rb.latency_violation
+                assert ra.accuracy_violation == rb.accuracy_violation
+                assert ra.energy_violation == rb.energy_violation
+                assert (ra.xi_mean, ra.xi_sigma) == pytest.approx(
+                    (rb.xi_mean, rb.xi_sigma), rel=REL_TOL, abs=0.0
+                )
+            assert a.violation_fraction == b.violation_fraction
+
+
+# ----------------------------------------------------------------------
+# Fused == unfused, whole scheme zoo
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("platform", "task", "env", "seed"),
+    [
+        ("CPU1", "image", "default", 5),
+        ("CPU2", "image", "memory", 17),
+        ("GPU", "image", "compute", 23),
+        ("CPU1", "sentence", "compute", 29),
+        ("EMBEDDED", "image", "memory", 41),
+    ],
+)
+@pytest.mark.parametrize(
+    "objective",
+    [ObjectiveKind.MINIMIZE_ENERGY, ObjectiveKind.MAXIMIZE_ACCURACY],
+)
+def test_fused_matches_unfused(platform, task, env, seed, objective):
+    scenario = build_scenario(platform, task, env, "standard", seed=seed)
+    goals = _goals(scenario, objective)
+    fused = evaluate_schemes(
+        scenario, goals, ALL_SCHEMES, n_inputs=18, fuse_cells=True
+    )
+    unfused = evaluate_schemes(
+        scenario, goals, ALL_SCHEMES, n_inputs=18, fuse_cells=False
+    )
+    _assert_cells_match(fused, unfused, ALL_SCHEMES)
+
+
+def test_fused_pool_bit_identical_to_fused_serial(image_scenario):
+    goals = _goals(image_scenario)
+    serial = evaluate_schemes(
+        image_scenario, goals, ALL_SCHEMES, n_inputs=15, fuse_cells=True
+    )
+    pooled = evaluate_schemes(
+        image_scenario, goals, ALL_SCHEMES, n_inputs=15, fuse_cells=True,
+        workers=2,
+    )
+    for name in ALL_SCHEMES:
+        for a, b in zip(serial.scheme_runs(name), pooled.scheme_runs(name)):
+            assert a.scheduler_name == b.scheduler_name
+            for ra, rb in zip(a.records, b.records):
+                assert ra == rb  # frozen dataclasses: bit-identity
+
+
+def test_closure_factory_falls_back_fused(image_scenario):
+    """The in-process fallback fuses the same way the executor does."""
+    goals = _goals(image_scenario)[:2]
+
+    def closure_factory(
+        name, scenario, engine, stream, goal, n_inputs, oracle_grid=None,
+        grid_view=None,
+    ):
+        return make_scheme(
+            name, scenario, engine, stream, goal, n_inputs,
+            oracle_grid=oracle_grid, grid_view=grid_view,
+        )
+
+    schemes = ("Oracle", "ALERT", "OracleStatic")
+    via_closure = evaluate_schemes(
+        image_scenario, goals, schemes, n_inputs=12,
+        scheme_factory=closure_factory, fuse_cells=True,
+    )
+    via_executor = evaluate_schemes(
+        image_scenario, goals, schemes, n_inputs=12, fuse_cells=True
+    )
+    _assert_cells_match(via_closure, via_executor, schemes)
+
+
+# ----------------------------------------------------------------------
+# Grid machinery: one realisation per timing, no live engine calls
+# ----------------------------------------------------------------------
+def test_fused_cell_builds_one_grid_per_timing(image_scenario, monkeypatch):
+    anchor = image_scenario.anchor_latency_s()
+    goals = [
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=anchor,
+            accuracy_min=floor,
+        )
+        for floor in (0.85, 0.90, 0.95)
+    ]
+    calls = []
+    real = oracle_module.oracle_outcome_grid
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(oracle_module, "oracle_outcome_grid", counting)
+    evaluate_schemes(
+        image_scenario, goals, ALL_SCHEMES, n_inputs=10, fuse_cells=True
+    )
+    # Three goals, one shared timing, seven schemes: one grid build.
+    assert len(calls) == 1
+
+
+def test_fused_feedback_run_never_calls_engine_run(
+    image_scenario, monkeypatch
+):
+    from repro.models.inference import InferenceEngine
+
+    calls = []
+    real = InferenceEngine.run
+
+    def counting(self, *args, **kwargs):
+        calls.append(args)
+        return real(self, *args, **kwargs)
+
+    monkeypatch.setattr(InferenceEngine, "run", counting)
+    goal = _goals(image_scenario)[0]
+    evaluate_schemes(
+        image_scenario, [goal], ("ALERT", "Sys-only", "No-coord"),
+        n_inputs=20, fuse_cells=True,
+    )
+    assert calls == []
+
+
+def test_cellspec_validation():
+    key = ScenarioKey("CPU1", "image", "default")
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY, deadline_s=0.1, accuracy_min=0.9
+    )
+    with pytest.raises(ConfigurationError):
+        CellSpec(scenario=key, goal=goal, schemes=(), n_inputs=5)
+    with pytest.raises(ConfigurationError):
+        CellSpec(scenario=key, goal=goal, schemes=("Oracle",), n_inputs=0)
+    spec = CellSpec(scenario=key, goal=goal, schemes=["Oracle"], n_inputs=5)
+    assert spec.schemes == ("Oracle",)
+
+
+def test_cellspec_results_align_with_schemes(image_scenario):
+    key = ScenarioKey.for_scenario(image_scenario)
+    assert key is not None
+    goal = _goals(image_scenario)[0]
+    schemes = ("Oracle", "App-only", "ALERT")
+    spec = CellSpec(scenario=key, goal=goal, schemes=schemes, n_inputs=8)
+    (results,) = RunExecutor(workers=1).run_plan(
+        [spec], scenarios={key: image_scenario}
+    )
+    assert [r.scheduler_name for r in results] == list(schemes)
+
+
+def test_fuse_cells_contradicts_grid_opt_out(image_scenario):
+    goal = _goals(image_scenario)[0]
+    with pytest.raises(ConfigurationError):
+        evaluate_schemes(
+            image_scenario, [goal], ("Oracle",), n_inputs=5,
+            fuse_cells=True, share_oracle_grid=False,
+        )
+    # The opt-out alone silently disables fusion instead.
+    isolated = evaluate_schemes(
+        image_scenario, [goal], ("Oracle",), n_inputs=5,
+        share_oracle_grid=False,
+    )
+    assert isolated.scheme_runs("Oracle")[0].n_inputs == 5
+
+
+# ----------------------------------------------------------------------
+# GridView: lookups, misses, and the untrusted environment guard
+# ----------------------------------------------------------------------
+def _view_for(scenario, goal, n_inputs, trusted):
+    return GridView(timing_grid(scenario, goal, n_inputs), trusted=trusted)
+
+
+def _run_with_view(scenario, scheme, goal, n_inputs, view, batch=None):
+    engine = scenario.make_engine()
+    stream = scenario.make_stream()
+    scheduler = make_scheme(scheme, scenario, engine, stream, goal, n_inputs)
+    loop = ServingLoop(engine, stream, scheduler, goal, grid_view=view)
+    return loop.run(n_inputs, batch=batch)
+
+
+def test_trusted_view_serves_sequential_and_batch(image_scenario):
+    goal = _goals(image_scenario)[0]
+    view = _view_for(image_scenario, goal, 12, trusted=True)
+    for scheme, batch in (("ALERT", False), ("App-only", True)):
+        with_view = _run_with_view(image_scenario, scheme, goal, 12, view, batch)
+        without = _run_with_view(image_scenario, scheme, goal, 12, None, batch)
+        for ra, rb in zip(with_view.records, without.records):
+            assert ra == rb
+
+
+def test_untrusted_view_from_diverged_draws_falls_back(image_scenario):
+    """A grid realised under different draws must never be served."""
+    goal = _goals(image_scenario)[0]
+    other = build_scenario("CPU1", "image", "default", "standard", seed=12345)
+    stale = _view_for(other, goal, 12, trusted=False)
+    with_view = _run_with_view(image_scenario, "ALERT", goal, 12, stale)
+    without = _run_with_view(image_scenario, "ALERT", goal, 12, None)
+    for ra, rb in zip(with_view.records, without.records):
+        assert ra == rb
+
+
+def test_view_timing_mismatch_falls_back(image_scenario):
+    goal = _goals(image_scenario)[0]
+    other_goal = goal.with_deadline(goal.deadline_s * 2)
+    view = _view_for(image_scenario, other_goal, 12, trusted=True)
+    with_view = _run_with_view(image_scenario, "ALERT", goal, 12, view)
+    without = _run_with_view(image_scenario, "ALERT", goal, 12, None)
+    for ra, rb in zip(with_view.records, without.records):
+        assert ra == rb
+
+
+def test_view_off_grid_inputs_fall_back(image_scenario):
+    """Inputs beyond the grid's horizon are served by the live engine."""
+    goal = _goals(image_scenario)[0]
+    view = _view_for(image_scenario, goal, 6, trusted=True)
+    with_view = _run_with_view(image_scenario, "ALERT", goal, 12, view)
+    without = _run_with_view(image_scenario, "ALERT", goal, 12, None)
+    for ra, rb in zip(with_view.records, without.records):
+        assert ra == rb
+
+
+def test_scheduler_carried_view_is_probed(image_scenario):
+    """The loop picks up a view from the scheduler when none is given."""
+    goal = _goals(image_scenario)[0]
+    view = _view_for(image_scenario, goal, 10, trusted=True)
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    scheduler = make_scheme(
+        "ALERT", image_scenario, engine, stream, goal, 10, grid_view=view
+    )
+    loop = ServingLoop(engine, stream, scheduler, goal)
+    assert loop.grid_view is view
+
+
+# ----------------------------------------------------------------------
+# Regression: grid cache must key on the candidate configuration list
+# ----------------------------------------------------------------------
+def _two_space_factory(
+    name, scenario, engine, stream, goal, n_inputs,
+    oracle_grid=None, grid_view=None, grid_provider=None,
+):
+    """Builds oracles over *different* candidate spaces per scheme.
+
+    Module-level on purpose: resolvable by dotted path, so the
+    executor (not the in-process fallback) runs it.
+    """
+    profile = scenario.profile()
+    if name == "Oracle-small":
+        space = ConfigurationSpace(
+            list(scenario.candidates.traditional), list(profile.powers)
+        )
+    else:
+        space = ConfigurationSpace(
+            list(scenario.candidates.models), list(profile.powers)
+        )
+    grid = grid_provider(space) if grid_provider is not None else None
+    return OracleScheduler(engine, space, name=name, grid=grid)
+
+
+def test_grid_cache_keys_on_candidate_fingerprint(image_scenario):
+    """Two schemes with different candidate sets in one cell must get
+    grids over their own spaces — the shared timing must not alias
+    them (the OracleScheduler constructor rejects a wrong-space grid,
+    so aliasing would raise here)."""
+    goal = _goals(image_scenario)[0]
+    cell = evaluate_schemes(
+        image_scenario, [goal], ("Oracle", "Oracle-small"), n_inputs=10,
+        scheme_factory=_two_space_factory, fuse_cells=True,
+    )
+    # The reduced-space oracle must match an isolated reduced-space run.
+    profile = image_scenario.profile()
+    small_space = ConfigurationSpace(
+        list(image_scenario.candidates.traditional), list(profile.powers)
+    )
+    engine = image_scenario.make_engine()
+    stream = image_scenario.make_stream()
+    reference = ServingLoop(
+        engine, stream,
+        OracleScheduler(engine, small_space, name="Oracle-small"),
+        goal,
+    ).run(10)
+    small = cell.scheme_runs("Oracle-small")[0]
+    assert [r.outcome.model_name for r in small.records] == [
+        r.outcome.model_name for r in reference.records
+    ]
+    assert [r.outcome.power_cap_w for r in small.records] == [
+        r.outcome.power_cap_w for r in reference.records
+    ]
+
+
+def test_grid_provider_caches_per_fingerprint(image_scenario, monkeypatch):
+    """Same space twice → one build; distinct spaces → distinct grids."""
+    calls = []
+    real = executor_module.timing_grid
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(executor_module, "timing_grid", counting)
+    goal = _goals(image_scenario)[0]
+    evaluate_schemes(
+        image_scenario, [goal], ("Oracle", "Oracle-small", "Oracle"),
+        n_inputs=8, scheme_factory=_two_space_factory, fuse_cells=True,
+    )
+    # One cell grid (full space, reused for both "Oracle" provider
+    # requests) + one reduced-space grid.
+    assert len(calls) == 2
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("command", ["table4", "table5", "fig08"])
+def test_cli_fuse_cells_flags(command):
+    parser = build_parser()
+    assert parser.parse_args([command]).fuse_cells is True
+    assert parser.parse_args([command, "--no-fuse-cells"]).fuse_cells is False
+    assert parser.parse_args([command, "--fuse-cells"]).fuse_cells is True

@@ -188,6 +188,46 @@ def test_evaluate_schemes_workers_bit_identical(image_scenario):
             _assert_runs_identical(a, b)
 
 
+def _renaming_factory(
+    name, scenario, engine, stream, goal, n_inputs,
+    oracle_grid=None, grid_view=None,
+):
+    """A dotted-path-resolvable custom factory (module level)."""
+    scheduler = make_scheme(
+        name, scenario, engine, stream, goal, n_inputs,
+        oracle_grid=oracle_grid, grid_view=grid_view,
+    )
+    scheduler.name = f"custom:{scheduler.name}"
+    return scheduler
+
+
+def test_custom_dotted_factory_pool_matches_closure_fallback(image_scenario):
+    """A dotted-path custom factory rides the pool; wrapping the same
+    factory in a closure forces the in-process fallback — both must
+    produce bit-identical runs (and actually take those two paths)."""
+    assert factory_path(_renaming_factory) is not None
+    goals = _goals(image_scenario)
+    schemes = ("ALERT", "Oracle", "OracleStatic")
+
+    def closure_wrapper(*args, **kwargs):
+        return _renaming_factory(*args, **kwargs)
+
+    assert factory_path(closure_wrapper) is None
+    pooled = evaluate_schemes(
+        image_scenario, goals, schemes, n_inputs=12,
+        scheme_factory=_renaming_factory, workers=2,
+    )
+    in_process = evaluate_schemes(
+        image_scenario, goals, schemes, n_inputs=12,
+        scheme_factory=closure_wrapper,
+    )
+    assert pooled.goals == in_process.goals
+    for name in schemes:
+        for a, b in zip(pooled.scheme_runs(name), in_process.scheme_runs(name)):
+            assert a.scheduler_name == f"custom:{name}"
+            _assert_runs_identical(a, b)
+
+
 def test_executor_rejects_bad_configuration():
     with pytest.raises(ConfigurationError):
         RunExecutor(workers=0)
