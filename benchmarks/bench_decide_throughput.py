@@ -1,4 +1,4 @@
-"""Decision throughput: scalar reference vs. vectorized batch path.
+"""Decision throughput: scalar vs. batch vs. stacked multi-goal.
 
 Measures ``ConfigSelector`` decisions/second on the Table 4 candidate
 set (the full image model family plus the anytime ladder, across every
@@ -6,6 +6,13 @@ CPU1 power level) over a representative mix of goals and filter
 states drawn from the Table 4 constraint grid, and writes the result
 to ``BENCH_decide.json`` at the repository root so the performance
 trajectory of the decision engine is tracked from PR to PR.
+
+Two comparisons are recorded: the scalar reference loop vs. the
+vectorized single-state batch path (PR 1), and per-goal ``select``
+calls vs. one stacked ``select_many`` pass over a whole goal grid —
+the lockstep engine's inner step, where every goal's estimate comes
+from a single fused erf evaluation and every ranking from one
+segment-wise lexsort (PR 5).
 
 Run directly (no pytest machinery needed)::
 
@@ -90,6 +97,59 @@ def _throughput(select, workload, min_seconds: float) -> float:
     return count / (time.perf_counter() - start)
 
 
+def _multi_goal_throughput(selector, min_seconds: float) -> dict:
+    """Stacked ``select_many`` vs. per-goal ``select`` on a goal grid.
+
+    The workload is one lockstep step: a Table-3-shaped constraint
+    grid (one objective, 3 deadlines × 5 accuracy floors — the
+    homogeneous structure a fused cell's goals actually have) with one
+    filter state per goal (each goal's ALERT run owns its own state,
+    so every state differs), decided either with one stacked pass or
+    with a per-goal loop.  Decisions/second counts one decision per
+    (goal, step).
+    """
+    goals = [
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=deadline,
+            accuracy_min=floor,
+        )
+        for deadline in (0.08, 0.2, 0.5)
+        for floor in (0.82, 0.86, 0.9, 0.94, 0.98)
+    ]
+    tailed = [state for state in STATES if state[3] is not None]
+    states = [tailed[i % len(tailed)] for i in range(len(goals))]
+    means = [s[0] for s in states]
+    sigmas = [s[1] for s in states]
+    phis = [s[2] for s in states]
+    tails = [s[3] for s in states]
+
+    def stacked() -> None:
+        selector.select_many(goals, means, sigmas, phis, tails)
+
+    def per_goal() -> None:
+        for goal, (mean, sigma, phi, tail) in zip(goals, states):
+            selector.select(goal, mean, sigma, phi, tail=tail)
+
+    def rate(fn) -> float:
+        fn()  # warm caches outside the clock
+        count = 0
+        start = time.perf_counter()
+        while time.perf_counter() - start < min_seconds:
+            fn()
+            count += len(goals)
+        return count / (time.perf_counter() - start)
+
+    stacked_dps = rate(stacked)
+    per_goal_dps = rate(per_goal)
+    return {
+        "n_goals": len(goals),
+        "per_goal_decisions_per_sec": round(per_goal_dps, 1),
+        "stacked_decisions_per_sec": round(stacked_dps, 1),
+        "speedup": round(stacked_dps / per_goal_dps, 2),
+    }
+
+
 def run(min_seconds: float = 2.0) -> dict:
     models = list(sparse_resnet_family()) + [depth_nest_anytime()]
     profile = Profiler(CPU1).analytic(models)
@@ -110,14 +170,16 @@ def run(min_seconds: float = 2.0) -> dict:
         "scalar_decisions_per_sec": round(scalar_dps, 1),
         "batch_decisions_per_sec": round(batch_dps, 1),
         "speedup": round(batch_dps / scalar_dps, 2),
+        "multi_goal": _multi_goal_throughput(selector, min_seconds),
     }
     return result
 
 
 def smoke() -> None:
-    """Sub-second end-to-end exercise of both paths (for CI)."""
+    """Sub-second end-to-end exercise of every path (for CI)."""
     result = run(min_seconds=0.05)
     assert result["speedup"] > 0
+    assert result["multi_goal"]["speedup"] > 0
     print("bench_decide_throughput smoke ok")
 
 

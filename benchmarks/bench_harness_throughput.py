@@ -1,6 +1,6 @@
-"""Harness throughput: serving fast path, cell fusion, multi-worker.
+"""Harness throughput: serving, cell fusion, lockstep, multi-worker.
 
-Three layers of the spec → executor → loop stack are measured on the
+Four layers of the spec → executor → loop stack are measured on the
 Table 4 image scenario (CPU1, default environment):
 
 * **Serving loop** — for each feedback-free scheme (Oracle with a
@@ -15,6 +15,15 @@ Table 4 image scenario (CPU1, default environment):
   once for the feedback-free scheme subset and once for the full
   Table 4 zoo.  Fused results are bit-identical to unfused, so this
   too is purely a wall-clock measurement.
+* **Lockstep** — the full Table 4 zoo over a Table-3-shaped goal grid,
+  fused with the lockstep multi-goal decision engine
+  (``lockstep=True``: every ALERT-family and Sys-only scheme advances
+  all goals together, one stacked estimator/selector pass per input)
+  versus the PR 4 fused per-goal path (``lockstep=False``).  Results
+  are value-identical (``tests/test_lockstep_parity.py``); the section
+  also records the decision-path health counters (stacked batch
+  sizes, memo hit rates) from
+  :data:`repro.runtime.loop.LOCKSTEP_TELEMETRY`.
 * **Run executor** — a table4-style cell plan (constraint-grid goals ×
   schemes, ALERT included so the plan carries real feedback work)
   executed by :class:`repro.runtime.executor.RunExecutor` with 1, 2,
@@ -57,7 +66,7 @@ from repro.runtime.executor import (
     ScenarioKey,
     timing_grid,
 )
-from repro.runtime.loop import ServingLoop
+from repro.runtime.loop import LOCKSTEP_TELEMETRY, ServingLoop
 from repro.workloads.scenarios import build_scenario, constraint_grid
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -205,6 +214,55 @@ def bench_cell_fusion(
     }
 
 
+def bench_lockstep(
+    n_deadlines: int, n_floors: int, n_inputs: int, repeats: int = 3
+) -> dict:
+    """Fused+lockstep vs. fused per-goal, full Table 4 zoo cell."""
+    scenario = _scenario()
+    goals = _table3_goals(scenario, n_deadlines, n_floors)
+    timings = {}
+    telemetry = None
+    for lockstep in (True, False):
+        evaluate_schemes(
+            scenario, goals, TABLE4_SCHEMES, n_inputs=n_inputs,
+            fuse_cells=True, lockstep=lockstep,
+        )  # warm-up (grids, profiles, memos)
+        best = float("inf")
+        for _ in range(repeats):
+            LOCKSTEP_TELEMETRY.reset()
+            start = time.perf_counter()
+            evaluate_schemes(
+                scenario, goals, TABLE4_SCHEMES, n_inputs=n_inputs,
+                fuse_cells=True, lockstep=lockstep,
+            )
+            best = min(best, time.perf_counter() - start)
+            if lockstep:
+                telemetry = LOCKSTEP_TELEMETRY.snapshot()
+        timings[lockstep] = best
+    return {
+        "n_goals": len(goals),
+        "n_deadlines": n_deadlines,
+        "n_floors": n_floors,
+        "n_inputs": n_inputs,
+        "schemes": list(TABLE4_SCHEMES),
+        "lockstep_seconds": round(timings[True], 4),
+        "per_goal_seconds": round(timings[False], 4),
+        "lockstep_cells_per_sec": round(len(goals) / timings[True], 2),
+        "per_goal_cells_per_sec": round(len(goals) / timings[False], 2),
+        "speedup": round(timings[False] / timings[True], 2),
+        "decision_path": telemetry,
+        "note": (
+            "lockstep = evaluate_schemes(fuse_cells=True, lockstep=True): "
+            "ALERT-family and Sys-only runs advance the whole goal grid "
+            "together, one stacked estimator/selector pass per input "
+            "step; per_goal is the PR 4 fused path (lockstep=False).  "
+            "Results are value-identical "
+            "(tests/test_lockstep_parity.py); decision_path holds the "
+            "stacked batch-size and memo counters of the measured run."
+        ),
+    }
+
+
 def _cell_plan(n_goals: int, n_inputs: int) -> list[RunSpec]:
     scenario = _scenario()
     key = ScenarioKey.for_scenario(scenario)
@@ -273,6 +331,9 @@ def run(
         "cell_fusion": bench_cell_fusion(
             n_deadlines=3, n_floors=5, n_inputs=n_inputs, repeats=5
         ),
+        "lockstep": bench_lockstep(
+            n_deadlines=3, n_floors=5, n_inputs=n_inputs, repeats=5
+        ),
         "executor": bench_executor(n_goals, plan_inputs),
     }
 
@@ -291,6 +352,13 @@ def quick_metrics(min_seconds: float = 0.1) -> dict:
         "cell_fusion": bench_cell_fusion(
             n_deadlines=3, n_floors=5, n_inputs=120, repeats=3
         ),
+        # Also carries the decision-path health counters (stacked
+        # batch sizes, memo hits) of the measured lockstep run, so the
+        # smoke/CI artifact shows per-run scheduler health alongside
+        # the gated ratio.
+        "lockstep": bench_lockstep(
+            n_deadlines=3, n_floors=5, n_inputs=120, repeats=3
+        ),
     }
 
 
@@ -303,6 +371,11 @@ def smoke() -> None:
     )
     assert fusion["n_goals"] == 2
     assert set(fusion["feedback_free"]["schemes"]) == set(FEEDBACK_FREE_SCHEMES)
+    lockstep = bench_lockstep(
+        n_deadlines=1, n_floors=2, n_inputs=10, repeats=1
+    )
+    assert lockstep["n_goals"] == 2
+    assert lockstep["decision_path"]["lockstep_runs"] > 0
     executor = bench_executor(
         n_goals=2, n_inputs=10, worker_counts=(1, 2)
     )
@@ -328,6 +401,8 @@ def main() -> None:
         print("WARNING: batch serving path below the 5x target")
     if result["cell_fusion"]["feedback_free"]["speedup"] < 2.0:
         print("WARNING: fused feedback-free cells below the 2x target")
+    if result["lockstep"]["speedup"] < 1.5:
+        print("WARNING: lockstep full-zoo cells below the 1.5x target")
 
 
 if __name__ == "__main__":

@@ -43,7 +43,7 @@ CHECKS = (
         "baseline": "BENCH_decide.json",
         "module": "bench_decide_throughput.py",
         "measure": lambda module: module.run(min_seconds=0.25),
-        "metrics": ("speedup",),
+        "metrics": ("speedup", "multi_goal.speedup"),
     },
     {
         "name": "oracle",
@@ -66,6 +66,7 @@ CHECKS = (
             "serving.min_speedup",
             "cell_fusion.feedback_free.speedup",
             "cell_fusion.table4.speedup",
+            "lockstep.speedup",
         ),
     },
 )

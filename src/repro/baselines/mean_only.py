@@ -25,12 +25,15 @@ def make_alert(
     name: str = "ALERT",
     q0: float = 0.1,
     grid_view=None,
+    keep_xi_history: bool = False,
 ) -> AlertScheduler:
     """The full ALERT scheduler (variance-aware, rung expansion on).
 
     ``grid_view`` optionally carries a shared-realisation view for the
     serving loop (the fused-cell path); ALERT's decisions never read
     it — only its engine outcomes are served from it.
+    ``keep_xi_history`` opts into retaining every ξ observation for
+    trace consumers (Figure 11); throughput paths leave it off.
     """
     controller = AlertController(
         profile=profile,
@@ -39,6 +42,7 @@ def make_alert(
         variance_aware=True,
         expand_anytime_rungs=True,
         q0=q0,
+        keep_xi_history=keep_xi_history,
     )
     return AlertScheduler(controller, name=name, grid_view=grid_view)
 

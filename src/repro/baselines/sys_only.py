@@ -20,18 +20,21 @@ default), so per-decision cost stays flat as the power grid grows.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.config_space import Configuration, ConfigurationSpace
+from repro.core.controller import lockstep_stats_dict
 from repro.core.estimator import AlertEstimator
 from repro.core.goals import Goal
 from repro.core.selector import ConfigSelector
-from repro.core.slowdown import GlobalSlowdownEstimator
+from repro.core.slowdown import GlobalSlowdownEstimator, StackedSlowdownEstimator
 from repro.errors import ConfigurationError
 from repro.models.base import DnnModel
 from repro.models.inference import InferenceOutcome
 from repro.models.profiles import ProfileTable
 from repro.workloads.inputs import InputItem
 
-__all__ = ["SysOnlyScheduler"]
+__all__ = ["SysOnlyScheduler", "SysOnlyCellController"]
 
 
 class SysOnlyScheduler:
@@ -75,3 +78,119 @@ class SysOnlyScheduler:
     def observe(self, outcome: InferenceOutcome) -> None:
         t_prof = self.profile.latency(outcome.model_name, outcome.power_cap_w)
         self.slowdown.observe(outcome.full_latency_s, t_prof)
+
+    @staticmethod
+    def stack_into_cell(schedulers):
+        """Lockstep hook: stack per-goal runs into one cell controller.
+
+        Defined on the class itself (the lockstep loop refuses
+        inherited hooks); returns ``None`` for warm or structurally
+        different schedulers — see
+        :meth:`SysOnlyCellController.from_schedulers`.
+        """
+        return SysOnlyCellController.from_schedulers(schedulers)
+
+
+class SysOnlyCellController:
+    """Lockstep Sys-only across a cell's goal grid.
+
+    Sys-only is "ALERT & co." machinery — a Kalman latency filter
+    driving the vectorized selector over a single-model space — so its
+    per-goal runs stack exactly like ALERT's: one
+    :class:`~repro.core.slowdown.StackedSlowdownEstimator` advances
+    every goal's ξ filter per input, and one
+    :meth:`~repro.core.selector.ConfigSelector.select_many` pass
+    computes every goal's power decision.  φ is the profiled constant
+    the scalar scheduler recomputes per decision; there is no decision
+    memo (the scalar path has none, and parity means *same* decisions,
+    not just similar ones).  Each goal's trajectory is bit-identical
+    to a fresh :class:`SysOnlyScheduler` serving that goal alone
+    (``tests/test_lockstep_parity.py``).
+    """
+
+    def __init__(
+        self,
+        selector: ConfigSelector,
+        profile: ProfileTable,
+        phi: float,
+        n_goals: int,
+    ) -> None:
+        self.selector = selector
+        self.profile = profile
+        self.n_goals = n_goals
+        self.slowdown = StackedSlowdownEstimator(n_goals)
+        self._phi = np.full(n_goals, phi)
+        self._stacked_calls = 0
+        self._stacked_states = 0
+
+    @classmethod
+    def from_schedulers(cls, schedulers) -> "SysOnlyCellController | None":
+        """A stacked controller equivalent to ``schedulers``, or None."""
+        if not schedulers:
+            return None
+        for scheduler in schedulers:
+            if type(scheduler) is not SysOnlyScheduler:
+                return None
+            if scheduler.slowdown.observations != 0:
+                return None
+        first = schedulers[0]
+        if first.selector.batch is None:
+            return None
+
+        def fingerprint(scheduler: SysOnlyScheduler) -> tuple:
+            return (
+                id(scheduler.model),
+                tuple(
+                    (id(config.model), config.power_w, config.rung_cap)
+                    for config in scheduler.space
+                ),
+                scheduler.estimator.variance_aware,
+                scheduler.estimator.confidence,
+                id(scheduler.profile),
+            )
+
+        reference = fingerprint(first)
+        if any(fingerprint(s) != reference for s in schedulers[1:]):
+            return None
+        phi = first.profile.idle_power_w / first.profile.power(
+            first.model.name, first.space.powers[-1]
+        )
+        return cls(
+            selector=first.selector,
+            profile=first.profile,
+            phi=phi,
+            n_goals=len(schedulers),
+        )
+
+    def decide_many(self, goals) -> list:
+        """One selection per goal — every goal, every step (no memo)."""
+        if len(goals) != self.n_goals:
+            raise ConfigurationError(
+                f"expected {self.n_goals} goals, got {len(goals)}"
+            )
+        selections = self.selector.select_many(
+            goals, self.slowdown.mean, self.slowdown.sigma, self._phi
+        )
+        self._stacked_calls += 1
+        self._stacked_states += self.n_goals
+        return selections
+
+    def observe_many(self, outcomes) -> None:
+        """Fold every goal's previous-input latency in, stacked."""
+        profile = self.profile
+        measured = np.array([o.full_latency_s for o in outcomes])
+        t_prof = np.array(
+            [profile.latency(o.model_name, o.power_cap_w) for o in outcomes]
+        )
+        self.slowdown.observe(measured, t_prof)
+
+    def xi_snapshot(self) -> None:
+        """Sys-only exposes no ``state``; records carry 0/0 like the
+        sequential path."""
+        return None
+
+    @property
+    def lockstep_stats(self) -> dict:
+        return lockstep_stats_dict(
+            self.n_goals, self._stacked_calls, self._stacked_states
+        )

@@ -16,12 +16,16 @@ can be regenerated from a shell::
 
 The grid-evaluating commands (``table4``, ``table5``, ``fig08``) take
 ``--workers N`` to fan their (goal × scheme) run plans out over a
-process pool via :class:`repro.runtime.executor.RunExecutor`, and
+process pool via :class:`repro.runtime.executor.RunExecutor`,
 ``--fuse-cells/--no-fuse-cells`` (fused by default) to serve every
-scheme of a cell from one shared engine realisation.  Results are
-bit-identical whichever way the plan executes, so both flags are
-purely wall-clock knobs (use roughly the machine's core count for
-``--workers``; disable fusion only to measure the isolated path).
+scheme of a cell from one shared engine realisation, and
+``--lockstep/--no-lockstep`` (on by default for fused cells) to
+advance each ALERT-family scheme's runs across the whole goal grid
+together — all goals' decisions in one stacked pass per input.
+Results are value-identical whichever way the plan executes, so all
+three flags are purely wall-clock knobs (use roughly the machine's
+core count for ``--workers``; ``--no-fuse-cells``/``--no-lockstep``
+are escape hatches for measuring or debugging the isolated paths).
 """
 
 from __future__ import annotations
@@ -58,6 +62,14 @@ def build_parser() -> argparse.ArgumentParser:
         "serve every scheme of a cell from one shared engine "
         "realisation (default on; bit-identical either way)"
     )
+    lockstep_help = (
+        "advance each ALERT-family scheme's runs across the goal grid "
+        "together, deciding for all goals in one stacked pass per "
+        "input (default on for fused cells; value-identical either "
+        "way — pass --no-lockstep to force the per-goal sequential "
+        "decision path, e.g. to time it or to debug one goal in "
+        "isolation)"
+    )
 
     table4 = sub.add_parser("table4", help="regenerate a Table 4 cell")
     table4.add_argument("--platform", default="CPU1")
@@ -72,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help=fuse_help,
     )
+    table4.add_argument(
+        "--lockstep",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=lockstep_help,
+    )
 
     table5 = sub.add_parser("table5", help="regenerate Table 5")
     table5.add_argument("--platform", default="CPU1")
@@ -83,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help=fuse_help,
+    )
+    table5.add_argument(
+        "--lockstep",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=lockstep_help,
     )
 
     fig08 = sub.add_parser("fig08", help="regenerate the Figure 8 whiskers")
@@ -96,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help=fuse_help,
+    )
+    fig08.add_argument(
+        "--lockstep",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=lockstep_help,
     )
 
     serve = sub.add_parser("serve", help="run ALERT over one scenario")
@@ -143,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
                 n_inputs=args.inputs,
                 workers=args.workers,
                 fuse_cells=args.fuse_cells,
+                lockstep=args.lockstep,
             ).describe()
         )
     elif args.command == "fig09":
@@ -165,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
                 n_inputs=args.inputs,
                 workers=args.workers,
                 fuse_cells=args.fuse_cells,
+                lockstep=args.lockstep,
             ).describe()
         )
     elif args.command == "table5":
@@ -175,6 +207,7 @@ def main(argv: list[str] | None = None) -> int:
                 n_inputs=args.inputs,
                 workers=args.workers,
                 fuse_cells=args.fuse_cells,
+                lockstep=args.lockstep,
             ).describe()
         )
     elif args.command == "serve":

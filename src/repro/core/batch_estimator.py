@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.estimator import AlertEstimator, ConfigEstimate, normal_quantile
 from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
 from repro.models.anytime import AnytimeDnn
 
 __all__ = ["BatchEstimates", "BatchAlertEstimator", "normal_cdf_array"]
@@ -312,6 +313,8 @@ class BatchAlertEstimator:
         # Reusable buffers/constants (treated as read-only downstream).
         self._rung_pr_buf = np.zeros((n, ladder_width))
         self._rung_next_buf = np.zeros((n, ladder_width))
+        #: (K, config, rung) buffer pairs for the stacked path, per K.
+        self._rung_many_bufs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._ones_f = np.ones(n)
         self._true = np.ones(n, dtype=bool)
         self._qmin_cache: dict[float, tuple] = {}
@@ -556,6 +559,413 @@ class BatchAlertEstimator:
     @property
     def n_configs(self) -> int:
         return len(self.configs)
+
+    # ------------------------------------------------------------------
+    # Stacked multi-state query (the lockstep decision engine)
+    # ------------------------------------------------------------------
+    def estimate_many(
+        self,
+        goals,
+        xi_mean,
+        xi_sigma,
+        phi,
+        tails=None,
+    ) -> list["BatchEstimates"]:
+        """Estimates for ``G`` independent (goal, filter-state) pairs.
+
+        The lockstep serving path decides for every goal of a cell at
+        every input step; this is its engine.  States are stacked along
+        a leading axis: all per-state CDF arguments — deadline
+        thresholds, tail-mixture shifts, energy ξ crossings — are
+        gathered into **one** flat vector and pushed through a single
+        vectorized erf evaluation, and the post-CDF arithmetic runs as
+        ``(G × C)`` tensor operations (states grouped by goal
+        structure, so heterogeneous grids still vectorize within each
+        structural group).  Every elementwise expression mirrors
+        :meth:`estimate_batch` exactly, so each returned
+        :class:`BatchEstimates` row is bit-identical to the per-state
+        call (pinned by ``tests/test_lockstep_parity.py``).
+
+        Parameters
+        ----------
+        goals:
+            One :class:`~repro.core.goals.Goal` per state.
+        xi_mean / xi_sigma / phi:
+            Filter-state arrays of length ``G``.
+        tails:
+            Optional per-state ``(fraction, ratio)`` tuples (or None),
+            as in :meth:`estimate_batch`.
+
+        Returns the estimates in state order.
+        """
+        return self.estimate_many_stacked(goals, xi_mean, xi_sigma, phi, tails)[0]
+
+    #: Field names of the stacked (G × C) estimate tensors.
+    _STACK_FLOAT_FIELDS = (
+        "latency_mean_s",
+        "deadline_probability",
+        "expected_quality",
+        "quality_meet_probability",
+        "expected_energy_j",
+    )
+    _STACK_BOOL_FIELDS = (
+        "meets_latency",
+        "meets_accuracy",
+        "meets_energy",
+        "meets_prob",
+        "meets_latency_mean",
+    )
+
+    def estimate_many_stacked(
+        self,
+        goals,
+        xi_mean,
+        xi_sigma,
+        phi,
+        tails=None,
+    ) -> tuple[list["BatchEstimates"], dict[str, np.ndarray]]:
+        """:meth:`estimate_many` plus the raw ``(G × C)`` tensors.
+
+        The selector's stacked path ranks whole planes, so it consumes
+        the field tensors directly (state-major rows, in input order)
+        instead of re-stacking the per-state views.
+        """
+        G = len(goals)
+        if G < 1:
+            raise ConfigurationError("need at least one (goal, state) pair")
+        xi_mean = np.asarray(xi_mean, dtype=np.float64)
+        xi_sigma = np.asarray(xi_sigma, dtype=np.float64)
+        phi = np.asarray(phi, dtype=np.float64)
+        if xi_mean.shape != (G,) or xi_sigma.shape != (G,) or phi.shape != (G,):
+            raise ConfigurationError(
+                f"state arrays must all have shape ({G},), got "
+                f"{xi_mean.shape}/{xi_sigma.shape}/{phi.shape}"
+            )
+        tail_list = list(tails) if tails is not None else [None] * G
+
+        # Group states by goal *structure*: which constraints exist,
+        # the objective, the tail/degenerate regimes.  Values (the
+        # deadline, the floor, the budget) vary freely within a group
+        # as per-row scalars; only the branch structure must agree for
+        # the tensor expressions to broadcast.
+        groups: dict[tuple, list[int]] = {}
+        for g, goal in enumerate(goals):
+            tail = tail_list[g]
+            use_tail = (
+                self.variance_aware
+                and tail is not None
+                and tail[0] > 0.0
+                and tail[1] > 1.0
+            )
+            has_budget = goal.energy_budget_j is not None
+            sig = (
+                has_budget,
+                bool(phi[g] >= 1.0 - 1e-12) if has_budget else False,
+                goal.accuracy_min is not None,
+                goal.prob_threshold is not None,
+                goal.objective,
+                use_tail,
+            )
+            groups.setdefault(sig, []).append(g)
+
+        plans = [
+            self._gather_group(sig, idx, goals, xi_mean, xi_sigma, phi, tail_list)
+            for sig, idx in groups.items()
+        ]
+        flats = [plan["flat"] for plan in plans]
+        cdf_all = normal_cdf_array(
+            flats[0] if len(flats) == 1 else np.concatenate(flats)
+        )
+
+        n = self.n_configs
+        fields: dict[str, np.ndarray] = {
+            name: np.empty((G, n)) for name in self._STACK_FLOAT_FIELDS
+        }
+        fields.update(
+            {name: np.empty((G, n), dtype=bool) for name in self._STACK_BOOL_FIELDS}
+        )
+        offset = 0
+        for plan in plans:
+            size = plan["flat"].size
+            self._finish_group(plan, cdf_all[offset : offset + size], fields)
+            offset += size
+        configs = self.configs
+        estimates = [
+            BatchEstimates(
+                configs=configs,
+                latency_mean_s=fields["latency_mean_s"][g],
+                deadline_probability=fields["deadline_probability"][g],
+                expected_quality=fields["expected_quality"][g],
+                quality_meet_probability=fields["quality_meet_probability"][g],
+                expected_energy_j=fields["expected_energy_j"][g],
+                meets_latency=fields["meets_latency"][g],
+                meets_accuracy=fields["meets_accuracy"][g],
+                meets_energy=fields["meets_energy"][g],
+                meets_prob=fields["meets_prob"][g],
+                meets_latency_mean=fields["meets_latency_mean"][g],
+            )
+            for g in range(G)
+        ]
+        return estimates, fields
+
+    def _gather_group(
+        self, sig, idx, goals, xi_mean, xi_sigma, phi, tail_list
+    ) -> dict:
+        """Pre-CDF arrays for one structural group of states."""
+        has_budget, degenerate, has_floor, has_prob, objective, use_tail = sig
+        K = len(idx)
+        point = self._point_sigma
+        deadline = np.array([goals[g].deadline_s for g in idx])
+        period = np.array([goals[g].period for g in idx])
+        mean = xi_mean[idx]
+        phi_k = phi[idx]
+        if self.variance_aware:
+            sigma_raw = xi_sigma[idx]
+        else:
+            sigma_raw = np.full(K, point)
+        sigma_cdf = np.maximum(sigma_raw, point)
+
+        # Deadline thresholds per state, via the same per-deadline
+        # cache the scalar-state path fills (identical divisions).
+        thr_rows = []
+        for g in idx:
+            d = goals[g].deadline_s
+            thr_u = self._thr_cache.get(d)
+            if thr_u is None:
+                thr_u = d / self._unique_lat
+                if len(self._thr_cache) >= 256:
+                    self._thr_cache.clear()
+                self._thr_cache[d] = thr_u
+            thr_rows.append(thr_u)
+        thr = np.stack(thr_rows)
+        col_mean = mean[:, None]
+        col_sigma = sigma_cdf[:, None]
+        segments = [(thr - col_mean) / col_sigma]
+        fraction = None
+        if use_tail:
+            ratio = np.array([tail_list[g][1] for g in idx])
+            fraction = np.array([tail_list[g][0] for g in idx])
+            segments.append((thr - (mean * ratio)[:, None]) / col_sigma)
+
+        plan = {
+            "idx": idx,
+            "rows": np.asarray(idx, dtype=np.intp),
+            "sig": sig,
+            "K": K,
+            "U": thr.shape[1],
+            "goals": [goals[g] for g in idx],
+            "deadline": deadline,
+            "period": period,
+            "mean": mean,
+            "sigma_raw": sigma_raw,
+            "phi": phi_k,
+            "fraction": fraction,
+        }
+
+        if has_budget:
+            budget = np.array([goals[g].energy_budget_j for g in idx])
+            horizon_rows, cross_rows, xib_rows = [], [], []
+            for g in idx:
+                goal = goals[g]
+                key = (goal.deadline_s, goal.period, goal.energy_budget_j)
+                cached = self._energy_cache.get(key)
+                if cached is None:
+                    horizon = np.where(
+                        self.is_anytime,
+                        min(goal.deadline_s, goal.period),
+                        goal.period,
+                    )
+                    xi_cross = horizon / self.t_run
+                    xi_b = goal.energy_budget_j / self._power_trun
+                    if len(self._energy_cache) >= 256:
+                        self._energy_cache.clear()
+                    cached = (horizon, xi_cross, xi_b)
+                    self._energy_cache[key] = cached
+                horizon_rows.append(cached[0])
+                cross_rows.append(cached[1])
+                xib_rows.append(cached[2])
+            horizon = np.stack(horizon_rows)
+            xi_cross = np.stack(cross_rows)
+            xi_b = np.stack(xib_rows)
+            col_phi = phi_k[:, None]
+            floor = self.power * horizon + col_phi * self.power * np.maximum(
+                0.0, period[:, None] - horizon
+            )
+            plan["budget"] = budget
+            plan["floor"] = floor
+            if degenerate:
+                denom = self._power_trun * (1.0 - col_phi)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    xi_a = np.where(
+                        denom == 0.0,
+                        -np.inf,
+                        (budget[:, None] - col_phi * self.power * period[:, None])
+                        / denom,
+                    )
+                energy_args = np.concatenate(
+                    [xi_b, xi_cross, np.minimum(xi_a, xi_cross)], axis=1
+                )
+            else:
+                xi_a = (
+                    budget[:, None] - col_phi * self.power * period[:, None]
+                ) / (self._power_trun * (1.0 - col_phi))
+                above_cross = budget[:, None] >= floor - 1e-12
+                energy_args = np.where(above_cross, xi_b, xi_a)
+                plan["above_cross"] = above_cross
+            segments.append((energy_args - col_mean) / col_sigma)
+
+        plan["flat"] = (
+            segments[0].ravel()
+            if len(segments) == 1
+            else np.concatenate([segment.ravel() for segment in segments])
+        )
+        return plan
+
+    def _finish_group(
+        self, plan: dict, cdf_flat: np.ndarray, fields: dict[str, np.ndarray]
+    ) -> None:
+        """Post-CDF arithmetic for one group; fills the field tensors."""
+        has_budget, degenerate, has_floor, has_prob, objective, use_tail = plan[
+            "sig"
+        ]
+        K = plan["K"]
+        U = plan["U"]
+        n = self.n_configs
+        is_any = self.is_anytime
+        deadline = plan["deadline"][:, None]
+        col_phi = plan["phi"][:, None]
+
+        m = K * U
+        body = cdf_flat[:m].reshape(K, U)
+        offset = m
+        if use_tail:
+            shifted = cdf_flat[m : 2 * m].reshape(K, U)
+            offset = 2 * m
+            col_fraction = plan["fraction"][:, None]
+            pr_unique = (1.0 - col_fraction) * body + col_fraction * shifted
+        else:
+            pr_unique = body
+        pr_concat = pr_unique[:, self._lat_inverse]
+        pr_deadline = pr_concat[:, :n]
+        pr_full = pr_concat[:, n : 2 * n]
+        width = self.rung_lat.shape[1]
+        # Reusable (K, config, rung) buffers per batch width: invalid
+        # entries and the next-buffer's last column stay 0 forever,
+        # exactly like the single-state buffers.
+        buffers = self._rung_many_bufs.get(K)
+        if buffers is None:
+            if len(self._rung_many_bufs) >= 8:
+                self._rung_many_bufs.clear()
+            buffers = (np.zeros((K, n, width)), np.zeros((K, n, width)))
+            self._rung_many_bufs[K] = buffers
+        rung_pr, rung_pr_next = buffers
+        rung_pr[:, self.rung_valid] = pr_concat[:, 2 * n :]
+
+        expected_trad = pr_full * self.quality + (1.0 - pr_full) * self.q_fail
+        rung_pr_next[:, :, :-1] = rung_pr[:, :, 1:]
+        expected_any = (1.0 - rung_pr[:, :, 0]) * self.q_fail + np.sum(
+            self.rung_q * (rung_pr - rung_pr_next), axis=2
+        )
+        expected_q = np.where(is_any, expected_any, expected_trad)
+
+        if has_floor:
+            statics = [
+                self._qmin_static(goal.accuracy_min) for goal in plan["goals"]
+            ]
+            quality_below = np.stack([static[0] for static in statics])
+            has_rung = np.stack([static[1] for static in statics])
+            first = np.stack([static[2] for static in statics])
+            qfail_ok = np.stack([static[3] for static in statics])
+            q_meet_trad = np.where(quality_below, 0.0, pr_full)
+            q_meet_any = np.where(
+                has_rung,
+                rung_pr[np.arange(K)[:, None], self._row_index[None, :], first],
+                0.0,
+            )
+            q_meet = np.where(is_any, q_meet_any, q_meet_trad)
+            q_meet = np.where(qfail_ok, 1.0, q_meet)
+        else:
+            q_meet = self._ones_f  # broadcasts over the group rows
+
+        run_mean = plan["mean"][:, None] * self.t_run
+        latency_mean = np.where(
+            is_any, np.minimum(run_mean, deadline), run_mean
+        )
+
+        if not has_prob:
+            run_energy = run_mean
+        else:
+            shifts = []
+            for k, goal in enumerate(plan["goals"]):
+                z_q = self._quantile_cache.get(goal.prob_threshold)
+                if z_q is None:
+                    z_q = normal_quantile(goal.prob_threshold)
+                    self._quantile_cache[goal.prob_threshold] = z_q
+                shifts.append(plan["mean"][k] + z_q * plan["sigma_raw"][k])
+            run_energy = np.maximum(np.array(shifts)[:, None] * self.t_run, 0.0)
+        run_energy = np.where(
+            is_any, np.minimum(run_energy, deadline), run_energy
+        )
+        idle_time = np.maximum(0.0, plan["period"][:, None] - run_energy)
+        energy = self.power * run_energy + col_phi * self.power * idle_time
+
+        confidence = self.confidence
+        meets_latency_mean = is_any | (latency_mean <= deadline)
+        meets_latency = is_any | (
+            meets_latency_mean & (pr_deadline >= confidence)
+        )
+        if has_prob:
+            pr_constraints = np.where(
+                is_any, q_meet, np.minimum(pr_deadline, q_meet)
+            )
+
+        rows = plan["rows"]
+        if objective is ObjectiveKind.MINIMIZE_ENERGY:
+            acc_min = np.array([goal.accuracy_min for goal in plan["goals"]])
+            fields["meets_accuracy"][rows] = (
+                expected_q >= acc_min[:, None]
+            ) & (q_meet >= confidence)
+        else:
+            fields["meets_accuracy"][rows] = True
+
+        if has_budget:
+            budget = plan["budget"][:, None]
+            floor = plan["floor"]
+            energy_cdfs = cdf_flat[offset:].reshape(K, -1)
+            if degenerate:
+                cdf_b = energy_cdfs[:, :n]
+                cdf_cross = energy_cdfs[:, n : 2 * n]
+                cdf_min = energy_cdfs[:, 2 * n :]
+                res_any = np.where(budget >= floor - 1e-12, 1.0, 0.0)
+                below = np.maximum(0.0, cdf_b - cdf_cross)
+                above = np.maximum(0.0, cdf_b - cdf_min)
+                res_trad = np.where(budget < floor - 1e-12, below, above)
+                e_meet = np.where(is_any, res_any, res_trad)
+            else:
+                e_meet = np.where(
+                    is_any & plan["above_cross"], 1.0, energy_cdfs
+                )
+            fields["meets_energy"][rows] = (energy <= budget) & (
+                e_meet >= confidence
+            )
+            if has_prob:
+                pr_constraints = np.minimum(pr_constraints, e_meet)
+        else:
+            fields["meets_energy"][rows] = True
+
+        if has_prob:
+            prob = np.array([goal.prob_threshold for goal in plan["goals"]])
+            fields["meets_prob"][rows] = pr_constraints >= prob[:, None]
+        else:
+            fields["meets_prob"][rows] = True
+
+        fields["latency_mean_s"][rows] = latency_mean
+        fields["deadline_probability"][rows] = pr_deadline
+        fields["expected_quality"][rows] = expected_q
+        fields["quality_meet_probability"][rows] = q_meet
+        fields["expected_energy_j"][rows] = energy
+        fields["meets_latency"][rows] = meets_latency
+        fields["meets_latency_mean"][rows] = meets_latency_mean
 
     def _qmin_static(
         self, q_min: float

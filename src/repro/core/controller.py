@@ -25,18 +25,60 @@ lets converged Kalman phases skip re-estimation entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
+
+import numpy as np
 
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.estimator import AlertEstimator
 from repro.core.goals import Goal
-from repro.core.kalman import IdlePowerFilter
+from repro.core.kalman import IdlePowerFilter, StackedIdlePowerFilter
 from repro.core.selector import ConfigSelector, SelectionResult
-from repro.core.slowdown import GlobalSlowdownEstimator
+from repro.core.slowdown import GlobalSlowdownEstimator, StackedSlowdownEstimator
 from repro.errors import ConfigurationError
 from repro.models.base import DnnModel
 from repro.models.profiles import ProfileTable
 
-__all__ = ["ControllerState", "AlertController"]
+__all__ = ["ControllerState", "AlertController", "AlertCellController"]
+
+
+def lockstep_stats_dict(
+    n_goals: int,
+    stacked_calls: int,
+    stacked_states: int,
+    memo_hits: int = 0,
+    memo_misses: int = 0,
+) -> dict:
+    """The decision-path health counters of one lockstep cell.
+
+    The single place the stats-dict shape is defined: every stacked
+    cell controller's ``lockstep_stats`` builds through this, and
+    :meth:`repro.runtime.loop.LockstepTelemetry.record_cell` reads the
+    same keys.
+    """
+    return {
+        "goals": n_goals,
+        "stacked_calls": stacked_calls,
+        "stacked_states": stacked_states,
+        "mean_batch_size": (
+            stacked_states / stacked_calls if stacked_calls else 0.0
+        ),
+        "memo_hits": memo_hits,
+        "memo_misses": memo_misses,
+    }
+
+
+def _evict_oldest_half(memo: dict) -> None:
+    """Drop the least-recently-inserted half of a decision memo.
+
+    Dict insertion order is the age order here (entries are only ever
+    added), so this keeps the newer half — the states a converged or
+    slowly drifting filter is actually revisiting — instead of
+    restarting cold, which made every memo hit vanish each time the
+    cap was crossed.
+    """
+    for key in list(islice(iter(memo), len(memo) // 2)):
+        del memo[key]
 
 #: Fraction of the mean profiled latency charged as worst-case
 #: scheduler overhead (the paper's measured range is 0.6-1.7%).
@@ -87,10 +129,15 @@ class AlertController:
     memo_decimals:
         Decimal places the state is rounded to when forming memo keys
         (default 4: states within 1e-4 of each other share a decision).
+    keep_xi_history:
+        Retain every observed slowdown ratio for trace consumers
+        (Figure 11).  Off by default — see
+        :class:`repro.core.slowdown.GlobalSlowdownEstimator`.
     """
 
-    #: Memo entries kept before the cache is dropped and restarted;
-    #: bounds memory on very long runs with drifting environments.
+    #: Memo entries kept before the oldest half is evicted (dict
+    #: insertion order); bounds memory on very long runs with drifting
+    #: environments without restarting the cache cold.
     _MEMO_CAP = 4096
 
     def __init__(
@@ -105,6 +152,7 @@ class AlertController:
         confidence: float = 0.95,
         decision_memo: bool = True,
         memo_decimals: int = 4,
+        keep_xi_history: bool = False,
     ) -> None:
         if overhead_fraction < 0 or overhead_fraction > 0.2:
             raise ConfigurationError(
@@ -122,7 +170,9 @@ class AlertController:
             profile, variance_aware=variance_aware, confidence=confidence
         )
         self.selector = ConfigSelector(self.space, self.estimator)
-        self.slowdown = GlobalSlowdownEstimator(q0=q0)
+        self.slowdown = GlobalSlowdownEstimator(
+            q0=q0, keep_history=keep_xi_history
+        )
         idle_ratio = profile.idle_power_w / max(
             profile.inference_power_w.values()
         )
@@ -210,7 +260,7 @@ class AlertController:
         if self._memo is not None and key is not None:
             self._memo_misses += 1
             if len(self._memo) >= self._MEMO_CAP:
-                self._memo.clear()
+                _evict_oldest_half(self._memo)
             self._memo[key] = result
         self._last_selection = result
         return result
@@ -245,3 +295,308 @@ class AlertController:
     def configurations(self) -> list[Configuration]:
         """The full candidate space (for inspection)."""
         return list(self.space)
+
+
+class AlertCellController:
+    """Lockstep ALERT across a cell's goal grid (one state per goal).
+
+    Every goal of a fused cell consumes the same input sequence, so
+    their independent ALERT states — ξ filter, idle-power filter, tail
+    model, decision memo — can advance in lockstep: one stacked
+    :meth:`observe_many` pass folds in all goals' measurements, and one
+    :meth:`decide_many` pass computes every goal's selection through
+    :meth:`repro.core.selector.ConfigSelector.select_many` (single
+    fused erf + lexsort per step, covering exactly the goals whose
+    quantized state missed their memo).  Each goal's trajectory is
+    bit-identical to a fresh :class:`AlertController` serving that goal
+    alone (``tests/test_lockstep_parity.py``).
+
+    Build through :meth:`from_controllers`, which validates that the
+    per-goal controllers are fresh and structurally identical (same
+    candidate space, estimator settings, filter parameters, memo
+    configuration) and returns ``None`` when they are not — callers
+    fall back to the sequential per-goal path.
+    """
+
+    def __init__(
+        self,
+        selector: ConfigSelector,
+        profile: ProfileTable,
+        n_goals: int,
+        overhead_s: float,
+        q0: float,
+        min_sigma: float,
+        tail_threshold_sigmas: float,
+        tail_ewma: float,
+        phi0: np.ndarray,
+        idle_m0: float,
+        idle_s: float,
+        idle_v: float,
+        memo_decimals: int,
+        memo_cap: int,
+        decision_memo: bool = True,
+    ) -> None:
+        if n_goals < 1:
+            raise ConfigurationError(f"need at least one goal, got {n_goals}")
+        self.selector = selector
+        self.profile = profile
+        self.n_goals = n_goals
+        self._overhead_s = overhead_s
+        self.slowdown = StackedSlowdownEstimator(
+            n_goals,
+            q0=q0,
+            min_sigma=min_sigma,
+            tail_threshold_sigmas=tail_threshold_sigmas,
+            tail_ewma=tail_ewma,
+        )
+        self.idle_filter = StackedIdlePowerFilter(
+            phi0, m0=idle_m0, s=idle_s, v=idle_v
+        )
+        self._memos: list[dict] | None = (
+            [{} for _ in range(n_goals)] if decision_memo else None
+        )
+        self._memo_decimals = memo_decimals
+        self._memo_cap = memo_cap
+        self._memo_hits = 0
+        self._memo_misses = 0
+        self._stacked_calls = 0
+        self._stacked_states = 0
+        # Overhead-adjusted goals are pure functions of the goal; the
+        # serving loop re-decides the same Goal objects for thousands
+        # of inputs, so the dataclass replace + validation is cached.
+        self._effective: dict[Goal, Goal] = {}
+
+    @classmethod
+    def from_controllers(
+        cls, controllers: "list[AlertController]"
+    ) -> "AlertCellController | None":
+        """A stacked controller equivalent to ``controllers``, or None.
+
+        Returns ``None`` — never raises — when the controllers cannot
+        be stacked: not plain :class:`AlertController` instances, not
+        fresh (any filter already observed, any decision already
+        made), or structurally different (candidate space, estimator
+        mode, overhead, filter or memo parameters).  Custom controller
+        subclasses are rejected on purpose: their overridden behaviour
+        must keep running on the sequential reference path.
+        """
+        if not controllers:
+            return None
+        for controller in controllers:
+            if type(controller) is not AlertController:
+                return None
+            if (
+                controller.slowdown.observations != 0
+                or controller.idle_filter.updates != 0
+                or controller.last_selection is not None
+            ):
+                return None
+            if controller._memo is not None and controller._memo:
+                return None
+            # ξ-history retention is a trace contract the stacked
+            # estimator does not replicate; such runs stay sequential
+            # so history() keeps returning the full trace.
+            if controller.slowdown.keeps_history:
+                return None
+        first = controllers[0]
+        if first.selector.batch is None:
+            return None
+
+        def fingerprint(controller: "AlertController") -> tuple:
+            xi = controller.slowdown._filter
+            idle = controller.idle_filter
+            return (
+                id(controller.profile),
+                tuple(
+                    (id(config.model), config.power_w, config.rung_cap)
+                    for config in controller.space
+                ),
+                controller.estimator.variance_aware,
+                controller.estimator.confidence,
+                controller._overhead_s,
+                controller._memo is not None,
+                controller._memo_decimals,
+                controller._MEMO_CAP,
+                (xi.mu, xi.var, xi.gain, xi.measurement_noise, xi.q_cap, xi.alpha),
+                (
+                    controller.slowdown._min_sigma,
+                    controller.slowdown._tail_threshold,
+                    controller.slowdown._tail_ewma,
+                ),
+                (
+                    idle.phi,
+                    idle.variance,
+                    idle.process_noise,
+                    idle.measurement_noise,
+                ),
+            )
+
+        reference = fingerprint(first)
+        if any(fingerprint(c) != reference for c in controllers[1:]):
+            return None
+        xi = first.slowdown._filter
+        idle = first.idle_filter
+        return cls(
+            selector=first.selector,
+            profile=first.profile,
+            n_goals=len(controllers),
+            overhead_s=first._overhead_s,
+            q0=xi.q_cap,
+            min_sigma=first.slowdown._min_sigma,
+            tail_threshold_sigmas=first.slowdown._tail_threshold,
+            tail_ewma=first.slowdown._tail_ewma,
+            phi0=np.array([c.idle_filter.phi for c in controllers]),
+            idle_m0=idle.variance,
+            idle_s=idle.process_noise,
+            idle_v=idle.measurement_noise,
+            memo_decimals=first._memo_decimals,
+            memo_cap=first._MEMO_CAP,
+            decision_memo=first._memo is not None,
+        )
+
+    # ------------------------------------------------------------------
+    # Step 1: measurement feedback, all goals at once
+    # ------------------------------------------------------------------
+    def observe_many(self, outcomes) -> None:
+        """Fold every goal's previous-input measurements in, stacked.
+
+        ``outcomes`` holds one :class:`InferenceOutcome`-shaped record
+        per goal; the ξ observation uses the run-to-completion latency
+        and the idle-power filter only sees goals whose period had an
+        idle phase — exactly the :class:`AlertScheduler` measurement
+        conventions, applied elementwise.
+        """
+        profile = self.profile
+        measured = np.array([o.full_latency_s for o in outcomes])
+        t_prof = np.array(
+            [profile.latency(o.model_name, o.power_cap_w) for o in outcomes]
+        )
+        self.slowdown.observe(measured, t_prof)
+        idle_mask = np.array([o.period_s > o.latency_s for o in outcomes])
+        if idle_mask.any():
+            inference = np.array(
+                [profile.power(o.model_name, o.power_cap_w) for o in outcomes]
+            )
+            idle = np.array(
+                [
+                    o.idle_power_w if has_idle else 0.0
+                    for o, has_idle in zip(outcomes, idle_mask)
+                ]
+            )
+            self.idle_filter.update_where(idle_mask, idle, inference)
+
+    # ------------------------------------------------------------------
+    # Steps 3-4: estimate and pick, all goals at once
+    # ------------------------------------------------------------------
+    def decide_many(self, goals) -> list[SelectionResult]:
+        """One selection per goal (already group-adjusted), stacked.
+
+        Per-goal memo keys quantize each goal's own filter state
+        exactly like :meth:`AlertController.decide`; only the goals
+        that miss go into the stacked
+        :meth:`~repro.core.selector.ConfigSelector.select_many` pass.
+        """
+        if len(goals) != self.n_goals:
+            raise ConfigurationError(
+                f"expected {self.n_goals} goals, got {len(goals)}"
+            )
+        xi_mean = self.slowdown.mean
+        xi_sigma = self.slowdown.sigma
+        phi = self.idle_filter.phi
+        tail_fraction = self.slowdown.tail_fraction
+        tail_ratio = self.slowdown.tail_ratio
+        nd = self._memo_decimals
+
+        results: list[SelectionResult | None] = [None] * self.n_goals
+        miss_goals: list[Goal] = []
+        miss_index: list[int] = []
+        miss_keys: list[tuple | None] = []
+        for g, goal in enumerate(goals):
+            effective = self._effective.get(goal)
+            if effective is None:
+                effective = goal
+                adjusted = max(1e-6, goal.deadline_s - self._overhead_s)
+                if adjusted != goal.deadline_s:
+                    effective = goal.with_deadline(adjusted)
+                if len(self._effective) >= 4096:
+                    self._effective.clear()
+                self._effective[goal] = effective
+            key: tuple | None = None
+            if self._memos is not None:
+                key = (
+                    goal,
+                    round(float(xi_mean[g]), nd),
+                    round(float(xi_sigma[g]), nd),
+                    round(float(phi[g]), nd),
+                    round(float(tail_fraction[g]), nd),
+                    round(float(tail_ratio[g]), nd),
+                )
+                cached = self._memos[g].get(key)
+                if cached is not None:
+                    self._memo_hits += 1
+                    results[g] = cached
+                    continue
+            miss_goals.append(effective)
+            miss_index.append(g)
+            miss_keys.append(key)
+
+        if miss_goals:
+            index = np.array(miss_index)
+            selections = self.selector.select_many(
+                miss_goals,
+                xi_mean[index],
+                xi_sigma[index],
+                phi[index],
+                tails=[
+                    (float(tail_fraction[g]), float(tail_ratio[g]))
+                    for g in miss_index
+                ],
+            )
+            self._stacked_calls += 1
+            self._stacked_states += len(miss_goals)
+            for g, key, selection in zip(miss_index, miss_keys, selections):
+                if self._memos is not None and key is not None:
+                    self._memo_misses += 1
+                    memo = self._memos[g]
+                    if len(memo) >= self._memo_cap:
+                        _evict_oldest_half(memo)
+                    memo[key] = selection
+                results[g] = selection
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def worst_case_overhead_s(self) -> float:
+        """The per-decision overhead reserved from each deadline."""
+        return self._overhead_s
+
+    def state_for(self, g: int) -> ControllerState:
+        """Snapshot of goal ``g``'s filters (mirrors ``state()``)."""
+        return ControllerState(
+            xi_mean=float(self.slowdown.mean[g]),
+            xi_sigma=float(self.slowdown.sigma[g]),
+            phi=float(self.idle_filter.phi[g]),
+            observations=self.slowdown.observations,
+        )
+
+    def xi_snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """The per-goal (mean, sigma) arrays (record bookkeeping)."""
+        return self.slowdown.mean, self.slowdown.sigma
+
+    @property
+    def memo_stats(self) -> tuple[int, int]:
+        """(hits, misses) across all goals since construction."""
+        return self._memo_hits, self._memo_misses
+
+    @property
+    def lockstep_stats(self) -> dict:
+        """Decision-path health counters for benches and telemetry."""
+        return lockstep_stats_dict(
+            self.n_goals,
+            self._stacked_calls,
+            self._stacked_states,
+            self._memo_hits,
+            self._memo_misses,
+        )

@@ -39,6 +39,7 @@ from repro.core.batch_estimator import BatchAlertEstimator
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.estimator import AlertEstimator, ConfigEstimate
 from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
 
 __all__ = ["SelectionResult", "ConfigSelector"]
 
@@ -245,6 +246,157 @@ class ConfigSelector:
             n_candidates=n,
             n_feasible=0,
         )
+
+    # ------------------------------------------------------------------
+    # Stacked multi-state fast path (the lockstep decision engine)
+    # ------------------------------------------------------------------
+    def select_many(
+        self,
+        goals,
+        xi_means,
+        xi_sigmas,
+        phis,
+        tails=None,
+    ) -> list[SelectionResult]:
+        """One selection per (goal, filter-state) pair, in one pass.
+
+        The lockstep serving path calls this once per input step with
+        every goal of the cell that missed its decision memo.  The
+        estimates come from one stacked
+        :meth:`~repro.core.batch_estimator.BatchAlertEstimator.estimate_many`
+        query (single fused erf evaluation), and the 4-stage priority
+        hierarchy then ranks the whole ``(state × config)`` plane with
+        **one** segment-wise ``np.lexsort``: each state resolves its
+        fallback stage, contributes its stage's ranking keys into
+        shared key columns (padded to the widest stage), and a leading
+        segment key keeps states independent — the winner of segment
+        ``g`` is exactly the configuration :meth:`select` would pick
+        for state ``g`` (pinned by ``tests/test_lockstep_parity.py``).
+        """
+        n_states = len(goals)
+        if n_states < 1:
+            raise ConfigurationError("need at least one (goal, state) pair")
+        tail_list = list(tails) if tails is not None else [None] * n_states
+        if self.batch is None:
+            return [
+                self.select_scalar(
+                    goals[g], xi_means[g], xi_sigmas[g], phis[g], tail_list[g]
+                )
+                for g in range(n_states)
+            ]
+        estimates, fields = self.batch.estimate_many_stacked(
+            goals, xi_means, xi_sigmas, phis, tail_list
+        )
+        n = estimates[0].n
+        rank = self.batch.tie_rank
+
+        # The (G × C) planes come straight from the stacked estimator.
+        energy = fields["expected_energy_j"]
+        neg_quality = -fields["expected_quality"]
+        latency_mean = fields["latency_mean_s"]
+        q_meet = fields["quality_meet_probability"]
+        mlm = fields["meets_latency_mean"]
+        meets_prob = fields["meets_prob"]
+        feasible = (
+            fields["meets_latency"]
+            & fields["meets_accuracy"]
+            & fields["meets_energy"]
+            & meets_prob
+        )
+
+        # Resolve each state's fallback stage (0 = feasible, then the
+        # scalar hierarchy's relaxation order).
+        n_feasible = feasible.sum(axis=1)
+        keep_prob_mask = mlm & meets_prob
+        stage = np.where(
+            n_feasible > 0,
+            0,
+            np.where(
+                keep_prob_mask.any(axis=1),
+                1,
+                np.where(mlm.any(axis=1), 2, 3),
+            ),
+        )
+        col = stage[:, None]
+        # Candidate validity per stage; invalid entries stay in the
+        # plane but sort after every valid one via the lexsort key.
+        valid = np.where(
+            col == 0,
+            feasible,
+            np.where(col == 1, keep_prob_mask, np.where(col == 2, mlm, True)),
+        )
+
+        min_energy = np.array(
+            [goal.objective is ObjectiveKind.MINIMIZE_ENERGY for goal in goals]
+        )[:, None]
+        relaxed = (col == 1) | (col == 2)
+        # Bit-identical to the scalar key's _quantize6 (see
+        # _select_batch); computed wholesale, read only where needed.
+        neg_rounded = -(np.rint(q_meet * 1e6) / 1e6)
+        rank_plane = np.broadcast_to(rank, (n_states, n))
+        zeros_plane = np.broadcast_to(np.zeros(1), (n_states, n))
+
+        # The four ranking-key columns, row-selected by (stage,
+        # objective) to replicate each stage's scalar key tuple; unused
+        # trailing keys are constant within a row.
+        k1 = np.where(
+            col == 3,
+            latency_mean,
+            np.where(
+                min_energy,
+                np.where(relaxed, neg_rounded, energy),
+                neg_quality,
+            ),
+        )
+        k2 = np.where(
+            col == 3, neg_quality, np.where(min_energy, neg_quality, energy)
+        )
+        k3 = np.where(
+            col == 3,
+            rank_plane,
+            np.where(
+                min_energy & relaxed,
+                energy,
+                rank_plane,
+            ),
+        )
+        k4 = np.where(min_energy & relaxed, rank_plane, zeros_plane)
+
+        # One lexsort over the whole (state × config) plane: segment id
+        # most significant, validity next (valid first), then the key
+        # columns in priority order (np.lexsort sorts by its *last* key
+        # first).  Segments have exactly ``n`` entries each, so state
+        # g's winner is the sorted position g * n.
+        seg = np.repeat(np.arange(n_states, dtype=np.int64), n)
+        order = np.lexsort(
+            (
+                k4.ravel(),
+                k3.ravel(),
+                k2.ravel(),
+                k1.ravel(),
+                ~valid.ravel(),
+                seg,
+            )
+        )
+        winners = order[::n] - np.arange(n_states, dtype=np.int64) * n
+
+        _RELAXATIONS = (None, "constraint", "probability", "latency")
+        results: list[SelectionResult] = []
+        for g in range(n_states):
+            winner = int(winners[g])
+            b = estimates[g]
+            state_stage = int(stage[g])
+            results.append(
+                SelectionResult(
+                    config=b.configs[winner],
+                    estimate=b.estimate(winner),
+                    feasible=state_stage == 0,
+                    relaxation=_RELAXATIONS[state_stage],
+                    n_candidates=n,
+                    n_feasible=int(n_feasible[g]) if state_stage == 0 else 0,
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------
     # Scalar reference path

@@ -16,10 +16,12 @@ consume.
 
 from __future__ import annotations
 
-from repro.core.kalman import AdaptiveKalmanFilter
+import numpy as np
+
+from repro.core.kalman import AdaptiveKalmanFilter, StackedKalmanFilter
 from repro.errors import ConfigurationError
 
-__all__ = ["GlobalSlowdownEstimator"]
+__all__ = ["GlobalSlowdownEstimator", "StackedSlowdownEstimator"]
 
 
 class GlobalSlowdownEstimator:
@@ -48,6 +50,12 @@ class GlobalSlowdownEstimator:
         count as a tail event.
     tail_ewma:
         Smoothing factor of the tail frequency/magnitude EWMAs.
+    keep_history:
+        When True, every observed ratio is retained for trace
+        consumers (Figure 11).  Off by default: the filters summarise
+        the stream, so unbounded retention was pure memory growth on
+        long-running serving loops — opt in only where
+        :meth:`history` is actually read.
     """
 
     def __init__(
@@ -56,6 +64,7 @@ class GlobalSlowdownEstimator:
         min_sigma: float = 1e-6,
         tail_threshold_sigmas: float = 3.0,
         tail_ewma: float = 0.05,
+        keep_history: bool = False,
     ) -> None:
         if not 0.0 < tail_ewma <= 1.0:
             raise ConfigurationError(
@@ -67,7 +76,7 @@ class GlobalSlowdownEstimator:
         self._tail_ewma = tail_ewma
         self._tail_fraction = 0.0
         self._tail_ratio = 1.0
-        self._history: list[float] = []
+        self._history: list[float] | None = [] if keep_history else None
 
     def observe(self, measured_latency_s: float, profiled_latency_s: float) -> float:
         """Fold in one finished inference; returns the observed ratio.
@@ -99,7 +108,8 @@ class GlobalSlowdownEstimator:
                 1.0, observed_ratio
             )
         self._filter.update(ratio)
-        self._history.append(ratio)
+        if self._history is not None:
+            self._history.append(ratio)
         return ratio
 
     @property
@@ -127,8 +137,23 @@ class GlobalSlowdownEstimator:
         """EWMA magnitude of tail observations, relative to the mean."""
         return self._tail_ratio
 
+    @property
+    def keeps_history(self) -> bool:
+        """Whether observed ratios are being retained."""
+        return self._history is not None
+
     def history(self) -> list[float]:
-        """All observed ratios, in order (Figure 11's raw material)."""
+        """All observed ratios, in order (Figure 11's raw material).
+
+        Only available when constructed with ``keep_history=True`` —
+        retention is opt-in so long-running serving loops do not grow
+        one float per observation forever.
+        """
+        if self._history is None:
+            raise ConfigurationError(
+                "history retention is off; construct the estimator with "
+                "keep_history=True to record observed ratios"
+            )
         return list(self._history)
 
     def snapshot(self) -> tuple[float, float]:
@@ -140,3 +165,97 @@ class GlobalSlowdownEstimator:
             f"GlobalSlowdownEstimator(mean={self.mean:.4f}, "
             f"sigma={self.sigma:.4f}, n={self.observations})"
         )
+
+
+class StackedSlowdownEstimator:
+    """``n`` independent ξ estimators advancing in lockstep.
+
+    The stacked twin of :class:`GlobalSlowdownEstimator` for the
+    lockstep multi-goal decision engine: every goal of a cell observes
+    one finished inference per step, so the ``n`` Kalman states and
+    tail models update in one elementwise pass.  Each state's
+    trajectory is bit-identical to a scalar estimator fed the same
+    observation sequence (``tests/test_lockstep_parity.py``); no
+    history is retained — lockstep cells are throughput paths, trace
+    consumers use the scalar estimator with ``keep_history=True``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        q0: float = 0.1,
+        min_sigma: float = 1e-6,
+        tail_threshold_sigmas: float = 3.0,
+        tail_ewma: float = 0.05,
+    ) -> None:
+        if not 0.0 < tail_ewma <= 1.0:
+            raise ConfigurationError(
+                f"tail_ewma must lie in (0, 1], got {tail_ewma}"
+            )
+        self.n = n
+        self._filter = StackedKalmanFilter(n, q0=q0)
+        self._min_sigma = min_sigma
+        self._tail_threshold = tail_threshold_sigmas
+        self._tail_ewma = tail_ewma
+        self._tail_fraction = np.zeros(n)
+        self._tail_ratio = np.ones(n)
+
+    def observe(
+        self, measured_latency_s: np.ndarray, profiled_latency_s: np.ndarray
+    ) -> np.ndarray:
+        """Fold in one finished inference per state; returns the ratios.
+
+        Mirrors :meth:`GlobalSlowdownEstimator.observe` elementwise:
+        the tail threshold, the EWMA frequency/magnitude updates, and
+        the Kalman update all use the state's own belief.
+        """
+        measured = np.asarray(measured_latency_s, dtype=np.float64)
+        profiled = np.asarray(profiled_latency_s, dtype=np.float64)
+        if np.any(measured <= 0) or np.any(profiled <= 0):
+            raise ConfigurationError("latencies must be positive")
+        ratio = measured / profiled
+        threshold = self._filter.mu + self._tail_threshold * np.maximum(
+            self._filter.sigma, self._min_sigma
+        )
+        is_tail = (ratio > threshold) & (self._filter.updates > 0)
+        alpha = self._tail_ewma
+        self._tail_fraction = (
+            1 - alpha
+        ) * self._tail_fraction + alpha * is_tail.astype(np.float64)
+        grow = is_tail & (self._filter.mu > 0)
+        if grow.any():
+            # Guarded division: non-tail states may sit at any mu; the
+            # masked result only reads the tail entries.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                observed_ratio = ratio / self._filter.mu
+            updated = (1 - alpha) * self._tail_ratio + alpha * np.maximum(
+                1.0, observed_ratio
+            )
+            self._tail_ratio = np.where(grow, updated, self._tail_ratio)
+        self._filter.update(ratio)
+        return ratio
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-state estimate of E[ξ]."""
+        return self._filter.mu
+
+    @property
+    def sigma(self) -> np.ndarray:
+        """Per-state estimate of std[ξ] (floored for numerical safety)."""
+        return np.maximum(self._min_sigma, self._filter.sigma)
+
+    @property
+    def observations(self) -> int:
+        """Number of lockstep observation rounds folded in so far."""
+        return self._filter.updates
+
+    @property
+    def tail_fraction(self) -> np.ndarray:
+        """Per-state EWMA frequency of far-above-mean observations."""
+        return self._tail_fraction
+
+    @property
+    def tail_ratio(self) -> np.ndarray:
+        """Per-state EWMA magnitude of tail observations."""
+        return self._tail_ratio

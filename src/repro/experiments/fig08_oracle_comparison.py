@@ -67,12 +67,15 @@ def run(
     seed: int = 20200909,
     workers: int = 1,
     fuse_cells: bool = True,
+    lockstep: bool | None = None,
 ) -> Fig08Result:
     """Collect the Figure 8 whiskers for one platform/task.
 
     ``workers`` > 1 fans each environment's runs out over a process
-    pool; ``fuse_cells`` shares one engine realisation per cell.  Both
-    are bit-identical to the serial isolated run.
+    pool; ``fuse_cells`` shares one engine realisation per cell;
+    ``lockstep`` (on by default when fused) advances each ALERT-family
+    scheme's runs across the goal grid together.  All three are
+    value-identical to the serial isolated run.
     """
     whiskers: list[Whisker] = []
     for env in envs:
@@ -81,7 +84,7 @@ def run(
         goals = list(grid.min_energy_goals)[::settings_stride]
         runs = evaluate_schemes(
             scenario, goals, SCHEMES, n_inputs, workers=workers,
-            fuse_cells=fuse_cells,
+            fuse_cells=fuse_cells, lockstep=lockstep,
         )
         for scheme in SCHEMES:
             energies = [r.mean_energy_j for r in runs.scheme_runs(scheme)]

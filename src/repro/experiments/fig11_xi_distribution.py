@@ -83,7 +83,8 @@ def run(
         )
         engine = scenario.make_engine()
         stream = scenario.make_stream()
-        scheduler = make_alert(profile)
+        # The one consumer of the raw ξ trace: opt into retention.
+        scheduler = make_alert(profile, keep_xi_history=True)
         ServingLoop(engine, stream, scheduler, goal).run(n_inputs)
         samples = scheduler.controller.slowdown.history()
         densities, centers = histogram(samples, bins=24)

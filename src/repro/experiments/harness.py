@@ -51,6 +51,7 @@ from repro.errors import ConfigurationError
 from repro.models.inference import BatchOutcomeGrid, GridView
 from repro.runtime.executor import (
     CellSpec,
+    LockstepCellSpec,
     RunExecutor,
     RunSpec,
     ScenarioKey,
@@ -271,6 +272,7 @@ def evaluate_schemes(
     workers: int = 1,
     share_oracle_grid: bool | None = None,
     fuse_cells: bool | None = None,
+    lockstep: bool | None = None,
 ) -> CellResult:
     """Run every scheme over every constraint setting of a cell.
 
@@ -288,6 +290,19 @@ def evaluate_schemes(
     with ``share_oracle_grid=False`` is contradictory and raises).
     ``share_oracle_grid`` keeps its pre-fusion meaning for the factory
     handoff (see :func:`_grid_sharing`).
+
+    ``lockstep`` controls the multi-goal decision engine on fused
+    cells: all of a scheme's ALERT-family runs advance input-by-input
+    together, with every goal's decision computed in one stacked
+    estimator/selector pass per step
+    (:class:`repro.runtime.executor.LockstepCellSpec`).  None (the
+    default) locksteps whenever the cell fuses and the factory is
+    importable by dotted path; False forces the per-goal path (the
+    escape hatch, also value-identical); True demands lockstep and
+    raises when fusion is off or the factory cannot cross the executor
+    boundary (closures fall back to the per-goal fused path).  With
+    ``workers`` > 1 the goal grid is split into one lockstep cell per
+    timing so the plan still fans out across the pool.
     """
     goal_list = tuple(goals)
     scheme_list = tuple(schemes)
@@ -300,14 +315,59 @@ def evaluate_schemes(
             "cell is exactly a shared realisation"
         )
     fuse = share_oracle_grid is not False if fuse_cells is None else fuse_cells
+    if lockstep and not fuse:
+        raise ConfigurationError(
+            "lockstep=True needs fused cells: the lockstep engine serves "
+            "all goals from the cell's shared realisation"
+        )
 
     key = ScenarioKey.for_scenario(scenario)
     path = factory_path(scheme_factory)
     if key is None or path is None:
+        if lockstep:
+            raise ConfigurationError(
+                "lockstep=True needs a scheme factory importable by dotted "
+                "path; closures fall back to the per-goal fused path"
+            )
         runs = _evaluate_in_process(
             scenario, goal_list, scheme_list, n_inputs, scheme_factory,
             share_grid, fuse,
         )
+        return CellResult(scenario=scenario, goals=goal_list, runs=runs)
+
+    if fuse and lockstep is not False:
+        # One lockstep cell spans goals sharing a worker: the whole
+        # grid when serial (maximum stacking width), one cell per
+        # timing when pooled (keeps the plan parallelisable while
+        # every cell still shares its outcome grid).  Either grouping
+        # is value-identical — each goal's trajectory is independent.
+        if workers == 1:
+            groups = [list(range(len(goal_list)))]
+        else:
+            by_timing: dict[tuple, list[int]] = {}
+            for position, goal in enumerate(goal_list):
+                by_timing.setdefault(
+                    (goal.deadline_s, goal.period), []
+                ).append(position)
+            groups = list(by_timing.values())
+        plan = [
+            LockstepCellSpec(
+                scenario=key,
+                goals=tuple(goal_list[position] for position in group),
+                schemes=scheme_list,
+                n_inputs=n_inputs,
+                factory=path,
+                use_oracle_grid=share_grid,
+            )
+            for group in groups
+        ]
+        executor = RunExecutor(workers=workers, chunksize=1)
+        grid_results = executor.run_plan(plan, scenarios={key: scenario})
+        runs = {name: [None] * len(goal_list) for name in scheme_list}
+        for group, cell_lists in zip(groups, grid_results):
+            for local, position in enumerate(group):
+                for name, result in zip(scheme_list, cell_lists[local]):
+                    runs[name][position] = result
         return CellResult(scenario=scenario, goals=goal_list, runs=runs)
 
     if fuse:

@@ -124,6 +124,7 @@ def run(
     seed: int = 20200707,
     workers: int = 1,
     fuse_cells: bool = True,
+    lockstep: bool | None = None,
 ) -> Table4Result:
     """Evaluate the Table 4 grid over the requested subsets.
 
@@ -133,7 +134,10 @@ def run(
     over a process pool (results are bit-identical to serial);
     ``fuse_cells`` serves each (goal × scheme) cell from one shared
     engine realisation (also bit-identical — it is purely a
-    throughput knob).
+    throughput knob); ``lockstep`` (on by default when fused) advances
+    each ALERT-family scheme's runs across the goal grid together,
+    computing all goals' decisions in one stacked pass per input
+    (value-identical; ``lockstep=False`` is the escape hatch).
     """
     if "OracleStatic" not in schemes:
         raise ConfigurationError(
@@ -157,6 +161,7 @@ def run(
                     cell_runs = evaluate_schemes(
                         scenario, subset, schemes, n_inputs=n_inputs,
                         workers=workers, fuse_cells=fuse_cells,
+                        lockstep=lockstep,
                     )
                     baseline = cell_runs.scheme_runs("OracleStatic")
                     cell: dict[str, SchemeCell] = {}

@@ -70,12 +70,15 @@ def run(
     seed: int = 20200808,
     workers: int = 1,
     fuse_cells: bool = True,
+    lockstep: bool | None = None,
 ) -> Table5Result:
     """Evaluate the candidate-set comparison on the image task.
 
     ``workers`` > 1 fans each cell's runs out over a process pool;
     ``fuse_cells`` shares one engine realisation per (goal × scheme)
-    cell.  Both are bit-identical to the serial isolated run.
+    cell; ``lockstep`` (on by default when fused) advances each
+    ALERT-family scheme's runs across the goal grid together.  All
+    three are value-identical to the serial isolated run.
     """
     result = Table5Result()
     for platform in platforms:
@@ -91,7 +94,7 @@ def run(
                 subset = list(goals)[::settings_stride]
                 runs = evaluate_schemes(
                     scenario, subset, SCHEMES, n_inputs, workers=workers,
-                    fuse_cells=fuse_cells,
+                    fuse_cells=fuse_cells, lockstep=lockstep,
                 )
                 baseline = runs.scheme_runs("OracleStatic")
                 cell = {

@@ -25,6 +25,14 @@ independence into an execution plan:
   many policies, one realisation.  Fused results are value-identical
   to the equivalent isolated :class:`RunSpec` runs
   (``tests/test_cell_fusion_parity.py``);
+* :class:`LockstepCellSpec` — one fused *goal-grid* cell: every scheme
+  × every goal of a scenario's constraint grid.  On top of the shared
+  realisation, schemes that opt in (ALERT & co., Sys-only) advance all
+  goals **in lockstep** through a
+  :class:`~repro.runtime.loop.LockstepServingLoop` — each input step
+  computes every goal's decision in one stacked estimator/selector
+  pass (``tests/test_lockstep_parity.py`` pins value-identity to the
+  per-goal path);
 * :class:`RunExecutor` — executes a plan either serially in-process or
   across a ``concurrent.futures`` process pool.  Results are merged
   back in plan order, so the output is *bit-identical* regardless of
@@ -56,7 +64,11 @@ from dataclasses import dataclass
 from repro.core.goals import Goal
 from repro.errors import ConfigurationError
 from repro.models.inference import GridView
-from repro.runtime.loop import ServingLoop
+from repro.runtime.loop import (
+    LOCKSTEP_TELEMETRY,
+    LockstepServingLoop,
+    ServingLoop,
+)
 from repro.runtime.results import RunResult
 from repro.workloads.scenarios import Scenario, build_scenario
 
@@ -64,6 +76,7 @@ __all__ = [
     "ScenarioKey",
     "RunSpec",
     "CellSpec",
+    "LockstepCellSpec",
     "RunExecutor",
     "run_single",
     "factory_path",
@@ -185,6 +198,50 @@ class CellSpec:
     def __post_init__(self) -> None:
         if not isinstance(self.schemes, tuple):
             object.__setattr__(self, "schemes", tuple(self.schemes))
+        if not self.schemes:
+            raise ConfigurationError("a cell needs at least one scheme")
+        if self.n_inputs < 1:
+            raise ConfigurationError(
+                f"need at least one input, got {self.n_inputs}"
+            )
+
+
+@dataclass(frozen=True)
+class LockstepCellSpec:
+    """One fused *goal-grid* cell: every scheme × every goal, lockstep.
+
+    The multi-goal generalisation of :class:`CellSpec`: the executing
+    process realises one outcome grid per timing (shared across the
+    goals and schemes that use it) and serves each scheme's runs over
+    **all** ``goals`` together.  ALERT-family runs advance in lockstep
+    through one :class:`~repro.runtime.loop.LockstepServingLoop` —
+    every input step computes all goals' decisions in one stacked
+    estimator/selector pass — while feedback-free schemes and any
+    scheduler that cannot stack (custom types, warm state) run
+    per-goal exactly as a :class:`CellSpec` would.  Results come back
+    goal-major: one list per goal, aligned with ``schemes``, each
+    value-identical to the equivalent :class:`CellSpec` runs
+    (``tests/test_lockstep_parity.py``).
+
+    ``lockstep=False`` keeps the grouped plan shape but forces every
+    run onto the per-goal path (the benches' A/B knob).
+    """
+
+    scenario: ScenarioKey
+    goals: tuple[Goal, ...]
+    schemes: tuple[str, ...]
+    n_inputs: int
+    factory: str = DEFAULT_FACTORY
+    use_oracle_grid: bool = True
+    lockstep: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.goals, tuple):
+            object.__setattr__(self, "goals", tuple(self.goals))
+        if not isinstance(self.schemes, tuple):
+            object.__setattr__(self, "schemes", tuple(self.schemes))
+        if not self.goals:
+            raise ConfigurationError("a lockstep cell needs at least one goal")
         if not self.schemes:
             raise ConfigurationError("a cell needs at least one scheme")
         if self.n_inputs < 1:
@@ -458,7 +515,9 @@ class _WorkerState:
 
         return provider
 
-    def execute(self, spec: "RunSpec | CellSpec"):
+    def execute(self, spec: "RunSpec | CellSpec | LockstepCellSpec"):
+        if isinstance(spec, LockstepCellSpec):
+            return self.execute_lockstep_cell(spec)
         if isinstance(spec, CellSpec):
             return self.execute_cell(spec)
         scenario = self.scenario(spec.scenario)
@@ -503,6 +562,76 @@ class _WorkerState:
             )
             for scheme in spec.schemes
         ]
+
+    def execute_lockstep_cell(
+        self, spec: LockstepCellSpec
+    ) -> list[list[RunResult]]:
+        """Serve every scheme over the whole goal grid of one cell.
+
+        One grid/view per timing (the per-timing cache dedupes goals
+        sharing a deadline), one shared engine/stream realisation, and
+        per scheme: a :class:`LockstepServingLoop` when the built
+        schedulers stack, the per-goal :class:`CellSpec`-equivalent
+        path otherwise.  Results are goal-major, aligned with
+        ``spec.goals`` × ``spec.schemes``.
+        """
+        scenario = self.scenario(spec.scenario)
+        factory = self.factory(spec.factory)
+        accepts_view = factory_accepts(factory, "grid_view")
+        accepts_provider = factory_accepts(factory, "grid_provider")
+        share_grid = spec.use_oracle_grid and factory_accepts_oracle_grid(
+            factory
+        )
+        engine, stream = self.realisation(spec.scenario)
+
+        grids = []
+        views = []
+        views_by_grid: dict[int, GridView] = {}
+        for goal in spec.goals:
+            grid = self.grid(spec.scenario, goal, spec.n_inputs)
+            view = views_by_grid.get(id(grid))
+            if view is None:
+                view = GridView(grid, trusted=True)
+                views_by_grid[id(grid)] = view
+            grids.append(grid)
+            views.append(view)
+
+        results: list[list[RunResult | None]] = [
+            [None] * len(spec.schemes) for _ in spec.goals
+        ]
+        for position, scheme in enumerate(spec.schemes):
+            schedulers = []
+            for g, goal in enumerate(spec.goals):
+                kwargs = {}
+                if share_grid:
+                    kwargs["oracle_grid"] = grids[g]
+                if accepts_view:
+                    kwargs["grid_view"] = views[g]
+                if accepts_provider:
+                    kwargs["grid_provider"] = self._grid_provider(
+                        spec.scenario, goal, spec.n_inputs
+                    )
+                schedulers.append(
+                    factory(
+                        scheme, scenario, engine, stream, goal,
+                        spec.n_inputs, **kwargs,
+                    )
+                )
+            lock = None
+            if spec.lockstep:
+                lock = LockstepServingLoop.for_schedulers(
+                    engine, stream, schedulers, spec.goals, views
+                )
+            if lock is not None:
+                for g, run in enumerate(lock.run(spec.n_inputs)):
+                    results[g][position] = run
+                continue
+            LOCKSTEP_TELEMETRY.record_fallback(len(spec.goals))
+            for g, goal in enumerate(spec.goals):
+                results[g][position] = ServingLoop(
+                    engine, stream, schedulers[g], goal, grid_view=views[g]
+                ).run(spec.n_inputs)
+        return results
 
 
 #: Lazily-created state of a pool worker process.
@@ -550,14 +679,15 @@ class RunExecutor:
 
     def run_plan(
         self,
-        specs: Iterable["RunSpec | CellSpec"],
+        specs: Iterable["RunSpec | CellSpec | LockstepCellSpec"],
         scenarios: Mapping[ScenarioKey, Scenario] | None = None,
     ) -> list:
         """Execute every spec; results align one-to-one with the plan.
 
         A :class:`RunSpec` yields one :class:`RunResult`; a
         :class:`CellSpec` yields a list of them, aligned with its
-        ``schemes``.  ``scenarios`` optionally seeds the serial path's
+        ``schemes``; a :class:`LockstepCellSpec` yields a goal-major
+        list of such lists.  ``scenarios`` optionally seeds the serial path's
         scenario cache with already-built objects (preserving their
         memoised profiles); pool workers always rebuild from keys.
         """

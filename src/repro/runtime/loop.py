@@ -12,7 +12,10 @@ layer: :class:`repro.runtime.executor.RunExecutor` turns a declarative
 plan of runs into ``ServingLoop.run`` calls (serially or across a
 process pool), and the experiment harness builds those plans.
 
-**Two serving paths.**  The loop serves a run one of two ways:
+**Three serving paths.**  A run is served one of three ways — the two
+:class:`ServingLoop` paths below, plus the multi-goal
+:class:`LockstepServingLoop` at the bottom of this module, which
+advances every goal of a fused cell's feedback-scheme runs together:
 
 * the *sequential* path — the faithful per-input round trip above,
   required whenever the policy's decisions can depend on observed
@@ -74,7 +77,75 @@ from repro.runtime.scheduler import Scheduler
 from repro.workloads.inputs import InputItem, InputStream
 from repro.workloads.traces import RequirementTrace
 
-__all__ = ["ServingLoop"]
+__all__ = [
+    "ServingLoop",
+    "LockstepServingLoop",
+    "LockstepTelemetry",
+    "LOCKSTEP_TELEMETRY",
+]
+
+
+class LockstepTelemetry:
+    """In-process counters for the lockstep decision path.
+
+    Benches and smoke artifacts read these to show decision-path
+    health (how many runs took the lockstep path, the stacked batch
+    sizes, memo hit rates) without threading plumbing through every
+    result type.  Counters are per-process: pool workers accumulate
+    their own and the numbers are meaningful for ``workers=1`` runs,
+    which is how the benches use them.
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.lockstep_cells = 0
+        self.lockstep_runs = 0
+        self.fallback_runs = 0
+        self.stacked_calls = 0
+        self.stacked_states = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def record_cell(self, cell) -> None:
+        """Fold in one finished cell's counters.
+
+        ``cell`` is any stacked cell controller exposing the
+        ``lockstep_stats`` dict built by
+        :func:`repro.core.controller.lockstep_stats_dict` (the shared
+        shape contract) — e.g. ``AlertCellController`` or
+        ``SysOnlyCellController``.
+        """
+        stats = cell.lockstep_stats
+        self.lockstep_cells += 1
+        self.lockstep_runs += stats["goals"]
+        self.stacked_calls += stats["stacked_calls"]
+        self.stacked_states += stats["stacked_states"]
+        self.memo_hits += stats["memo_hits"]
+        self.memo_misses += stats["memo_misses"]
+
+    def record_fallback(self, n_runs: int = 1) -> None:
+        self.fallback_runs += n_runs
+
+    def snapshot(self) -> dict:
+        calls = self.stacked_calls
+        return {
+            "lockstep_cells": self.lockstep_cells,
+            "lockstep_runs": self.lockstep_runs,
+            "fallback_runs": self.fallback_runs,
+            "stacked_calls": calls,
+            "stacked_states": self.stacked_states,
+            "mean_batch_size": (
+                round(self.stacked_states / calls, 2) if calls else 0.0
+            ),
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
+
+
+#: Process-wide lockstep counters (reset from benches before a run).
+LOCKSTEP_TELEMETRY = LockstepTelemetry()
 
 
 class _CapOverride:
@@ -274,19 +345,28 @@ class ServingLoop:
                 )
             self.scheduler.observe(outcome)
             self.adjuster.consume(item, outcome.latency_s)
-            state = self.scheduler.state if has_state else None
+            xi_mean, xi_sigma = 0.0, 0.0
+            if has_state:
+                state = self.scheduler.state
+                xi_mean, xi_sigma = state.xi_mean, state.xi_sigma
             records.append(
                 self._record(
                     item_goal=base_goal,
                     adjusted=adjusted,
                     outcome=outcome,
-                    state=state,
+                    xi_mean=xi_mean,
+                    xi_sigma=xi_sigma,
                 )
             )
         return records
 
     def _record(
-        self, item_goal: Goal, adjusted: Goal, outcome, state=None
+        self,
+        item_goal: Goal,
+        adjusted: Goal,
+        outcome,
+        xi_mean: float = 0.0,
+        xi_sigma: float = 0.0,
     ) -> ServedInput:
         """Build the per-input record with violation flags.
 
@@ -298,10 +378,6 @@ class ServingLoop:
         latency_violation = not outcome.met_deadline
         accuracy_violation = bool(item_goal.quality_violated(outcome.quality))
         energy_violation = bool(item_goal.energy_violated(outcome.energy_j))
-
-        xi_mean, xi_sigma = 0.0, 0.0
-        if state is not None:
-            xi_mean, xi_sigma = state.xi_mean, state.xi_sigma
 
         return ServedInput(
             outcome=outcome,
@@ -507,3 +583,149 @@ class ServingLoop:
         # The sequential path leaves the actuator at the last decision.
         engine.actuator.set_power_cap(configs[-1].power_w)
         return records
+
+
+class LockstepServingLoop:
+    """Serve every goal of a cell's ALERT-family scheme in lockstep.
+
+    All goals advance input-by-input **together**: one stacked
+    :meth:`~repro.core.controller.AlertCellController.decide_many` pass
+    computes every goal's decision (single fused erf / lexsort per
+    step), each goal's outcome is read from its timing's shared
+    :class:`~repro.models.inference.GridView` (live-engine fallback on
+    any miss), and one stacked ``observe_many`` pass folds all
+    measurements back in.  Per-goal goal adjustment, violation
+    bookkeeping, and record assembly reuse the sequential
+    :class:`ServingLoop` helpers, so each goal's :class:`RunResult` is
+    value-identical to serving that goal alone on the sequential path
+    (``tests/test_lockstep_parity.py``; the acceptance bar is
+    discrete-exact + floats ≤1e-12).
+
+    Build through :meth:`for_schedulers`, which returns ``None`` —
+    sending the caller to the sequential path — whenever the runs
+    cannot advance in lockstep: custom scheduler types, incompatible
+    or already-warm controllers.
+    """
+
+    def __init__(self, loops: list[ServingLoop], cell) -> None:
+        """``cell`` is a stacked cell controller (``decide_many`` /
+        ``observe_many`` / ``xi_snapshot`` / ``lockstep_stats``), e.g.
+        :class:`~repro.core.controller.AlertCellController`."""
+        if not loops:
+            raise ConfigurationError("a lockstep cell needs at least one run")
+        if len(loops) != cell.n_goals:
+            raise ConfigurationError(
+                f"cell tracks {cell.n_goals} goals but {len(loops)} runs given"
+            )
+        self.loops = loops
+        self.cell = cell
+
+    @classmethod
+    def for_schedulers(
+        cls,
+        engine: InferenceEngine,
+        stream: InputStream,
+        schedulers,
+        goals,
+        grid_views,
+    ) -> "LockstepServingLoop | None":
+        """A lockstep loop over one scheme's per-goal runs, or None.
+
+        ``schedulers``/``goals``/``grid_views`` align one-to-one.  A
+        scheduler class opts into lockstep by defining a
+        ``stack_into_cell(schedulers)`` staticmethod **on the class
+        itself** that returns a stacked cell controller (or None when
+        the given instances cannot stack — warm state, mismatched
+        spaces).  The hook is looked up on the exact class, never
+        inherited, so subclasses with overridden behaviour fall back
+        to the sequential reference path unless they re-opt in.
+        :class:`~repro.runtime.scheduler.AlertScheduler` and
+        :class:`~repro.baselines.sys_only.SysOnlyScheduler` define it.
+        """
+        if len(schedulers) < 1 or len(schedulers) != len(goals):
+            return None
+        leader = type(schedulers[0])
+        if any(type(s) is not leader for s in schedulers):
+            return None
+        builder = leader.__dict__.get("stack_into_cell")
+        if builder is None:
+            return None
+        cell = builder.__get__(None, leader)(schedulers)
+        if cell is None:
+            return None
+        loops = [
+            ServingLoop(engine, stream, scheduler, goal, grid_view=view)
+            for scheduler, goal, view in zip(schedulers, goals, grid_views)
+        ]
+        return cls(loops, cell)
+
+    def run(self, n_inputs: int) -> list[RunResult]:
+        """Serve ``n_inputs`` inputs for every goal; results align with
+        the constructor's run order."""
+        if n_inputs < 1:
+            raise ConfigurationError(f"need at least one input, got {n_inputs}")
+        loops = self.loops
+        cell = self.cell
+        n_goals = len(loops)
+        stream = loops[0].stream
+        items = [stream.item(index) for index in range(n_inputs)]
+        records: list[list[ServedInput]] = [[] for _ in range(n_goals)]
+        bases: list[Goal] = [None] * n_goals  # type: ignore[list-item]
+        adjusted: list[Goal] = [None] * n_goals  # type: ignore[list-item]
+        outcomes: list[InferenceOutcome] = [None] * n_goals  # type: ignore[list-item]
+
+        for item in items:
+            for g, loop in enumerate(loops):
+                base = loop._base_goal_at(item.index)
+                bases[g] = base
+                adjusted[g] = loop.adjuster.adjust(base, item)
+            selections = cell.decide_many(adjusted)
+            for g, loop in enumerate(loops):
+                config = selections[g].config
+                outcome = None
+                view = loop.grid_view
+                if view is not None and view.matches_timing(
+                    adjusted[g].deadline_s, bases[g].period
+                ):
+                    outcome = loop._grid_outcome(
+                        view, config, item, adjusted[g], bases[g].period
+                    )
+                if outcome is None:
+                    outcome = loop.engine.run(
+                        model=config.model,
+                        power_cap_w=config.power_w,
+                        index=item.index,
+                        deadline_s=adjusted[g].deadline_s,
+                        period_s=bases[g].period,
+                        work_factor=item.work_factor,
+                        rung_cap=config.rung_cap,
+                    )
+                outcomes[g] = outcome
+            cell.observe_many(outcomes)
+            # Schedulers without a ``state`` attribute record 0/0 on
+            # the sequential path; a cell returning None mirrors that.
+            snapshot = cell.xi_snapshot()
+            for g, loop in enumerate(loops):
+                loop.adjuster.consume(item, outcomes[g].latency_s)
+                records[g].append(
+                    loop._record(
+                        item_goal=bases[g],
+                        adjusted=adjusted[g],
+                        outcome=outcomes[g],
+                        xi_mean=(
+                            float(snapshot[0][g]) if snapshot is not None else 0.0
+                        ),
+                        xi_sigma=(
+                            float(snapshot[1][g]) if snapshot is not None else 0.0
+                        ),
+                    )
+                )
+        LOCKSTEP_TELEMETRY.record_cell(cell)
+        return [
+            RunResult(
+                scheduler_name=loop.scheduler.name,
+                goal=loop.goal,
+                records=records[g],
+            )
+            for g, loop in enumerate(loops)
+        ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 from repro.core.config_space import Configuration
-from repro.core.controller import AlertController
+from repro.core.controller import AlertCellController, AlertController
 from repro.core.goals import Goal
 from repro.errors import ConfigurationError
 from repro.models.base import DnnModel
@@ -98,6 +98,20 @@ class AlertScheduler:
     def state(self):
         """The controller's filter state (for traces)."""
         return self.controller.state()
+
+    @staticmethod
+    def stack_into_cell(schedulers):
+        """Lockstep hook: stack per-goal runs into one cell controller.
+
+        Defined on the class itself (the lockstep loop refuses
+        inherited hooks, so subclasses with overridden behaviour stay
+        on the sequential path).  Returns ``None`` when the underlying
+        controllers cannot stack — see
+        :meth:`repro.core.controller.AlertCellController.from_controllers`.
+        """
+        return AlertCellController.from_controllers(
+            [scheduler.controller for scheduler in schedulers]
+        )
 
 
 class StaticScheduler:

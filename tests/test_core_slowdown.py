@@ -15,11 +15,22 @@ def test_observe_returns_ratio():
     assert est.observations == 1
 
 
-def test_history_preserved():
-    est = GlobalSlowdownEstimator()
+def test_history_preserved_when_opted_in():
+    est = GlobalSlowdownEstimator(keep_history=True)
     est.observe(0.15, 0.1)
     est.observe(0.12, 0.1)
+    assert est.keeps_history
     assert est.history() == [pytest.approx(1.5), pytest.approx(1.2)]
+
+
+def test_history_off_by_default():
+    # Regression: retention used to be unconditional, growing one float
+    # per observation forever on long serving runs.
+    est = GlobalSlowdownEstimator()
+    est.observe(0.15, 0.1)
+    assert not est.keeps_history
+    with pytest.raises(ConfigurationError):
+        est.history()
 
 
 def test_shares_history_across_configurations():
