@@ -24,6 +24,17 @@ Table 4 image scenario (CPU1, default environment):
   also records the decision-path health counters (stacked batch
   sizes, memo hit rates) from
   :data:`repro.runtime.loop.LOCKSTEP_TELEMETRY`.
+* **Cross-scheme** — the *full* Table 4 zoo (all nine schemes,
+  oracles included) over a 3×5 goal grid, fused + lockstep with
+  ``cross_scheme=True`` (every stacking scheme advances the input
+  stream as a lane of one
+  :class:`repro.runtime.loop.CrossSchemeLockstepLoop`, sharing the
+  per-input grid reads; records realised goal-major after the run)
+  versus ``cross_scheme=False`` (the PR 5 per-scheme lockstep cells).
+  Results are value-identical (``tests/test_cross_scheme_parity.py``);
+  the section records the cross-scheme decision-path counters
+  (``cross_cells``/``cross_lanes``/``sequential_inputs``) so the
+  zero-per-input-Python property is visible in the artifact.
 * **Run executor** — a table4-style cell plan (constraint-grid goals ×
   schemes, ALERT included so the plan carries real feedback work)
   executed by :class:`repro.runtime.executor.RunExecutor` with 1, 2,
@@ -32,6 +43,11 @@ Table 4 image scenario (CPU1, default environment):
   bounded by the machine's core count, which is recorded alongside
   (``parallel_efficiency`` is speedup divided by usable workers —
   near 1.0 means near-linear scaling up to that worker count).
+
+Every section records the measuring box's ``cpu_count``: ratio
+metrics transfer across machines, but the executor's pool ratios do
+not, so the CI gate compares those only when the committed artifact
+was written on a box with the same core count.
 
 Results land in ``BENCH_harness.json`` at the repository root so the
 harness-path performance trajectory is tracked from PR to PR.  Run
@@ -59,7 +75,7 @@ import time
 from pathlib import Path
 
 from repro.core.goals import Goal, ObjectiveKind
-from repro.experiments.harness import evaluate_schemes, make_scheme
+from repro.experiments.harness import SCHEMES, evaluate_schemes, make_scheme
 from repro.runtime.executor import (
     RunExecutor,
     RunSpec,
@@ -143,6 +159,7 @@ def bench_serving(n_inputs: int, min_seconds: float) -> dict:
         }
     return {
         "n_inputs": n_inputs,
+        "cpu_count": os.cpu_count(),
         "schemes": schemes,
         "min_speedup": min(entry["speedup"] for entry in schemes.values()),
     }
@@ -203,6 +220,7 @@ def bench_cell_fusion(
         "n_deadlines": n_deadlines,
         "n_floors": n_floors,
         "n_inputs": n_inputs,
+        "cpu_count": os.cpu_count(),
         "feedback_free": sections["feedback_free"],
         "table4": sections["table4"],
         "note": (
@@ -244,6 +262,7 @@ def bench_lockstep(
         "n_deadlines": n_deadlines,
         "n_floors": n_floors,
         "n_inputs": n_inputs,
+        "cpu_count": os.cpu_count(),
         "schemes": list(TABLE4_SCHEMES),
         "lockstep_seconds": round(timings[True], 4),
         "per_goal_seconds": round(timings[False], 4),
@@ -259,6 +278,64 @@ def bench_lockstep(
             "Results are value-identical "
             "(tests/test_lockstep_parity.py); decision_path holds the "
             "stacked batch-size and memo counters of the measured run."
+        ),
+    }
+
+
+def bench_cross_scheme(
+    n_deadlines: int, n_floors: int, n_inputs: int, repeats: int = 3
+) -> dict:
+    """Cross-scheme fused cells vs. per-scheme lockstep, full zoo."""
+    scenario = _scenario()
+    goals = _table3_goals(scenario, n_deadlines, n_floors)
+    timings = {True: float("inf"), False: float("inf")}
+    telemetry = None
+    for cross in (True, False):
+        evaluate_schemes(
+            scenario, goals, SCHEMES, n_inputs=n_inputs,
+            fuse_cells=True, lockstep=True, cross_scheme=cross,
+        )  # warm-up (grids, profiles, memos)
+    # Interleave the two modes inside each repeat: the paths are close
+    # enough (~5%) that measuring one mode's whole block first lets
+    # clock/load drift masquerade as a speedup (or slowdown) on noisy
+    # single-core runners; alternating exposes both modes to the same
+    # drift and best-of-``repeats`` does the rest.
+    for _ in range(repeats):
+        for cross in (False, True):
+            LOCKSTEP_TELEMETRY.reset()
+            start = time.perf_counter()
+            evaluate_schemes(
+                scenario, goals, SCHEMES, n_inputs=n_inputs,
+                fuse_cells=True, lockstep=True, cross_scheme=cross,
+            )
+            timings[cross] = min(
+                timings[cross], time.perf_counter() - start
+            )
+            if cross:
+                telemetry = LOCKSTEP_TELEMETRY.snapshot()
+    return {
+        "n_goals": len(goals),
+        "n_deadlines": n_deadlines,
+        "n_floors": n_floors,
+        "n_inputs": n_inputs,
+        "cpu_count": os.cpu_count(),
+        "schemes": list(SCHEMES),
+        "cross_seconds": round(timings[True], 4),
+        "per_scheme_seconds": round(timings[False], 4),
+        "cross_cells_per_sec": round(len(goals) / timings[True], 2),
+        "per_scheme_cells_per_sec": round(len(goals) / timings[False], 2),
+        "speedup": round(timings[False] / timings[True], 2),
+        "decision_path": telemetry,
+        "note": (
+            "cross = evaluate_schemes(cross_scheme=True): all stacking "
+            "schemes of the cell (ALERT family, Sys-only, No-coord) step "
+            "the input stream together as lanes of one "
+            "CrossSchemeLockstepLoop, sharing the per-input grid reads; "
+            "per_scheme is the PR 5 lockstep path (cross_scheme=False).  "
+            "Results are value-identical "
+            "(tests/test_cross_scheme_parity.py); decision_path shows "
+            "sequential_inputs=0 — zero per-input Python decide/observe "
+            "calls for the stacked schemes."
         ),
     }
 
@@ -334,6 +411,9 @@ def run(
         "lockstep": bench_lockstep(
             n_deadlines=3, n_floors=5, n_inputs=n_inputs, repeats=5
         ),
+        "cross_scheme": bench_cross_scheme(
+            n_deadlines=3, n_floors=5, n_inputs=n_inputs, repeats=5
+        ),
         "executor": bench_executor(n_goals, plan_inputs),
     }
 
@@ -359,6 +439,20 @@ def quick_metrics(min_seconds: float = 0.1) -> dict:
         "lockstep": bench_lockstep(
             n_deadlines=3, n_floors=5, n_inputs=120, repeats=3
         ),
+        # The full-zoo cross-scheme ratio plus its decision-path
+        # telemetry (cross_cells/cross_lanes/sequential_inputs), so
+        # the CI artifact shows the fused cell's zero-per-input-Python
+        # property alongside the gated speedup.
+        "cross_scheme": bench_cross_scheme(
+            n_deadlines=3, n_floors=5, n_inputs=120, repeats=3
+        ),
+        # Pool ratios are only compared when the measuring box's
+        # cpu_count matches the committed artifact's (see
+        # check_bench_regression.py) — a tiny plan keeps the spin-up
+        # cheap on boxes where the comparison will be skipped anyway.
+        "executor": bench_executor(
+            n_goals=2, n_inputs=30, worker_counts=(1, 2)
+        ),
     }
 
 
@@ -376,6 +470,12 @@ def smoke() -> None:
     )
     assert lockstep["n_goals"] == 2
     assert lockstep["decision_path"]["lockstep_runs"] > 0
+    cross = bench_cross_scheme(
+        n_deadlines=1, n_floors=2, n_inputs=10, repeats=1
+    )
+    assert cross["n_goals"] == 2
+    assert cross["decision_path"]["sequential_inputs"] == 0
+    assert cross["decision_path"]["cross_cells"] >= 1
     executor = bench_executor(
         n_goals=2, n_inputs=10, worker_counts=(1, 2)
     )
@@ -403,6 +503,15 @@ def main() -> None:
         print("WARNING: fused feedback-free cells below the 2x target")
     if result["lockstep"]["speedup"] < 1.5:
         print("WARNING: lockstep full-zoo cells below the 1.5x target")
+    # Cross-scheme and per-scheme lockstep run the same per-lane fast
+    # path — cross only *removes* repeated column resolution — so the
+    # true ratio is >= 1.0 with a few percent of measurement noise on
+    # top (interleaved best-of-N bounds it, it cannot eliminate it).
+    # Warn only when the gap exceeds that noise band.
+    if result["cross_scheme"]["speedup"] < 0.95:
+        print("WARNING: cross-scheme fused cells slower than per-scheme")
+    if result["cell_fusion"]["table4"]["speedup"] < 3.0:
+        print("WARNING: fused table4 cells below the 3x target")
 
 
 if __name__ == "__main__":

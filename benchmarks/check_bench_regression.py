@@ -15,9 +15,13 @@ Robustness rules (so the gate never cries wolf):
 * a missing baseline file skips that benchmark with a notice;
 * a metric absent from the baseline (older JSON shape) skips that
   metric with a notice;
-* only ratio metrics are gated — absolute inputs/second and the
-  multi-worker executor numbers (which depend on the runner's core
-  count) are informational only.
+* only ratio metrics are gated — absolute inputs/second numbers are
+  informational only;
+* the executor's pool ratios additionally depend on the runner's core
+  count, so they are listed as ``cpu_gated_metrics`` and compared
+  only when the committed artifact's recorded ``cpu_count`` matches
+  the measuring box's (a 1-CPU container pins meaningless pool
+  numbers for a 16-core runner, and vice versa).
 
 Run from the repository root::
 
@@ -30,6 +34,7 @@ from __future__ import annotations
 import argparse
 import importlib.util
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -67,9 +72,40 @@ CHECKS = (
             "cell_fusion.feedback_free.speedup",
             "cell_fusion.table4.speedup",
             "lockstep.speedup",
+            "cross_scheme.speedup",
+        ),
+        # Pool ratios only transfer between same-core-count boxes:
+        # each dotted metric is compared only when the baseline
+        # section's recorded cpu_count equals os.cpu_count().
+        "cpu_gated_metrics": (
+            "executor.workers.2.speedup_vs_serial",
         ),
     },
 )
+
+
+def _cpu_gate_passes(baseline, metric: str) -> bool:
+    """Whether the baseline's section was written on a same-CPU box.
+
+    The section is the metric's first dotted component; its
+    ``cpu_count`` records the core count of the box that wrote the
+    committed artifact.  An artifact predating the field (or written
+    on a different box) skips the comparison rather than gating on
+    numbers that do not transfer.  A ``workers.<N>`` pool ratio is
+    additionally skipped when the box has fewer than N cores: with the
+    pool pinned to one core the ratio measures nothing but process
+    overhead, and overhead noise would gate the build.
+    """
+    section = metric.split(".", 1)[0]
+    committed_cpus = _dig(baseline, f"{section}.cpu_count")
+    if committed_cpus is None or committed_cpus != os.cpu_count():
+        return False
+    parts = metric.split(".")
+    if "workers" in parts:
+        workers = int(parts[parts.index("workers") + 1])
+        if os.cpu_count() < workers:
+            return False
+    return True
 
 
 def _load_module(filename: str):
@@ -107,6 +143,20 @@ def check(tolerance: float) -> int:
                 print(
                     f"[skip] {entry['name']}.{metric}: absent from baseline"
                 )
+        for metric in entry.get("cpu_gated_metrics", ()):
+            value = _dig(baseline, metric)
+            if value is None:
+                print(
+                    f"[skip] {entry['name']}.{metric}: absent from baseline"
+                )
+            elif not _cpu_gate_passes(baseline, metric):
+                print(
+                    f"[skip] {entry['name']}.{metric}: baseline written on "
+                    f"a different core count than this box "
+                    f"(os.cpu_count()={os.cpu_count()})"
+                )
+            else:
+                gated.append((metric, value))
         if not gated:
             continue
         module = _load_module(entry["module"])

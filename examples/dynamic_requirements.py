@@ -16,47 +16,63 @@ from collections import Counter
 from repro.baselines import make_alert
 from repro.core.goals import Goal, ObjectiveKind
 from repro.runtime.loop import ServingLoop
+from repro.runtime.results import RunResult
 from repro.workloads.scenarios import build_scenario
 from repro.workloads.traces import RequirementChange, RequirementTrace
 
 
-def main() -> None:
-    scenario = build_scenario("CPU1", "image", "default", "standard")
-    anchor = scenario.anchor_latency_s()
-    base_goal = Goal(
+def base_goal(anchor: float) -> Goal:
+    """The relaxed steady-state requirement."""
+    return Goal(
         objective=ObjectiveKind.MINIMIZE_ENERGY,
         deadline_s=1.6 * anchor,
         accuracy_min=0.88,
     )
-    # At input 80 an event of interest appears: tighter deadline and a
-    # higher accuracy floor until input 160.
-    trace = RequirementTrace(
+
+
+def event_trace(anchor: float, n_inputs: int = 240) -> RequirementTrace:
+    """A tight middle third: the "event of interest" appears and goes.
+
+    At a third of the stream an event tightens the deadline and raises
+    the accuracy floor; at two thirds the requirement relaxes back.
+    Proportional boundaries keep the three phases meaningful at any
+    horizon, so tests can replay a short version of the same shape.
+    """
+    return RequirementTrace(
         [
             RequirementChange(
-                start_index=80,
+                start_index=n_inputs // 3,
                 deadline_s=0.7 * anchor,
                 accuracy_min=0.925,
             ),
             RequirementChange(
-                start_index=160,
+                start_index=2 * n_inputs // 3,
                 deadline_s=1.6 * anchor,
                 accuracy_min=0.88,
             ),
         ]
     )
+
+
+def main(n_inputs: int = 240) -> RunResult:
+    scenario = build_scenario("CPU1", "image", "default", "standard")
+    anchor = scenario.anchor_latency_s()
+    goal = base_goal(anchor)
+    trace = event_trace(anchor, n_inputs)
     scheduler = make_alert(scenario.profile())
     result = ServingLoop(
         scenario.make_engine(),
         scenario.make_stream(),
         scheduler,
-        base_goal,
+        goal,
         requirement_trace=trace,
-    ).run(240)
+    ).run(n_inputs)
 
+    first, second = n_inputs // 3, 2 * n_inputs // 3
     for label, window in (
-        ("relaxed  [0, 80)", slice(0, 80)),
-        ("tight  [80, 160)", slice(80, 160)),
-        ("relaxed [160, 240)", slice(160, 240)),
+        (f"relaxed [0, {first})", slice(0, first)),
+        (f"tight [{first}, {second})", slice(first, second)),
+        (f"relaxed [{second}, {n_inputs})", slice(second, n_inputs)),
     ):
         records = result.records[window]
         energy = sum(r.outcome.energy_j for r in records) / len(records)
@@ -74,6 +90,7 @@ def main() -> None:
         "power; when the requirement relaxes it returns to the cheap "
         "operating point — no re-profiling, same filters."
     )
+    return result
 
 
 if __name__ == "__main__":

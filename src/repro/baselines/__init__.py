@@ -16,7 +16,7 @@
 
 from repro.baselines.app_only import AppOnlyScheduler
 from repro.baselines.mean_only import make_alert, make_alert_star
-from repro.baselines.no_coord import NoCoordScheduler
+from repro.baselines.no_coord import NoCoordCellController, NoCoordScheduler
 from repro.baselines.oracle import (
     OracleScheduler,
     best_static_config,
@@ -29,6 +29,7 @@ __all__ = [
     "AppOnlyScheduler",
     "SysOnlyScheduler",
     "NoCoordScheduler",
+    "NoCoordCellController",
     "OracleScheduler",
     "best_static_config",
     "make_oracle_static",

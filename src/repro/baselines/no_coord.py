@@ -19,20 +19,33 @@ attributes cap-induced slowdowns to the environment and vice versa), so
 switches to a faster DNN to save energy while the system makes more
 power available" — producing both energy waste and violations
 (Table 4's No-coord column).
+
+Both decision rules are pure functions of the profile arrays, which the
+scheduler precomputes once; the per-decision loops in
+:meth:`NoCoordScheduler._app_decide_rung` and
+:meth:`NoCoordScheduler._sys_decide_power` are the pinned scalar
+reference, and :class:`NoCoordCellController` is the lockstep twin that
+advances a whole goal grid per input with the same arithmetic evaluated
+as feasibility masks (``tests/test_cross_scheme_parity.py`` pins the
+two elementwise bit-identical).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.config_space import Configuration
+from repro.core.controller import lockstep_stats_dict
 from repro.core.goals import Goal, ObjectiveKind
-from repro.core.slowdown import GlobalSlowdownEstimator
+from repro.core.selector import BaselineSelection
+from repro.core.slowdown import GlobalSlowdownEstimator, StackedSlowdownEstimator
 from repro.errors import ConfigurationError
 from repro.models.anytime import AnytimeDnn
 from repro.models.inference import InferenceOutcome
 from repro.models.profiles import ProfileTable
 from repro.workloads.inputs import InputItem
 
-__all__ = ["NoCoordScheduler"]
+__all__ = ["NoCoordScheduler", "NoCoordCellController"]
 
 
 class NoCoordScheduler:
@@ -62,15 +75,38 @@ class NoCoordScheduler:
         self._last_power = self.default_power
         self.name = name
         self.grid_view = grid_view
+        # Profile lookups are pure functions of the (model, cap) pair,
+        # so everything a decision reads is precomputed here once:
+        # the rung ladder at the default power (app side) and the
+        # per-cap full-ladder latency/draw arrays (sys side).
+        model_name = anytime.name
+        self._rung_latencies = tuple(
+            profile.rung_latencies(model_name, self.default_power)
+        )
+        self._power_latencies = tuple(
+            profile.latency(model_name, power) for power in self.powers
+        )
+        self._power_draws = tuple(
+            profile.power(model_name, power) for power in self.powers
+        )
+        self._app_reference = self._power_latencies[-1]
+        # observe() sees machine-clamped caps, which may lie off the
+        # candidate ladder; unknown caps fall back to the profile once
+        # and are memoised.
+        self._latency_by_cap = dict(zip(self.powers, self._power_latencies))
+        # Decisions recur over a small (rung, power) lattice; handing
+        # out one Configuration object per point keeps identities
+        # stable so downstream identity-keyed memos (grid-row lookup,
+        # batch grouping) hit.
+        self._configs: dict[tuple[int, float], Configuration] = {}
 
     # ------------------------------------------------------------------
     # Application side: pick the stop rung, assuming default power.
     # ------------------------------------------------------------------
     def _app_decide_rung(self, goal: Goal) -> int:
         xi = self._app_filter.mean
-        rungs = self.profile.rung_latencies(self.model.name, self.default_power)
         chosen = 0
-        for k, rung_latency in enumerate(rungs):
+        for k, rung_latency in enumerate(self._rung_latencies):
             if xi * rung_latency <= goal.deadline_s:
                 chosen = k
         return chosen
@@ -80,27 +116,27 @@ class NoCoordScheduler:
     # ------------------------------------------------------------------
     def _sys_decide_power(self, goal: Goal) -> float:
         xi = self._sys_filter.mean
-        feasible: list[float] = []
-        for power in self.powers:
-            t_full = self.profile.latency(self.model.name, power)
-            if xi * t_full <= goal.deadline_s:
-                feasible.append(power)
+        deadline = goal.deadline_s
+        feasible: list[int] = []
+        for k, t_full in enumerate(self._power_latencies):
+            if xi * t_full <= deadline:
+                feasible.append(k)
         if goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY:
             budget = goal.energy_budget_j
             if budget is not None:
                 affordable = [
-                    p
-                    for p in feasible
-                    if self.profile.power(self.model.name, p)
-                    * min(xi * self.profile.latency(self.model.name, p), goal.deadline_s)
+                    k
+                    for k in feasible
+                    if self._power_draws[k]
+                    * min(xi * self._power_latencies[k], deadline)
                     <= budget
                 ]
                 if affordable:
-                    return max(affordable)
-            return max(feasible) if feasible else self.powers[-1]
+                    return self.powers[affordable[-1]]
+            return self.powers[feasible[-1]] if feasible else self.powers[-1]
         # Minimise energy: cheapest cap that still meets the deadline.
         if feasible:
-            return min(feasible)
+            return self.powers[feasible[0]]
         return self.powers[-1]
 
     # ------------------------------------------------------------------
@@ -110,12 +146,238 @@ class NoCoordScheduler:
         rung = self._app_decide_rung(goal)
         power = self._sys_decide_power(goal)
         self._last_power = power
-        return Configuration(model=self.model, power_w=power, rung_cap=rung)
+        key = (rung, power)
+        config = self._configs.get(key)
+        if config is None:
+            config = Configuration(model=self.model, power_w=power, rung_cap=rung)
+            self._configs[key] = config
+        return config
 
     def observe(self, outcome: InferenceOutcome) -> None:
         # Each side interprets the measurement through its own (wrong)
         # frame of reference — this is the lack of coordination.
-        app_reference = self.profile.latency(self.model.name, self.default_power)
-        self._app_filter.observe(outcome.full_latency_s, app_reference)
-        sys_reference = self.profile.latency(self.model.name, outcome.power_cap_w)
+        self._app_filter.observe(outcome.full_latency_s, self._app_reference)
+        cap = outcome.power_cap_w
+        sys_reference = self._latency_by_cap.get(cap)
+        if sys_reference is None:
+            sys_reference = self.profile.latency(self.model.name, cap)
+            self._latency_by_cap[cap] = sys_reference
         self._sys_filter.observe(outcome.full_latency_s, sys_reference)
+
+    @staticmethod
+    def stack_into_cell(schedulers):
+        """Lockstep hook: stack per-goal runs into one cell controller.
+
+        Defined on the class itself (the lockstep loop refuses
+        inherited hooks); returns ``None`` for warm or structurally
+        different schedulers — see
+        :meth:`NoCoordCellController.from_schedulers`.
+        """
+        return NoCoordCellController.from_schedulers(schedulers)
+
+
+class NoCoordCellController:
+    """Lockstep No-coord across a cell's goal grid.
+
+    Both mutually oblivious filters become
+    :class:`~repro.core.slowdown.StackedSlowdownEstimator` planes (one
+    state per goal), and the two decision rules evaluate over the whole
+    (goal × rung) and (goal × power) grids at once: feasibility masks
+    against the precomputed latency arrays, then a last/first-index
+    reduction that reproduces the scalar loops' pick exactly.  Each
+    goal's trajectory is bit-identical to a fresh
+    :class:`NoCoordScheduler` serving that goal alone
+    (``tests/test_cross_scheme_parity.py``).
+    """
+
+    def __init__(
+        self,
+        profile: ProfileTable,
+        model: AnytimeDnn,
+        powers: tuple[float, ...],
+        rung_latencies: tuple[float, ...],
+        power_latencies: tuple[float, ...],
+        power_draws: tuple[float, ...],
+        n_goals: int,
+    ) -> None:
+        if n_goals < 1:
+            raise ConfigurationError(f"need at least one goal, got {n_goals}")
+        self.profile = profile
+        self.model = model
+        self.powers = powers
+        self.n_goals = n_goals
+        self._rungs = np.asarray(rung_latencies, dtype=np.float64)
+        self._latencies = np.asarray(power_latencies, dtype=np.float64)
+        self._draws = np.asarray(power_draws, dtype=np.float64)
+        self._app = StackedSlowdownEstimator(n_goals)
+        self._sys = StackedSlowdownEstimator(n_goals)
+        self._app_reference = power_latencies[-1]
+        self._latency_by_cap = dict(zip(powers, power_latencies))
+        self._configs: dict[tuple[int, int], Configuration] = {}
+        self._stacked_calls = 0
+        self._stacked_states = 0
+
+    @classmethod
+    def from_schedulers(cls, schedulers) -> "NoCoordCellController | None":
+        """A stacked controller equivalent to ``schedulers``, or None.
+
+        Returns ``None`` — never raises — for anything that cannot
+        stack: subclasses (overridden behaviour stays on the sequential
+        reference path), warm filters, history-keeping filters, or
+        structurally different schedulers (profile, model, ladder).
+        """
+        if not schedulers:
+            return None
+        for scheduler in schedulers:
+            if type(scheduler) is not NoCoordScheduler:
+                return None
+            if (
+                scheduler._app_filter.observations != 0
+                or scheduler._sys_filter.observations != 0
+            ):
+                return None
+            if (
+                scheduler._app_filter.keeps_history
+                or scheduler._sys_filter.keeps_history
+            ):
+                return None
+        first = schedulers[0]
+
+        def fingerprint(scheduler: NoCoordScheduler) -> tuple:
+            return (
+                id(scheduler.profile),
+                id(scheduler.model),
+                scheduler.powers,
+                scheduler.default_power,
+            )
+
+        reference = fingerprint(first)
+        if any(fingerprint(s) != reference for s in schedulers[1:]):
+            return None
+        return cls(
+            profile=first.profile,
+            model=first.model,
+            powers=first.powers,
+            rung_latencies=first._rung_latencies,
+            power_latencies=first._power_latencies,
+            power_draws=first._power_draws,
+            n_goals=len(schedulers),
+        )
+
+    # ------------------------------------------------------------------
+    # Decisions: both sides, every goal, one pass
+    # ------------------------------------------------------------------
+    def decide_many(self, goals) -> list[BaselineSelection]:
+        """One (rung, power) pick per goal, via feasibility masks.
+
+        Mirrors the scalar rules exactly: the app side takes the *last*
+        rung whose predicted latency fits (rung 0 when none does); the
+        sys side takes the last affordable cap, else the last feasible,
+        else the top cap when maximising accuracy, and the *first*
+        feasible cap (else the top) when minimising energy.  All
+        products and comparisons are the same IEEE-double operations
+        the scalar loops perform, so the masks pick identical indices.
+        """
+        if len(goals) != self.n_goals:
+            raise ConfigurationError(
+                f"expected {self.n_goals} goals, got {len(goals)}"
+            )
+        deadlines = np.array([goal.deadline_s for goal in goals])
+        xi_app = self._app.mean
+        xi_sys = self._sys.mean
+
+        n_rungs = self._rungs.shape[0]
+        fits = xi_app[:, None] * self._rungs[None, :] <= deadlines[:, None]
+        rung_arange = np.arange(n_rungs)
+        last_fit = np.where(fits, rung_arange[None, :], -1).max(axis=1)
+        rungs = np.maximum(last_fit, 0)
+
+        n_powers = self._latencies.shape[0]
+        pred = xi_sys[:, None] * self._latencies[None, :]
+        feasible = pred <= deadlines[:, None]
+        power_arange = np.arange(n_powers)
+        last_feasible = np.where(feasible, power_arange[None, :], -1).max(axis=1)
+        first_feasible = np.where(
+            feasible, power_arange[None, :], n_powers
+        ).min(axis=1)
+        budgets = np.array(
+            [
+                goal.energy_budget_j
+                if (
+                    goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY
+                    and goal.energy_budget_j is not None
+                )
+                else np.inf
+                for goal in goals
+            ]
+        )
+        cost = self._draws[None, :] * np.minimum(pred, deadlines[:, None])
+        affordable = feasible & (cost <= budgets[:, None])
+        last_affordable = np.where(
+            affordable, power_arange[None, :], -1
+        ).max(axis=1)
+        maximize = np.array(
+            [goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY for goal in goals]
+        )
+        max_pick = np.where(
+            last_affordable >= 0,
+            last_affordable,
+            np.where(last_feasible >= 0, last_feasible, n_powers - 1),
+        )
+        min_pick = np.where(
+            first_feasible < n_powers, first_feasible, n_powers - 1
+        )
+        power_idx = np.where(maximize, max_pick, min_pick)
+
+        selections = []
+        for g in range(self.n_goals):
+            key = (int(rungs[g]), int(power_idx[g]))
+            config = self._configs.get(key)
+            if config is None:
+                config = Configuration(
+                    model=self.model,
+                    power_w=self.powers[key[1]],
+                    rung_cap=key[0],
+                )
+                self._configs[key] = config
+            selections.append(BaselineSelection(config=config))
+        self._stacked_calls += 1
+        self._stacked_states += self.n_goals
+        return selections
+
+    # ------------------------------------------------------------------
+    # Feedback: both planes, every goal, one pass
+    # ------------------------------------------------------------------
+    def observe_many(self, outcomes) -> None:
+        """Fold every goal's previous-input measurement in, stacked.
+
+        The app plane references the default-power profile (a constant),
+        the sys plane the profiled latency at each outcome's reported
+        cap — the same two wrong frames of reference as the scalar
+        scheduler, elementwise.
+        """
+        measured = np.array([o.full_latency_s for o in outcomes])
+        self._app.observe(
+            measured, np.full(self.n_goals, self._app_reference)
+        )
+        by_cap = self._latency_by_cap
+        references = []
+        for outcome in outcomes:
+            cap = outcome.power_cap_w
+            reference = by_cap.get(cap)
+            if reference is None:
+                reference = self.profile.latency(self.model.name, cap)
+                by_cap[cap] = reference
+            references.append(reference)
+        self._sys.observe(measured, np.array(references))
+
+    def xi_snapshot(self) -> None:
+        """No-coord exposes no ``state``; records carry 0/0 like the
+        sequential path."""
+        return None
+
+    @property
+    def lockstep_stats(self) -> dict:
+        return lockstep_stats_dict(
+            self.n_goals, self._stacked_calls, self._stacked_states
+        )

@@ -21,11 +21,15 @@ process pool via :class:`repro.runtime.executor.RunExecutor`,
 scheme of a cell from one shared engine realisation, and
 ``--lockstep/--no-lockstep`` (on by default for fused cells) to
 advance each ALERT-family scheme's runs across the whole goal grid
-together — all goals' decisions in one stacked pass per input.
+together — all goals' decisions in one stacked pass per input — and
+``--cross-scheme/--no-cross-scheme`` (on by default when
+lockstepping) to fuse one level further: every stacking scheme of a
+cell steps the input stream together off one shared grid, so
+cross-scheme implies fused cells and composes with ``--lockstep``.
 Results are value-identical whichever way the plan executes, so all
-three flags are purely wall-clock knobs (use roughly the machine's
-core count for ``--workers``; ``--no-fuse-cells``/``--no-lockstep``
-are escape hatches for measuring or debugging the isolated paths).
+four flags are purely wall-clock knobs (use roughly the machine's
+core count for ``--workers``; the ``--no-…`` forms are escape
+hatches for measuring or debugging the isolated paths).
 """
 
 from __future__ import annotations
@@ -70,6 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
         "decision path, e.g. to time it or to debug one goal in "
         "isolation)"
     )
+    cross_help = (
+        "fuse the cell across schemes: every scheme whose schedulers "
+        "stack (ALERT family, Sys-only, No-coord) advances the input "
+        "stream together off one shared outcome grid, sharing the "
+        "per-input grid reads (default on when lockstepping; implies "
+        "fused cells, so it composes with --lockstep and is rejected "
+        "with --no-fuse-cells or --no-lockstep; value-identical either "
+        "way — pass --no-cross-scheme to keep per-scheme lockstep "
+        "cells)"
+    )
 
     table4 = sub.add_parser("table4", help="regenerate a Table 4 cell")
     table4.add_argument("--platform", default="CPU1")
@@ -90,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=lockstep_help,
     )
+    table4.add_argument(
+        "--cross-scheme",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=cross_help,
+    )
 
     table5 = sub.add_parser("table5", help="regenerate Table 5")
     table5.add_argument("--platform", default="CPU1")
@@ -107,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=None,
         help=lockstep_help,
+    )
+    table5.add_argument(
+        "--cross-scheme",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=cross_help,
     )
 
     fig08 = sub.add_parser("fig08", help="regenerate the Figure 8 whiskers")
@@ -126,6 +152,12 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=None,
         help=lockstep_help,
+    )
+    fig08.add_argument(
+        "--cross-scheme",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=cross_help,
     )
 
     serve = sub.add_parser("serve", help="run ALERT over one scenario")
@@ -174,6 +206,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 fuse_cells=args.fuse_cells,
                 lockstep=args.lockstep,
+                cross_scheme=args.cross_scheme,
             ).describe()
         )
     elif args.command == "fig09":
@@ -197,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 fuse_cells=args.fuse_cells,
                 lockstep=args.lockstep,
+                cross_scheme=args.cross_scheme,
             ).describe()
         )
     elif args.command == "table5":
@@ -208,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 fuse_cells=args.fuse_cells,
                 lockstep=args.lockstep,
+                cross_scheme=args.cross_scheme,
             ).describe()
         )
     elif args.command == "serve":

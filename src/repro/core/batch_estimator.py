@@ -310,6 +310,11 @@ class BatchAlertEstimator:
         )
         self._row_index = np.arange(n)
         self._power_trun = self.power * self.t_run
+        #: Whether any configuration is anytime: all-traditional
+        #: spaces skip the rung-ladder arithmetic entirely (every
+        #: ``np.where(is_anytime, ...)`` select reduces to its else
+        #: branch).
+        self._has_anytime = bool(is_anytime.any())
         # Reusable buffers/constants (treated as read-only downstream).
         self._rung_pr_buf = np.zeros((n, ladder_width))
         self._rung_next_buf = np.zeros((n, ladder_width))
@@ -321,6 +326,18 @@ class BatchAlertEstimator:
         self._thr_cache: dict[float, np.ndarray] = {}
         self._energy_cache: dict[tuple, tuple] = {}
         self._quantile_cache: dict[float, float] = {}
+        #: Stacked-plan skeletons: every goal-only array of a stacked
+        #: query (group partition, threshold stacks, quality statics,
+        #: budget constants), keyed by the goal identity tuple and the
+        #: per-state branch flags.  The lockstep serving loops pass the
+        #: same adjusted-goal objects every input step, so the whole
+        #: structural gather collapses to one dict hit per step.  The
+        #: skeletons hold strong references to their goals, which pins
+        #: the ids in the key for as long as the entry lives.
+        self._stack_skeletons: dict[tuple, list[dict]] = {}
+        #: Reusable (G × C) field buffers for callers that consume the
+        #: planes before the next query (the stacked selector).
+        self._field_bufs: dict[int, dict[str, np.ndarray]] = {}
         # Static tie-break rank equivalent to comparing
         # (power_w, model.name, space index) lexicographically — the
         # exact order the scalar path's stable ``min`` over estimate
@@ -630,65 +647,8 @@ class BatchAlertEstimator:
         the field tensors directly (state-major rows, in input order)
         instead of re-stacking the per-state views.
         """
+        fields = self.stacked_fields(goals, xi_mean, xi_sigma, phi, tails)
         G = len(goals)
-        if G < 1:
-            raise ConfigurationError("need at least one (goal, state) pair")
-        xi_mean = np.asarray(xi_mean, dtype=np.float64)
-        xi_sigma = np.asarray(xi_sigma, dtype=np.float64)
-        phi = np.asarray(phi, dtype=np.float64)
-        if xi_mean.shape != (G,) or xi_sigma.shape != (G,) or phi.shape != (G,):
-            raise ConfigurationError(
-                f"state arrays must all have shape ({G},), got "
-                f"{xi_mean.shape}/{xi_sigma.shape}/{phi.shape}"
-            )
-        tail_list = list(tails) if tails is not None else [None] * G
-
-        # Group states by goal *structure*: which constraints exist,
-        # the objective, the tail/degenerate regimes.  Values (the
-        # deadline, the floor, the budget) vary freely within a group
-        # as per-row scalars; only the branch structure must agree for
-        # the tensor expressions to broadcast.
-        groups: dict[tuple, list[int]] = {}
-        for g, goal in enumerate(goals):
-            tail = tail_list[g]
-            use_tail = (
-                self.variance_aware
-                and tail is not None
-                and tail[0] > 0.0
-                and tail[1] > 1.0
-            )
-            has_budget = goal.energy_budget_j is not None
-            sig = (
-                has_budget,
-                bool(phi[g] >= 1.0 - 1e-12) if has_budget else False,
-                goal.accuracy_min is not None,
-                goal.prob_threshold is not None,
-                goal.objective,
-                use_tail,
-            )
-            groups.setdefault(sig, []).append(g)
-
-        plans = [
-            self._gather_group(sig, idx, goals, xi_mean, xi_sigma, phi, tail_list)
-            for sig, idx in groups.items()
-        ]
-        flats = [plan["flat"] for plan in plans]
-        cdf_all = normal_cdf_array(
-            flats[0] if len(flats) == 1 else np.concatenate(flats)
-        )
-
-        n = self.n_configs
-        fields: dict[str, np.ndarray] = {
-            name: np.empty((G, n)) for name in self._STACK_FLOAT_FIELDS
-        }
-        fields.update(
-            {name: np.empty((G, n), dtype=bool) for name in self._STACK_BOOL_FIELDS}
-        )
-        offset = 0
-        for plan in plans:
-            size = plan["flat"].size
-            self._finish_group(plan, cdf_all[offset : offset + size], fields)
-            offset += size
         configs = self.configs
         estimates = [
             BatchEstimates(
@@ -708,36 +668,234 @@ class BatchAlertEstimator:
         ]
         return estimates, fields
 
+    def stacked_fields(
+        self,
+        goals,
+        xi_mean,
+        xi_sigma,
+        phi,
+        tails=None,
+        reuse: bool = False,
+    ) -> dict[str, np.ndarray]:
+        """The raw ``(G × C)`` field tensors for ``G`` stacked states.
+
+        The decision engine's innermost step.  Goal-only structure —
+        the structural group partition, deadline-threshold stacks,
+        quality-floor statics, energy-budget constants — is cached per
+        goal tuple (:meth:`_stack_plans`), so the per-input work is
+        just the state-dependent arithmetic plus one fused erf pass.
+
+        With ``reuse=True`` the returned tensors are per-``G`` scratch
+        buffers overwritten by the next ``reuse`` query; callers must
+        consume them before querying again (the stacked selector
+        materialises its winners immediately, so it opts in).
+        """
+        G = len(goals)
+        if G < 1:
+            raise ConfigurationError("need at least one (goal, state) pair")
+        xi_mean = np.asarray(xi_mean, dtype=np.float64)
+        xi_sigma = np.asarray(xi_sigma, dtype=np.float64)
+        phi = np.asarray(phi, dtype=np.float64)
+        if xi_mean.shape != (G,) or xi_sigma.shape != (G,) or phi.shape != (G,):
+            raise ConfigurationError(
+                f"state arrays must all have shape ({G},), got "
+                f"{xi_mean.shape}/{xi_sigma.shape}/{phi.shape}"
+            )
+        tail_list = list(tails) if tails is not None else [None] * G
+        plans = [
+            self._gather_group(skeleton, xi_mean, xi_sigma, phi, tail_list)
+            for skeleton in self._stack_plans(goals, phi, tail_list)
+        ]
+        flats = [plan["flat"] for plan in plans]
+        cdf_all = normal_cdf_array(
+            flats[0] if len(flats) == 1 else np.concatenate(flats)
+        )
+
+        n = self.n_configs
+        fields = self._field_bufs.get(G) if reuse else None
+        if fields is None:
+            fields = {
+                name: np.empty((G, n)) for name in self._STACK_FLOAT_FIELDS
+            }
+            fields.update(
+                {
+                    name: np.empty((G, n), dtype=bool)
+                    for name in self._STACK_BOOL_FIELDS
+                }
+            )
+            if reuse:
+                if len(self._field_bufs) >= 8:
+                    self._field_bufs.clear()
+                self._field_bufs[G] = fields
+        offset = 0
+        for plan in plans:
+            size = plan["flat"].size
+            self._finish_group(plan, cdf_all[offset : offset + size], fields)
+            offset += size
+        return fields
+
+    def _stack_plans(self, goals, phi, tail_list) -> list[dict]:
+        """The goal-only skeletons of a stacked query, cached.
+
+        Keyed by goal identities plus the two state-dependent branch
+        flags (tail mixture in play, degenerate ``phi`` for budget
+        goals); everything else in a skeleton depends only on the
+        goals.  The lockstep cells pass the identical adjusted-goal
+        objects every input step, so steady state is one dict hit per
+        step.  Each skeleton holds strong references to its goals,
+        which pins the ids in the key for as long as the entry lives.
+        """
+        use_tail = tuple(
+            bool(
+                self.variance_aware
+                and tail is not None
+                and tail[0] > 0.0
+                and tail[1] > 1.0
+            )
+            for tail in tail_list
+        )
+        degenerate = tuple(
+            bool(phi[g] >= 1.0 - 1e-12)
+            if goal.energy_budget_j is not None
+            else False
+            for g, goal in enumerate(goals)
+        )
+        key = (tuple(map(id, goals)), use_tail, degenerate)
+        skeletons = self._stack_skeletons.get(key)
+        if skeletons is None:
+            skeletons = self._build_skeletons(goals, use_tail, degenerate)
+            if len(self._stack_skeletons) >= 64:
+                self._stack_skeletons.clear()
+            self._stack_skeletons[key] = skeletons
+        return skeletons
+
+    def _build_skeletons(self, goals, use_tail, degenerate) -> list[dict]:
+        """Group states by structure and gather every goal-only array.
+
+        Group states by goal *structure*: which constraints exist, the
+        objective, the tail/degenerate regimes.  Values (the deadline,
+        the floor, the budget) vary freely within a group as per-row
+        scalars; only the branch structure must agree for the tensor
+        expressions to broadcast.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for g, goal in enumerate(goals):
+            has_budget = goal.energy_budget_j is not None
+            sig = (
+                has_budget,
+                degenerate[g] if has_budget else False,
+                goal.accuracy_min is not None,
+                goal.prob_threshold is not None,
+                goal.objective,
+                use_tail[g],
+            )
+            groups.setdefault(sig, []).append(g)
+
+        skeletons: list[dict] = []
+        for sig, idx in groups.items():
+            has_budget, _, has_floor, has_prob, objective, _ = sig
+            group_goals = [goals[g] for g in idx]
+            # Deadline thresholds per state, via the same per-deadline
+            # cache the scalar-state path fills (identical divisions).
+            thr_rows = []
+            for goal in group_goals:
+                d = goal.deadline_s
+                thr_u = self._thr_cache.get(d)
+                if thr_u is None:
+                    thr_u = d / self._unique_lat
+                    if len(self._thr_cache) >= 256:
+                        self._thr_cache.clear()
+                    self._thr_cache[d] = thr_u
+                thr_rows.append(thr_u)
+            thr = np.stack(thr_rows)
+            skeleton = {
+                "sig": sig,
+                "idx": idx,
+                "rows": np.asarray(idx, dtype=np.intp),
+                "K": len(idx),
+                "U": thr.shape[1],
+                "goals": group_goals,
+                "deadline": np.array([g.deadline_s for g in group_goals]),
+                "period": np.array([g.period for g in group_goals]),
+                "thr": thr,
+            }
+            if has_budget:
+                horizon_rows, cross_rows, xib_rows = [], [], []
+                for goal in group_goals:
+                    key = (goal.deadline_s, goal.period, goal.energy_budget_j)
+                    cached = self._energy_cache.get(key)
+                    if cached is None:
+                        horizon = np.where(
+                            self.is_anytime,
+                            min(goal.deadline_s, goal.period),
+                            goal.period,
+                        )
+                        xi_cross = horizon / self.t_run
+                        xi_b = goal.energy_budget_j / self._power_trun
+                        if len(self._energy_cache) >= 256:
+                            self._energy_cache.clear()
+                        cached = (horizon, xi_cross, xi_b)
+                        self._energy_cache[key] = cached
+                    horizon_rows.append(cached[0])
+                    cross_rows.append(cached[1])
+                    xib_rows.append(cached[2])
+                skeleton["budget"] = np.array(
+                    [goal.energy_budget_j for goal in group_goals]
+                )
+                skeleton["horizon"] = np.stack(horizon_rows)
+                skeleton["xi_cross"] = np.stack(cross_rows)
+                skeleton["xi_b"] = np.stack(xib_rows)
+            if has_floor:
+                statics = [
+                    self._qmin_static(goal.accuracy_min)
+                    for goal in group_goals
+                ]
+                skeleton["quality_below"] = np.stack([s[0] for s in statics])
+                skeleton["has_rung"] = np.stack([s[1] for s in statics])
+                skeleton["first_rung"] = np.stack([s[2] for s in statics])
+                skeleton["qfail_ok"] = np.stack([s[3] for s in statics])
+            if objective is ObjectiveKind.MINIMIZE_ENERGY:
+                skeleton["acc_min"] = np.array(
+                    [goal.accuracy_min for goal in group_goals]
+                )
+            if has_prob:
+                z_rows = []
+                for goal in group_goals:
+                    z_q = self._quantile_cache.get(goal.prob_threshold)
+                    if z_q is None:
+                        z_q = normal_quantile(goal.prob_threshold)
+                        self._quantile_cache[goal.prob_threshold] = z_q
+                    z_rows.append(z_q)
+                skeleton["z_q"] = np.array(z_rows)
+                skeleton["prob"] = np.array(
+                    [goal.prob_threshold for goal in group_goals]
+                )
+            skeletons.append(skeleton)
+        return skeletons
+
     def _gather_group(
-        self, sig, idx, goals, xi_mean, xi_sigma, phi, tail_list
+        self, skeleton, xi_mean, xi_sigma, phi, tail_list
     ) -> dict:
-        """Pre-CDF arrays for one structural group of states."""
-        has_budget, degenerate, has_floor, has_prob, objective, use_tail = sig
-        K = len(idx)
+        """Pre-CDF arrays for one structural group of states.
+
+        Everything here is state-dependent; the goal-only arrays come
+        ready-stacked from the cached skeleton.
+        """
+        has_budget, degenerate, _, _, _, use_tail = skeleton["sig"]
+        idx = skeleton["idx"]
+        rows = skeleton["rows"]
+        K = skeleton["K"]
         point = self._point_sigma
-        deadline = np.array([goals[g].deadline_s for g in idx])
-        period = np.array([goals[g].period for g in idx])
-        mean = xi_mean[idx]
-        phi_k = phi[idx]
+        period = skeleton["period"]
+        mean = xi_mean[rows]
+        phi_k = phi[rows]
         if self.variance_aware:
-            sigma_raw = xi_sigma[idx]
+            sigma_raw = xi_sigma[rows]
         else:
             sigma_raw = np.full(K, point)
         sigma_cdf = np.maximum(sigma_raw, point)
 
-        # Deadline thresholds per state, via the same per-deadline
-        # cache the scalar-state path fills (identical divisions).
-        thr_rows = []
-        for g in idx:
-            d = goals[g].deadline_s
-            thr_u = self._thr_cache.get(d)
-            if thr_u is None:
-                thr_u = d / self._unique_lat
-                if len(self._thr_cache) >= 256:
-                    self._thr_cache.clear()
-                self._thr_cache[d] = thr_u
-            thr_rows.append(thr_u)
-        thr = np.stack(thr_rows)
+        thr = skeleton["thr"]
         col_mean = mean[:, None]
         col_sigma = sigma_cdf[:, None]
         segments = [(thr - col_mean) / col_sigma]
@@ -747,51 +905,21 @@ class BatchAlertEstimator:
             fraction = np.array([tail_list[g][0] for g in idx])
             segments.append((thr - (mean * ratio)[:, None]) / col_sigma)
 
-        plan = {
-            "idx": idx,
-            "rows": np.asarray(idx, dtype=np.intp),
-            "sig": sig,
-            "K": K,
-            "U": thr.shape[1],
-            "goals": [goals[g] for g in idx],
-            "deadline": deadline,
-            "period": period,
-            "mean": mean,
-            "sigma_raw": sigma_raw,
-            "phi": phi_k,
-            "fraction": fraction,
-        }
+        plan = dict(skeleton)
+        plan["mean"] = mean
+        plan["sigma_raw"] = sigma_raw
+        plan["phi"] = phi_k
+        plan["fraction"] = fraction
 
         if has_budget:
-            budget = np.array([goals[g].energy_budget_j for g in idx])
-            horizon_rows, cross_rows, xib_rows = [], [], []
-            for g in idx:
-                goal = goals[g]
-                key = (goal.deadline_s, goal.period, goal.energy_budget_j)
-                cached = self._energy_cache.get(key)
-                if cached is None:
-                    horizon = np.where(
-                        self.is_anytime,
-                        min(goal.deadline_s, goal.period),
-                        goal.period,
-                    )
-                    xi_cross = horizon / self.t_run
-                    xi_b = goal.energy_budget_j / self._power_trun
-                    if len(self._energy_cache) >= 256:
-                        self._energy_cache.clear()
-                    cached = (horizon, xi_cross, xi_b)
-                    self._energy_cache[key] = cached
-                horizon_rows.append(cached[0])
-                cross_rows.append(cached[1])
-                xib_rows.append(cached[2])
-            horizon = np.stack(horizon_rows)
-            xi_cross = np.stack(cross_rows)
-            xi_b = np.stack(xib_rows)
+            budget = skeleton["budget"]
+            horizon = skeleton["horizon"]
+            xi_cross = skeleton["xi_cross"]
+            xi_b = skeleton["xi_b"]
             col_phi = phi_k[:, None]
             floor = self.power * horizon + col_phi * self.power * np.maximum(
                 0.0, period[:, None] - horizon
             )
-            plan["budget"] = budget
             plan["floor"] = floor
             if degenerate:
                 denom = self._power_trun * (1.0 - col_phi)
@@ -848,80 +976,91 @@ class BatchAlertEstimator:
         pr_concat = pr_unique[:, self._lat_inverse]
         pr_deadline = pr_concat[:, :n]
         pr_full = pr_concat[:, n : 2 * n]
-        width = self.rung_lat.shape[1]
-        # Reusable (K, config, rung) buffers per batch width: invalid
-        # entries and the next-buffer's last column stay 0 forever,
-        # exactly like the single-state buffers.
-        buffers = self._rung_many_bufs.get(K)
-        if buffers is None:
-            if len(self._rung_many_bufs) >= 8:
-                self._rung_many_bufs.clear()
-            buffers = (np.zeros((K, n, width)), np.zeros((K, n, width)))
-            self._rung_many_bufs[K] = buffers
-        rung_pr, rung_pr_next = buffers
-        rung_pr[:, self.rung_valid] = pr_concat[:, 2 * n :]
-
+        has_anytime = self._has_anytime
         expected_trad = pr_full * self.quality + (1.0 - pr_full) * self.q_fail
-        rung_pr_next[:, :, :-1] = rung_pr[:, :, 1:]
-        expected_any = (1.0 - rung_pr[:, :, 0]) * self.q_fail + np.sum(
-            self.rung_q * (rung_pr - rung_pr_next), axis=2
-        )
-        expected_q = np.where(is_any, expected_any, expected_trad)
+        if has_anytime:
+            width = self.rung_lat.shape[1]
+            # Reusable (K, config, rung) buffers per batch width:
+            # invalid entries and the next-buffer's last column stay 0
+            # forever, exactly like the single-state buffers.
+            buffers = self._rung_many_bufs.get(K)
+            if buffers is None:
+                if len(self._rung_many_bufs) >= 8:
+                    self._rung_many_bufs.clear()
+                buffers = (np.zeros((K, n, width)), np.zeros((K, n, width)))
+                self._rung_many_bufs[K] = buffers
+            rung_pr, rung_pr_next = buffers
+            rung_pr[:, self.rung_valid] = pr_concat[:, 2 * n :]
+
+            rung_pr_next[:, :, :-1] = rung_pr[:, :, 1:]
+            expected_any = (1.0 - rung_pr[:, :, 0]) * self.q_fail + np.sum(
+                self.rung_q * (rung_pr - rung_pr_next), axis=2
+            )
+            expected_q = np.where(is_any, expected_any, expected_trad)
+        else:
+            expected_q = expected_trad
 
         if has_floor:
-            statics = [
-                self._qmin_static(goal.accuracy_min) for goal in plan["goals"]
-            ]
-            quality_below = np.stack([static[0] for static in statics])
-            has_rung = np.stack([static[1] for static in statics])
-            first = np.stack([static[2] for static in statics])
-            qfail_ok = np.stack([static[3] for static in statics])
+            quality_below = plan["quality_below"]
+            qfail_ok = plan["qfail_ok"]
             q_meet_trad = np.where(quality_below, 0.0, pr_full)
-            q_meet_any = np.where(
-                has_rung,
-                rung_pr[np.arange(K)[:, None], self._row_index[None, :], first],
-                0.0,
-            )
-            q_meet = np.where(is_any, q_meet_any, q_meet_trad)
+            if has_anytime:
+                has_rung = plan["has_rung"]
+                first = plan["first_rung"]
+                q_meet_any = np.where(
+                    has_rung,
+                    rung_pr[
+                        np.arange(K)[:, None], self._row_index[None, :], first
+                    ],
+                    0.0,
+                )
+                q_meet = np.where(is_any, q_meet_any, q_meet_trad)
+            else:
+                q_meet = q_meet_trad
             q_meet = np.where(qfail_ok, 1.0, q_meet)
         else:
             q_meet = self._ones_f  # broadcasts over the group rows
 
         run_mean = plan["mean"][:, None] * self.t_run
-        latency_mean = np.where(
-            is_any, np.minimum(run_mean, deadline), run_mean
+        latency_mean = (
+            np.where(is_any, np.minimum(run_mean, deadline), run_mean)
+            if has_anytime
+            else run_mean
         )
 
         if not has_prob:
             run_energy = run_mean
         else:
-            shifts = []
-            for k, goal in enumerate(plan["goals"]):
-                z_q = self._quantile_cache.get(goal.prob_threshold)
-                if z_q is None:
-                    z_q = normal_quantile(goal.prob_threshold)
-                    self._quantile_cache[goal.prob_threshold] = z_q
-                shifts.append(plan["mean"][k] + z_q * plan["sigma_raw"][k])
-            run_energy = np.maximum(np.array(shifts)[:, None] * self.t_run, 0.0)
-        run_energy = np.where(
-            is_any, np.minimum(run_energy, deadline), run_energy
-        )
+            # Elementwise mean[k] + z_q * sigma[k], z_q pre-gathered in
+            # the skeleton (identical float64 ops to the scalar loop).
+            shifts = plan["mean"] + plan["z_q"] * plan["sigma_raw"]
+            run_energy = np.maximum(shifts[:, None] * self.t_run, 0.0)
+        if has_anytime:
+            run_energy = np.where(
+                is_any, np.minimum(run_energy, deadline), run_energy
+            )
         idle_time = np.maximum(0.0, plan["period"][:, None] - run_energy)
         energy = self.power * run_energy + col_phi * self.power * idle_time
 
         confidence = self.confidence
-        meets_latency_mean = is_any | (latency_mean <= deadline)
-        meets_latency = is_any | (
-            meets_latency_mean & (pr_deadline >= confidence)
-        )
+        if has_anytime:
+            meets_latency_mean = is_any | (latency_mean <= deadline)
+            meets_latency = is_any | (
+                meets_latency_mean & (pr_deadline >= confidence)
+            )
+        else:
+            meets_latency_mean = latency_mean <= deadline
+            meets_latency = meets_latency_mean & (pr_deadline >= confidence)
         if has_prob:
-            pr_constraints = np.where(
-                is_any, q_meet, np.minimum(pr_deadline, q_meet)
+            pr_constraints = (
+                np.where(is_any, q_meet, np.minimum(pr_deadline, q_meet))
+                if has_anytime
+                else np.minimum(pr_deadline, q_meet)
             )
 
         rows = plan["rows"]
         if objective is ObjectiveKind.MINIMIZE_ENERGY:
-            acc_min = np.array([goal.accuracy_min for goal in plan["goals"]])
+            acc_min = plan["acc_min"]
             fields["meets_accuracy"][rows] = (
                 expected_q >= acc_min[:, None]
             ) & (q_meet >= confidence)
@@ -936,15 +1075,20 @@ class BatchAlertEstimator:
                 cdf_b = energy_cdfs[:, :n]
                 cdf_cross = energy_cdfs[:, n : 2 * n]
                 cdf_min = energy_cdfs[:, 2 * n :]
-                res_any = np.where(budget >= floor - 1e-12, 1.0, 0.0)
                 below = np.maximum(0.0, cdf_b - cdf_cross)
                 above = np.maximum(0.0, cdf_b - cdf_min)
                 res_trad = np.where(budget < floor - 1e-12, below, above)
-                e_meet = np.where(is_any, res_any, res_trad)
-            else:
+                if has_anytime:
+                    res_any = np.where(budget >= floor - 1e-12, 1.0, 0.0)
+                    e_meet = np.where(is_any, res_any, res_trad)
+                else:
+                    e_meet = res_trad
+            elif has_anytime:
                 e_meet = np.where(
                     is_any & plan["above_cross"], 1.0, energy_cdfs
                 )
+            else:
+                e_meet = energy_cdfs
             fields["meets_energy"][rows] = (energy <= budget) & (
                 e_meet >= confidence
             )
@@ -954,8 +1098,7 @@ class BatchAlertEstimator:
             fields["meets_energy"][rows] = True
 
         if has_prob:
-            prob = np.array([goal.prob_threshold for goal in plan["goals"]])
-            fields["meets_prob"][rows] = pr_constraints >= prob[:, None]
+            fields["meets_prob"][rows] = pr_constraints >= plan["prob"][:, None]
         else:
             fields["meets_prob"][rows] = True
 

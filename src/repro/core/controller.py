@@ -365,6 +365,12 @@ class AlertCellController:
         # serving loop re-decides the same Goal objects for thousands
         # of inputs, so the dataclass replace + validation is cached.
         self._effective: dict[Goal, Goal] = {}
+        # The lockstep loops pass the identical goal-list objects every
+        # step; resolving the whole list through ``_effective`` per
+        # step would hash every (frozen, hash-recomputing) Goal three
+        # times per input.  One id-tuple lookup replaces all of it;
+        # the entry pins its goals, keeping the ids stable.
+        self._adjusted_lists: dict[tuple, tuple[list, list]] = {}
 
     @classmethod
     def from_controllers(
@@ -508,28 +514,57 @@ class AlertCellController:
         nd = self._memo_decimals
 
         results: list[SelectionResult | None] = [None] * self.n_goals
+        ids = tuple(map(id, goals))
+        adjusted_entry = self._adjusted_lists.get(ids)
+        if adjusted_entry is None:
+            effectives = []
+            for goal in goals:
+                effective = self._effective.get(goal)
+                if effective is None:
+                    effective = goal
+                    adjusted = max(1e-6, goal.deadline_s - self._overhead_s)
+                    if adjusted != goal.deadline_s:
+                        effective = goal.with_deadline(adjusted)
+                    if len(self._effective) >= 4096:
+                        self._flush_goal_caches()
+                    self._effective[goal] = effective
+                effectives.append(effective)
+            if len(self._adjusted_lists) >= 64:
+                self._flush_goal_caches()
+            # Pin the goals and their adjusted twins: live references
+            # keep every id in the key (and in the memo keys below)
+            # unambiguous.
+            self._adjusted_lists[ids] = (list(goals), effectives)
+        else:
+            effectives = adjusted_entry[1]
+
+        # One bulk tolist per state vector: identical doubles to
+        # per-element float() casts, without G numpy scalar reads.
+        means = xi_mean.tolist()
+        sigmas = xi_sigma.tolist()
+        phis = phi.tolist()
+        fractions = tail_fraction.tolist()
+        ratios = tail_ratio.tolist()
+
         miss_goals: list[Goal] = []
         miss_index: list[int] = []
         miss_keys: list[tuple | None] = []
-        for g, goal in enumerate(goals):
-            effective = self._effective.get(goal)
-            if effective is None:
-                effective = goal
-                adjusted = max(1e-6, goal.deadline_s - self._overhead_s)
-                if adjusted != goal.deadline_s:
-                    effective = goal.with_deadline(adjusted)
-                if len(self._effective) >= 4096:
-                    self._effective.clear()
-                self._effective[goal] = effective
+        for g in range(self.n_goals):
+            effective = effectives[g]
             key: tuple | None = None
             if self._memos is not None:
+                # id(effective) stands in for the goal value: the
+                # adjusted goals are interned per value through
+                # ``_effective`` and pinned by ``_adjusted_lists``, so
+                # equal goals share one id and ids never alias while
+                # any memo entry can still be reached.
                 key = (
-                    goal,
-                    round(float(xi_mean[g]), nd),
-                    round(float(xi_sigma[g]), nd),
-                    round(float(phi[g]), nd),
-                    round(float(tail_fraction[g]), nd),
-                    round(float(tail_ratio[g]), nd),
+                    id(effective),
+                    round(means[g], nd),
+                    round(sigmas[g], nd),
+                    round(phis[g], nd),
+                    round(fractions[g], nd),
+                    round(ratios[g], nd),
                 )
                 cached = self._memos[g].get(key)
                 if cached is not None:
@@ -547,10 +582,7 @@ class AlertCellController:
                 xi_mean[index],
                 xi_sigma[index],
                 phi[index],
-                tails=[
-                    (float(tail_fraction[g]), float(tail_ratio[g]))
-                    for g in miss_index
-                ],
+                tails=[(fractions[g], ratios[g]) for g in miss_index],
             )
             self._stacked_calls += 1
             self._stacked_states += len(miss_goals)
@@ -563,6 +595,18 @@ class AlertCellController:
                     memo[key] = selection
                 results[g] = selection
         return results
+
+    def _flush_goal_caches(self) -> None:
+        """Drop the goal-resolution caches *and* the decision memos.
+
+        Evicting ``_effective`` / ``_adjusted_lists`` entries un-pins
+        goal objects, so a recycled id could otherwise match a stale
+        id-keyed memo entry; flushing together makes that impossible.
+        """
+        self._effective.clear()
+        self._adjusted_lists.clear()
+        if self._memos is not None:
+            self._memos = [{} for _ in range(self.n_goals)]
 
     # ------------------------------------------------------------------
     # Introspection

@@ -41,7 +41,7 @@ from repro.core.estimator import AlertEstimator, ConfigEstimate
 from repro.core.goals import Goal, ObjectiveKind
 from repro.errors import ConfigurationError
 
-__all__ = ["SelectionResult", "ConfigSelector"]
+__all__ = ["SelectionResult", "BaselineSelection", "ConfigSelector"]
 
 
 def _quantize6(x: float) -> float:
@@ -81,6 +81,19 @@ class SelectionResult:
     n_feasible: int
 
 
+@dataclass(frozen=True)
+class BaselineSelection:
+    """A bare winning configuration, no estimate attached.
+
+    The lockstep cells of estimator-free baselines (No-coord) return
+    these from ``decide_many``: the serving loops only ever read
+    ``.config``, and those baselines have no estimate record, search
+    accounting, or relaxation stage to report.
+    """
+
+    config: Configuration
+
+
 class ConfigSelector:
     """Ranks configurations for a goal given the filter state.
 
@@ -105,6 +118,13 @@ class ConfigSelector:
         self.batch = (
             BatchAlertEstimator(space, estimator) if use_batch else None
         )
+        #: Per-G constant index vectors for the stacked path (segment
+        #: labels, row indices) and per-goal-tuple objective masks;
+        #: both pure functions of their keys, rebuilt every step
+        #: otherwise.  Objective-mask entries pin their goals so the
+        #: id-tuple key stays unambiguous.
+        self._stack_index_cache: dict[int, tuple] = {}
+        self._objective_mask_cache: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # Ranking keys
@@ -284,10 +304,11 @@ class ConfigSelector:
                 )
                 for g in range(n_states)
             ]
-        estimates, fields = self.batch.estimate_many_stacked(
-            goals, xi_means, xi_sigmas, phis, tail_list
+        fields = self.batch.stacked_fields(
+            goals, xi_means, xi_sigmas, phis, tail_list, reuse=True
         )
-        n = estimates[0].n
+        configs = self.batch.configs
+        n = self.batch.n_configs
         rank = self.batch.tie_rank
 
         # The (G × C) planes come straight from the stacked estimator.
@@ -320,56 +341,105 @@ class ConfigSelector:
         col = stage[:, None]
         # Candidate validity per stage; invalid entries stay in the
         # plane but sort after every valid one via the lexsort key.
-        valid = np.where(
-            col == 0,
-            feasible,
-            np.where(col == 1, keep_prob_mask, np.where(col == 2, mlm, True)),
-        )
+        if not stage.any():
+            valid = feasible
+        else:
+            valid = np.where(
+                col == 0,
+                feasible,
+                np.where(
+                    col == 1, keep_prob_mask, np.where(col == 2, mlm, True)
+                ),
+            )
 
-        min_energy = np.array(
-            [goal.objective is ObjectiveKind.MINIMIZE_ENERGY for goal in goals]
-        )[:, None]
-        relaxed = (col == 1) | (col == 2)
-        # Bit-identical to the scalar key's _quantize6 (see
-        # _select_batch); computed wholesale, read only where needed.
-        neg_rounded = -(np.rint(q_meet * 1e6) / 1e6)
+        goal_ids = tuple(map(id, goals))
+        mask_entry = self._objective_mask_cache.get(goal_ids)
+        if mask_entry is None:
+            mask = np.array(
+                [
+                    goal.objective is ObjectiveKind.MINIMIZE_ENERGY
+                    for goal in goals
+                ]
+            )[:, None]
+            if len(self._objective_mask_cache) >= 64:
+                self._objective_mask_cache.clear()
+            mask_entry = (mask, bool(mask.all()), bool(mask.any()), list(goals))
+            self._objective_mask_cache[goal_ids] = mask_entry
+        min_energy, all_min_energy, any_min_energy, _ = mask_entry
         rank_plane = np.broadcast_to(rank, (n_states, n))
         zeros_plane = np.broadcast_to(np.zeros(1), (n_states, n))
 
         # The four ranking-key columns, row-selected by (stage,
         # objective) to replicate each stage's scalar key tuple; unused
         # trailing keys are constant within a row.
-        k1 = np.where(
-            col == 3,
-            latency_mean,
-            np.where(
-                min_energy,
-                np.where(relaxed, neg_rounded, energy),
-                neg_quality,
-            ),
-        )
-        k2 = np.where(
-            col == 3, neg_quality, np.where(min_energy, neg_quality, energy)
-        )
-        k3 = np.where(
-            col == 3,
-            rank_plane,
-            np.where(
-                min_energy & relaxed,
-                energy,
+        if not stage.any():
+            # Every state resolved at stage 0 (the common steady
+            # state): each row's key tuple is just its objective's, so
+            # the fallback-stage plane selects reduce to the plain
+            # objective columns; the constant k4 drops out of the sort.
+            if all_min_energy:
+                k1, k2 = energy, neg_quality
+            elif not any_min_energy:
+                k1, k2 = neg_quality, energy
+            else:
+                k1 = np.where(min_energy, energy, neg_quality)
+                k2 = np.where(min_energy, neg_quality, energy)
+            k3 = rank_plane
+            k4 = None
+        else:
+            relaxed = (col == 1) | (col == 2)
+            if relaxed.any():
+                # Bit-identical to the scalar key's _quantize6 (see
+                # _select_batch); read only where ``relaxed`` holds.
+                neg_rounded = -(np.rint(q_meet * 1e6) / 1e6)
+            else:
+                neg_rounded = zeros_plane  # unused: relaxed is all-False
+            k1 = np.where(
+                col == 3,
+                latency_mean,
+                np.where(
+                    min_energy,
+                    np.where(relaxed, neg_rounded, energy),
+                    neg_quality,
+                ),
+            )
+            k2 = np.where(
+                col == 3, neg_quality, np.where(min_energy, neg_quality, energy)
+            )
+            k3 = np.where(
+                col == 3,
                 rank_plane,
-            ),
-        )
-        k4 = np.where(min_energy & relaxed, rank_plane, zeros_plane)
+                np.where(
+                    min_energy & relaxed,
+                    energy,
+                    rank_plane,
+                ),
+            )
+            k4 = np.where(min_energy & relaxed, rank_plane, zeros_plane)
 
         # One lexsort over the whole (state × config) plane: segment id
         # most significant, validity next (valid first), then the key
         # columns in priority order (np.lexsort sorts by its *last* key
         # first).  Segments have exactly ``n`` entries each, so state
         # g's winner is the sorted position g * n.
-        seg = np.repeat(np.arange(n_states, dtype=np.int64), n)
-        order = np.lexsort(
-            (
+        idx_entry = self._stack_index_cache.get(n_states)
+        if idx_entry is None:
+            if len(self._stack_index_cache) >= 8:
+                self._stack_index_cache.clear()
+            idx_entry = (
+                np.repeat(np.arange(n_states, dtype=np.int64), n),
+                np.arange(n_states),
+                np.arange(n_states, dtype=np.int64) * n,
+            )
+            self._stack_index_cache[n_states] = idx_entry
+        seg, gidx, offsets = idx_entry
+        if k4 is None:
+            # Stage-0 fast path left k4 an all-constant column; a
+            # stable sort with a constant key is an order-preserving
+            # no-op, so it drops out of the lexsort entirely.
+            sort_keys = (k3.ravel(), k2.ravel(), k1.ravel(), ~valid.ravel(), seg)
+        else:
+            sort_keys = (
                 k4.ravel(),
                 k3.ravel(),
                 k2.ravel(),
@@ -377,23 +447,57 @@ class ConfigSelector:
                 ~valid.ravel(),
                 seg,
             )
-        )
-        winners = order[::n] - np.arange(n_states, dtype=np.int64) * n
+        order = np.lexsort(sort_keys)
+        winners = order[::n] - offsets
+
+        # Materialise every winner's estimate straight from the planes
+        # — the same floats the per-state BatchEstimates rows would
+        # carry, gathered with vectorized fancy indexing + ``tolist``
+        # (identical doubles to per-element ``float()`` casts); the
+        # scratch tensors are fully consumed before returning.
+        win_latency = latency_mean[gidx, winners].tolist()
+        win_dprob = fields["deadline_probability"][gidx, winners].tolist()
+        win_quality = fields["expected_quality"][gidx, winners].tolist()
+        win_qmeet = q_meet[gidx, winners].tolist()
+        win_energy = energy[gidx, winners].tolist()
+        win_mlat = fields["meets_latency"][gidx, winners].tolist()
+        win_macc = fields["meets_accuracy"][gidx, winners].tolist()
+        win_menergy = fields["meets_energy"][gidx, winners].tolist()
+        win_mprob = meets_prob[gidx, winners].tolist()
+        win_mlm = mlm[gidx, winners].tolist()
+        stages = stage.tolist()
+        feas_counts = n_feasible.tolist()
 
         _RELAXATIONS = (None, "constraint", "probability", "latency")
         results: list[SelectionResult] = []
         for g in range(n_states):
             winner = int(winners[g])
-            b = estimates[g]
-            state_stage = int(stage[g])
+            config = configs[winner]
+            # Frozen-dataclass direct fill, as in the serving loops'
+            # record bookkeeping.
+            estimate = object.__new__(ConfigEstimate)
+            estimate.__dict__.update(
+                config=config,
+                latency_mean_s=win_latency[g],
+                deadline_probability=win_dprob[g],
+                expected_quality=win_quality[g],
+                quality_meet_probability=win_qmeet[g],
+                expected_energy_j=win_energy[g],
+                meets_latency=win_mlat[g],
+                meets_accuracy=win_macc[g],
+                meets_energy=win_menergy[g],
+                meets_prob=win_mprob[g],
+                meets_latency_mean=win_mlm[g],
+            )
+            state_stage = stages[g]
             results.append(
                 SelectionResult(
-                    config=b.configs[winner],
-                    estimate=b.estimate(winner),
+                    config=config,
+                    estimate=estimate,
                     feasible=state_stage == 0,
                     relaxation=_RELAXATIONS[state_stage],
                     n_candidates=n,
-                    n_feasible=int(n_feasible[g]) if state_stage == 0 else 0,
+                    n_feasible=feas_counts[g] if state_stage == 0 else 0,
                 )
             )
         return results

@@ -259,3 +259,7 @@ class StackedSlowdownEstimator:
     def tail_ratio(self) -> np.ndarray:
         """Per-state EWMA magnitude of tail observations."""
         return self._tail_ratio
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """The per-state (mean, sigma) arrays estimators consume."""
+        return self.mean, self.sigma

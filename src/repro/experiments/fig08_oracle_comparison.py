@@ -68,14 +68,17 @@ def run(
     workers: int = 1,
     fuse_cells: bool = True,
     lockstep: bool | None = None,
+    cross_scheme: bool | None = None,
 ) -> Fig08Result:
     """Collect the Figure 8 whiskers for one platform/task.
 
     ``workers`` > 1 fans each environment's runs out over a process
     pool; ``fuse_cells`` shares one engine realisation per cell;
     ``lockstep`` (on by default when fused) advances each ALERT-family
-    scheme's runs across the goal grid together.  All three are
-    value-identical to the serial isolated run.
+    scheme's runs across the goal grid together; ``cross_scheme``
+    (on by default when lockstepping) steps every stacking scheme of
+    a cell together off one shared grid — cross-scheme implies fused
+    cells.  All are value-identical to the serial isolated run.
     """
     whiskers: list[Whisker] = []
     for env in envs:
@@ -85,6 +88,7 @@ def run(
         runs = evaluate_schemes(
             scenario, goals, SCHEMES, n_inputs, workers=workers,
             fuse_cells=fuse_cells, lockstep=lockstep,
+            cross_scheme=cross_scheme,
         )
         for scheme in SCHEMES:
             energies = [r.mean_energy_j for r in runs.scheme_runs(scheme)]

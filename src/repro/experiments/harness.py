@@ -55,6 +55,7 @@ from repro.runtime.executor import (
     RunExecutor,
     RunSpec,
     ScenarioKey,
+    TableCellSpec,
     factory_accepts,
     factory_accepts_oracle_grid,
     factory_path,
@@ -210,6 +211,7 @@ def _evaluate_in_process(
     scheme_factory: Callable[..., Scheduler],
     share_grid: bool,
     fuse: bool,
+    requirement_trace=None,
 ) -> dict[str, list[RunResult]]:
     """Fallback for factories that cannot cross a process boundary.
 
@@ -258,6 +260,7 @@ def _evaluate_in_process(
                     grid_provider=provider,
                     engine=shared_engine,
                     stream=shared_stream,
+                    requirement_trace=requirement_trace,
                 )
             )
     return runs
@@ -273,6 +276,8 @@ def evaluate_schemes(
     share_oracle_grid: bool | None = None,
     fuse_cells: bool | None = None,
     lockstep: bool | None = None,
+    cross_scheme: bool | None = None,
+    requirement_trace=None,
 ) -> CellResult:
     """Run every scheme over every constraint setting of a cell.
 
@@ -303,6 +308,23 @@ def evaluate_schemes(
     boundary (closures fall back to the per-goal fused path).  With
     ``workers`` > 1 the goal grid is split into one lockstep cell per
     timing so the plan still fans out across the pool.
+
+    ``cross_scheme`` stacks the lockstep cells one level further: all
+    schemes whose schedulers stack advance the input stream *together*
+    as lanes of one
+    :class:`repro.runtime.loop.CrossSchemeLockstepLoop`
+    (:class:`repro.runtime.executor.TableCellSpec`), sharing the
+    per-input grid reads across the whole Table-4 cell.  None (the
+    default) fuses across schemes whenever the cell locksteps; False
+    keeps the per-scheme lockstep cells; True demands the cross-scheme
+    path and raises when fusion/lockstep is off or the factory cannot
+    cross the executor boundary.  All settings are value-identical
+    (``tests/test_cross_scheme_parity.py``).
+
+    ``requirement_trace`` applies one mid-run goal-override trace
+    (Figure 9's dynamic requirements) to every run of the cell; traced
+    cells take the per-step serving paths but keep full parity across
+    worker counts and fusion settings.
     """
     goal_list = tuple(goals)
     scheme_list = tuple(schemes)
@@ -320,6 +342,11 @@ def evaluate_schemes(
             "lockstep=True needs fused cells: the lockstep engine serves "
             "all goals from the cell's shared realisation"
         )
+    if cross_scheme and (not fuse or lockstep is False):
+        raise ConfigurationError(
+            "cross_scheme=True needs fused lockstep cells: the cross-scheme "
+            "loop steps every scheme off the cell's shared realisation"
+        )
 
     key = ScenarioKey.for_scenario(scenario)
     path = factory_path(scheme_factory)
@@ -329,9 +356,14 @@ def evaluate_schemes(
                 "lockstep=True needs a scheme factory importable by dotted "
                 "path; closures fall back to the per-goal fused path"
             )
+        if cross_scheme:
+            raise ConfigurationError(
+                "cross_scheme=True needs a scheme factory importable by "
+                "dotted path; closures fall back to the per-goal fused path"
+            )
         runs = _evaluate_in_process(
             scenario, goal_list, scheme_list, n_inputs, scheme_factory,
-            share_grid, fuse,
+            share_grid, fuse, requirement_trace=requirement_trace,
         )
         return CellResult(scenario=scenario, goals=goal_list, runs=runs)
 
@@ -350,14 +382,18 @@ def evaluate_schemes(
                     (goal.deadline_s, goal.period), []
                 ).append(position)
             groups = list(by_timing.values())
+        spec_type = (
+            TableCellSpec if cross_scheme is not False else LockstepCellSpec
+        )
         plan = [
-            LockstepCellSpec(
+            spec_type(
                 scenario=key,
                 goals=tuple(goal_list[position] for position in group),
                 schemes=scheme_list,
                 n_inputs=n_inputs,
                 factory=path,
                 use_oracle_grid=share_grid,
+                requirement_trace=requirement_trace,
             )
             for group in groups
         ]
@@ -379,6 +415,7 @@ def evaluate_schemes(
                 n_inputs=n_inputs,
                 factory=path,
                 use_oracle_grid=share_grid,
+                requirement_trace=requirement_trace,
             )
             for goal in goal_list
         ]
@@ -398,6 +435,7 @@ def evaluate_schemes(
             n_inputs=n_inputs,
             factory=path,
             use_oracle_grid=share_grid,
+            requirement_trace=requirement_trace,
         )
         for goal in goal_list
         for name in scheme_list

@@ -125,6 +125,7 @@ def run(
     workers: int = 1,
     fuse_cells: bool = True,
     lockstep: bool | None = None,
+    cross_scheme: bool | None = None,
 ) -> Table4Result:
     """Evaluate the Table 4 grid over the requested subsets.
 
@@ -137,7 +138,10 @@ def run(
     throughput knob); ``lockstep`` (on by default when fused) advances
     each ALERT-family scheme's runs across the goal grid together,
     computing all goals' decisions in one stacked pass per input
-    (value-identical; ``lockstep=False`` is the escape hatch).
+    (value-identical; ``lockstep=False`` is the escape hatch);
+    ``cross_scheme`` (on by default when lockstepping) additionally
+    steps every stacking scheme of a cell together off one shared
+    grid — cross-scheme implies fused cells (also value-identical).
     """
     if "OracleStatic" not in schemes:
         raise ConfigurationError(
@@ -161,7 +165,7 @@ def run(
                     cell_runs = evaluate_schemes(
                         scenario, subset, schemes, n_inputs=n_inputs,
                         workers=workers, fuse_cells=fuse_cells,
-                        lockstep=lockstep,
+                        lockstep=lockstep, cross_scheme=cross_scheme,
                     )
                     baseline = cell_runs.scheme_runs("OracleStatic")
                     cell: dict[str, SchemeCell] = {}

@@ -33,6 +33,13 @@ independence into an execution plan:
   computes every goal's decision in one stacked estimator/selector
   pass (``tests/test_lockstep_parity.py`` pins value-identity to the
   per-goal path);
+* :class:`TableCellSpec` — one whole Table-4 cell, *cross-scheme*: all
+  stacking schemes advance as lanes of one
+  :class:`~repro.runtime.loop.CrossSchemeLockstepLoop`, sharing the
+  per-input grid reads; the rest run per-goal (feedback-free schemes on
+  the batch fast path), so a fully fused cell serves zero inputs via
+  per-input Python ``decide``/``observe``
+  (``tests/test_cross_scheme_parity.py``);
 * :class:`RunExecutor` — executes a plan either serially in-process or
   across a ``concurrent.futures`` process pool.  Results are merged
   back in plan order, so the output is *bit-identical* regardless of
@@ -66,17 +73,20 @@ from repro.errors import ConfigurationError
 from repro.models.inference import GridView
 from repro.runtime.loop import (
     LOCKSTEP_TELEMETRY,
+    CrossSchemeLockstepLoop,
     LockstepServingLoop,
     ServingLoop,
 )
 from repro.runtime.results import RunResult
 from repro.workloads.scenarios import Scenario, build_scenario
+from repro.workloads.traces import RequirementTrace
 
 __all__ = [
     "ScenarioKey",
     "RunSpec",
     "CellSpec",
     "LockstepCellSpec",
+    "TableCellSpec",
     "RunExecutor",
     "run_single",
     "factory_path",
@@ -159,6 +169,9 @@ class RunSpec:
     ``use_oracle_grid`` is True and the resolved factory accepts an
     ``oracle_grid`` keyword, the executor supplies the cached
     (configuration × input) outcome grid for the spec's timing.
+    ``requirement_trace`` optionally rewrites goals mid-run (Figure 9's
+    dynamic requirements); traces are plain picklable data, so they
+    cross the process boundary with the spec.
     """
 
     scenario: ScenarioKey
@@ -167,6 +180,7 @@ class RunSpec:
     n_inputs: int
     factory: str = DEFAULT_FACTORY
     use_oracle_grid: bool = True
+    requirement_trace: RequirementTrace | None = None
 
     def __post_init__(self) -> None:
         if self.n_inputs < 1:
@@ -194,6 +208,7 @@ class CellSpec:
     n_inputs: int
     factory: str = DEFAULT_FACTORY
     use_oracle_grid: bool = True
+    requirement_trace: RequirementTrace | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.schemes, tuple):
@@ -234,6 +249,7 @@ class LockstepCellSpec:
     factory: str = DEFAULT_FACTORY
     use_oracle_grid: bool = True
     lockstep: bool = True
+    requirement_trace: RequirementTrace | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.goals, tuple):
@@ -248,6 +264,32 @@ class LockstepCellSpec:
             raise ConfigurationError(
                 f"need at least one input, got {self.n_inputs}"
             )
+
+
+@dataclass(frozen=True)
+class TableCellSpec(LockstepCellSpec):
+    """One whole Table-4 cell: every scheme × every goal, cross-scheme.
+
+    The cross-scheme generalisation of :class:`LockstepCellSpec`: all
+    schemes whose schedulers stack become lanes of **one**
+    :class:`~repro.runtime.loop.CrossSchemeLockstepLoop`, stepping the
+    input stream together off the shared grid views — the per-input
+    column resolution is computed once for the whole cell and every
+    lane's records are realised goal-major after the run.  Schemes
+    that cannot stack (feedback-free schedulers, custom types, warm
+    state) run per-goal exactly as a :class:`LockstepCellSpec` would —
+    feedback-free schemes ride the batch fast path, so a fully fused
+    cell serves zero inputs through per-input Python
+    ``decide``/``observe`` calls.  Results are goal-major and
+    value-identical to the equivalent :class:`LockstepCellSpec` /
+    sequential runs (``tests/test_cross_scheme_parity.py``).
+
+    ``cross_scheme=False`` (or ``lockstep=False``) degrades to the
+    per-scheme :class:`LockstepCellSpec` behaviour — the benches' A/B
+    knob.
+    """
+
+    cross_scheme: bool = True
 
 
 def resolve_factory(path: str) -> Callable:
@@ -373,6 +415,7 @@ def run_single(
     grid_provider: Callable | None = None,
     engine=None,
     stream=None,
+    requirement_trace: RequirementTrace | None = None,
 ) -> RunResult:
     """Execute one run: one engine + stream, one serving loop.
 
@@ -400,7 +443,8 @@ def run_single(
         kwargs["grid_provider"] = grid_provider
     scheduler = factory(scheme, scenario, engine, stream, goal, n_inputs, **kwargs)
     return ServingLoop(
-        engine, stream, scheduler, goal, grid_view=grid_view
+        engine, stream, scheduler, goal,
+        requirement_trace=requirement_trace, grid_view=grid_view,
     ).run(n_inputs)
 
 
@@ -515,7 +559,12 @@ class _WorkerState:
 
         return provider
 
-    def execute(self, spec: "RunSpec | CellSpec | LockstepCellSpec"):
+    def execute(
+        self, spec: "RunSpec | CellSpec | LockstepCellSpec | TableCellSpec"
+    ):
+        # TableCellSpec subclasses LockstepCellSpec: most-derived first.
+        if isinstance(spec, TableCellSpec):
+            return self.execute_table_cell(spec)
         if isinstance(spec, LockstepCellSpec):
             return self.execute_lockstep_cell(spec)
         if isinstance(spec, CellSpec):
@@ -531,6 +580,7 @@ class _WorkerState:
         return run_single(
             scenario, spec.goal, spec.scheme, spec.n_inputs, factory,
             oracle_grid=grid, grid_provider=provider,
+            requirement_trace=spec.requirement_trace,
         )
 
     def execute_cell(self, spec: CellSpec) -> list[RunResult]:
@@ -559,21 +609,19 @@ class _WorkerState:
                 scenario, spec.goal, scheme, spec.n_inputs, factory,
                 oracle_grid=oracle_grid, grid_view=view, grid_provider=provider,
                 engine=engine, stream=stream,
+                requirement_trace=spec.requirement_trace,
             )
             for scheme in spec.schemes
         ]
 
-    def execute_lockstep_cell(
-        self, spec: LockstepCellSpec
-    ) -> list[list[RunResult]]:
-        """Serve every scheme over the whole goal grid of one cell.
+    def _lockstep_setup(self, spec: LockstepCellSpec):
+        """Shared grid/view/scheduler plumbing of the goal-grid cells.
 
+        Returns ``(engine, stream, views, make_schedulers)`` where
+        ``make_schedulers(scheme)`` builds the scheme's per-goal
+        schedulers with whatever grid keywords the factory accepts.
         One grid/view per timing (the per-timing cache dedupes goals
-        sharing a deadline), one shared engine/stream realisation, and
-        per scheme: a :class:`LockstepServingLoop` when the built
-        schedulers stack, the per-goal :class:`CellSpec`-equivalent
-        path otherwise.  Results are goal-major, aligned with
-        ``spec.goals`` × ``spec.schemes``.
+        sharing a deadline), one shared engine/stream realisation.
         """
         scenario = self.scenario(spec.scenario)
         factory = self.factory(spec.factory)
@@ -596,10 +644,7 @@ class _WorkerState:
             grids.append(grid)
             views.append(view)
 
-        results: list[list[RunResult | None]] = [
-            [None] * len(spec.schemes) for _ in spec.goals
-        ]
-        for position, scheme in enumerate(spec.schemes):
+        def make_schedulers(scheme: str) -> list:
             schedulers = []
             for g, goal in enumerate(spec.goals):
                 kwargs = {}
@@ -617,10 +662,31 @@ class _WorkerState:
                         spec.n_inputs, **kwargs,
                     )
                 )
+            return schedulers
+
+        return engine, stream, views, make_schedulers
+
+    def execute_lockstep_cell(
+        self, spec: LockstepCellSpec
+    ) -> list[list[RunResult]]:
+        """Serve every scheme over the whole goal grid of one cell.
+
+        Per scheme: a :class:`LockstepServingLoop` when the built
+        schedulers stack, the per-goal :class:`CellSpec`-equivalent
+        path otherwise.  Results are goal-major, aligned with
+        ``spec.goals`` × ``spec.schemes``.
+        """
+        engine, stream, views, make_schedulers = self._lockstep_setup(spec)
+        results: list[list[RunResult | None]] = [
+            [None] * len(spec.schemes) for _ in spec.goals
+        ]
+        for position, scheme in enumerate(spec.schemes):
+            schedulers = make_schedulers(scheme)
             lock = None
             if spec.lockstep:
                 lock = LockstepServingLoop.for_schedulers(
-                    engine, stream, schedulers, spec.goals, views
+                    engine, stream, schedulers, spec.goals, views,
+                    requirement_trace=spec.requirement_trace,
                 )
             if lock is not None:
                 for g, run in enumerate(lock.run(spec.n_inputs)):
@@ -629,8 +695,57 @@ class _WorkerState:
             LOCKSTEP_TELEMETRY.record_fallback(len(spec.goals))
             for g, goal in enumerate(spec.goals):
                 results[g][position] = ServingLoop(
-                    engine, stream, schedulers[g], goal, grid_view=views[g]
+                    engine, stream, schedulers[g], goal,
+                    requirement_trace=spec.requirement_trace,
+                    grid_view=views[g],
                 ).run(spec.n_inputs)
+        return results
+
+    def execute_table_cell(
+        self, spec: TableCellSpec
+    ) -> list[list[RunResult]]:
+        """Serve a whole Table-4 cell in one cross-scheme fused pass.
+
+        Every scheme whose schedulers stack becomes a lane of one
+        :class:`~repro.runtime.loop.CrossSchemeLockstepLoop`; all lanes
+        step the input stream together, sharing the per-input grid
+        reads.  Non-stacking schemes (feedback-free, custom types)
+        run per-goal as in :meth:`execute_lockstep_cell` — the
+        feedback-free ones ride the batch fast path.  Results are
+        goal-major, aligned with ``spec.goals`` × ``spec.schemes``,
+        value-identical to the per-scheme path
+        (``tests/test_cross_scheme_parity.py``).
+        """
+        if not (spec.cross_scheme and spec.lockstep):
+            return self.execute_lockstep_cell(spec)
+        engine, stream, views, make_schedulers = self._lockstep_setup(spec)
+        results: list[list[RunResult | None]] = [
+            [None] * len(spec.schemes) for _ in spec.goals
+        ]
+        lanes: list = []
+        lane_positions: list[int] = []
+        for position, scheme in enumerate(spec.schemes):
+            schedulers = make_schedulers(scheme)
+            lane = LockstepServingLoop.for_schedulers(
+                engine, stream, schedulers, spec.goals, views,
+                requirement_trace=spec.requirement_trace,
+            )
+            if lane is not None:
+                lanes.append(lane)
+                lane_positions.append(position)
+                continue
+            LOCKSTEP_TELEMETRY.record_fallback(len(spec.goals))
+            for g, goal in enumerate(spec.goals):
+                results[g][position] = ServingLoop(
+                    engine, stream, schedulers[g], goal,
+                    requirement_trace=spec.requirement_trace,
+                    grid_view=views[g],
+                ).run(spec.n_inputs)
+        if lanes:
+            fused = CrossSchemeLockstepLoop(lanes).run(spec.n_inputs)
+            for position, lane_runs in zip(lane_positions, fused):
+                for g, run in enumerate(lane_runs):
+                    results[g][position] = run
         return results
 
 
@@ -638,7 +753,7 @@ class _WorkerState:
 _POOL_STATE: _WorkerState | None = None
 
 
-def _pool_execute(spec: "RunSpec | CellSpec"):
+def _pool_execute(spec: "RunSpec | CellSpec | LockstepCellSpec | TableCellSpec"):
     """Top-level pool entry point (must be picklable by reference)."""
     global _POOL_STATE
     if _POOL_STATE is None:
@@ -686,8 +801,9 @@ class RunExecutor:
 
         A :class:`RunSpec` yields one :class:`RunResult`; a
         :class:`CellSpec` yields a list of them, aligned with its
-        ``schemes``; a :class:`LockstepCellSpec` yields a goal-major
-        list of such lists.  ``scenarios`` optionally seeds the serial path's
+        ``schemes``; a :class:`LockstepCellSpec` or
+        :class:`TableCellSpec` yields a goal-major list of such lists.
+        ``scenarios`` optionally seeds the serial path's
         scenario cache with already-built objects (preserving their
         memoised profiles); pool workers always rebuild from keys.
         """

@@ -80,6 +80,7 @@ from repro.workloads.traces import RequirementTrace
 __all__ = [
     "ServingLoop",
     "LockstepServingLoop",
+    "CrossSchemeLockstepLoop",
     "LockstepTelemetry",
     "LOCKSTEP_TELEMETRY",
 ]
@@ -107,6 +108,9 @@ class LockstepTelemetry:
         self.stacked_states = 0
         self.memo_hits = 0
         self.memo_misses = 0
+        self.sequential_inputs = 0
+        self.cross_cells = 0
+        self.cross_lanes = 0
 
     def record_cell(self, cell) -> None:
         """Fold in one finished cell's counters.
@@ -128,6 +132,21 @@ class LockstepTelemetry:
     def record_fallback(self, n_runs: int = 1) -> None:
         self.fallback_runs += n_runs
 
+    def record_sequential(self, n_inputs: int) -> None:
+        """Count inputs served by per-input Python decide/observe.
+
+        Incremented by the sequential reference path only; a fully
+        fused cell (stacked schemes in lockstep, feedback-free schemes
+        on the batch path) leaves this at zero, which the cross-scheme
+        acceptance tests assert.
+        """
+        self.sequential_inputs += n_inputs
+
+    def record_cross(self, n_lanes: int) -> None:
+        """Count one cross-scheme fused pass over ``n_lanes`` schemes."""
+        self.cross_cells += 1
+        self.cross_lanes += n_lanes
+
     def snapshot(self) -> dict:
         calls = self.stacked_calls
         return {
@@ -141,6 +160,9 @@ class LockstepTelemetry:
             ),
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "sequential_inputs": self.sequential_inputs,
+            "cross_cells": self.cross_cells,
+            "cross_lanes": self.cross_lanes,
         }
 
 
@@ -314,6 +336,7 @@ class ServingLoop:
 
     def _run_sequential(self, items: list[InputItem]) -> list[ServedInput]:
         """The per-input round trip: decide → run → observe → record."""
+        LOCKSTEP_TELEMETRY.record_sequential(len(items))
         records: list[ServedInput] = []
         # Resolve the optional state accessor once per run, not per
         # input; the state itself is still read per input (ALERT's ξ
@@ -628,6 +651,7 @@ class LockstepServingLoop:
         schedulers,
         goals,
         grid_views,
+        requirement_trace: RequirementTrace | None = None,
     ) -> "LockstepServingLoop | None":
         """A lockstep loop over one scheme's per-goal runs, or None.
 
@@ -654,21 +678,37 @@ class LockstepServingLoop:
         if cell is None:
             return None
         loops = [
-            ServingLoop(engine, stream, scheduler, goal, grid_view=view)
+            ServingLoop(
+                engine, stream, scheduler, goal,
+                requirement_trace=requirement_trace, grid_view=view,
+            )
             for scheduler, goal, view in zip(schedulers, goals, grid_views)
         ]
         return cls(loops, cell)
 
     def run(self, n_inputs: int) -> list[RunResult]:
         """Serve ``n_inputs`` inputs for every goal; results align with
-        the constructor's run order."""
-        if n_inputs < 1:
-            raise ConfigurationError(f"need at least one input, got {n_inputs}")
+        the constructor's run order.
+
+        Delegates to a single-lane :class:`CrossSchemeLockstepLoop`, so
+        even a lone scheme's lockstep run gets the deferred goal-major
+        record fill when it is eligible.
+        """
+        return CrossSchemeLockstepLoop([self]).run(n_inputs)[0]
+
+    def _run_stepwise(self, items: list[InputItem]) -> list[RunResult]:
+        """The per-step reference path: adjust → decide_many → serve →
+        observe_many → record, one input at a time.
+
+        Required whenever per-step state threads between inputs beyond
+        the stacked filters themselves (a requirement trace rewriting
+        goals, deadline-sharing groups); the fused fast path in
+        :class:`CrossSchemeLockstepLoop` matches it bit-for-bit when
+        neither applies.
+        """
         loops = self.loops
         cell = self.cell
         n_goals = len(loops)
-        stream = loops[0].stream
-        items = [stream.item(index) for index in range(n_inputs)]
         records: list[list[ServedInput]] = [[] for _ in range(n_goals)]
         bases: list[Goal] = [None] * n_goals  # type: ignore[list-item]
         adjusted: list[Goal] = [None] * n_goals  # type: ignore[list-item]
@@ -729,3 +769,396 @@ class LockstepServingLoop:
             )
             for g, loop in enumerate(loops)
         ]
+
+
+class _ObservedProxy:
+    """Grid-read measurement record for the stacked observe pass.
+
+    Carries exactly the fields the stacked cell controllers' measurement
+    conventions read (``observe_many`` over ALERT, Sys-only, No-coord):
+    the proxy contract.  One mutable instance per goal is refilled from
+    the grid arrays each step — ``observe_many`` consumes the values
+    immediately, so nothing is retained — sparing the fused loop a full
+    :class:`~repro.models.inference.InferenceOutcome` construction per
+    (goal, input) just to feed six numbers to the filters.
+    """
+
+    __slots__ = (
+        "model_name",
+        "power_cap_w",
+        "latency_s",
+        "full_latency_s",
+        "idle_power_w",
+        "period_s",
+    )
+
+
+class CrossSchemeLockstepLoop:
+    """Advance a whole Table-4 cell — every scheme's lockstep lanes —
+    over one input stream.
+
+    Each *lane* is a :class:`LockstepServingLoop` (one scheme, all
+    goals).  Lanes share the per-input grid bookkeeping: the per-view
+    column resolution is computed once per (view, engine) pair and
+    reused by every lane and goal that reads that view, and each lane's
+    records are realised *after* the stepping loop in one goal-major
+    direct-``__dict__`` fill from the grid columns (the PR 3 batch-path
+    fill, extended to feedback schemes) instead of per-(goal, input)
+    Python record construction.  During the stepping loop only the
+    stacked filters advance: one ``decide_many`` and one
+    ``observe_many`` per lane per step, fed by lightweight
+    :class:`_ObservedProxy` reads — zero per-input Python
+    ``decide``/``observe`` calls.
+
+    A lane that threads per-step state beyond its filters (a
+    requirement trace, deadline-sharing groups, an adjuster already
+    mid-group) runs on the per-step reference path
+    (:meth:`LockstepServingLoop._run_stepwise`) instead; either way
+    every goal's :class:`RunResult` is value-identical to serving that
+    goal alone sequentially (``tests/test_cross_scheme_parity.py``:
+    discrete exact, floats ≤ 1e-12, pool ≡ serial).
+    """
+
+    def __init__(self, lanes: "list[LockstepServingLoop]") -> None:
+        if not lanes:
+            raise ConfigurationError(
+                "a cross-scheme cell needs at least one lockstep lane"
+            )
+        stream = lanes[0].loops[0].stream
+        for lane in lanes:
+            for loop in lane.loops:
+                if loop.stream is not stream:
+                    raise ConfigurationError(
+                        "cross-scheme lanes must share one input stream"
+                    )
+        self.lanes = lanes
+        self.stream = stream
+
+    def run(self, n_inputs: int) -> "list[list[RunResult]]":
+        """Serve ``n_inputs`` for every lane; results align lane-major
+        with the constructor's lane order, goal-major within a lane."""
+        if n_inputs < 1:
+            raise ConfigurationError(f"need at least one input, got {n_inputs}")
+        items = [self.stream.item(index) for index in range(n_inputs)]
+        grouped = self.stream.has_groups and any(
+            item.group_size > 1 for item in items
+        )
+        if len(self.lanes) > 1:
+            LOCKSTEP_TELEMETRY.record_cross(len(self.lanes))
+        column_cache: dict[tuple[int, int], np.ndarray] = {}
+        results = []
+        for lane in self.lanes:
+            if self._fast_eligible(lane, grouped):
+                results.append(self._run_fast(lane, items, column_cache))
+            else:
+                results.append(lane._run_stepwise(items))
+        return results
+
+    @staticmethod
+    def _fast_eligible(lane: "LockstepServingLoop", grouped: bool) -> bool:
+        """Whether a lane's goal state is constant across the run.
+
+        Mirrors :meth:`ServingLoop.batch_eligible` minus the
+        feedback-free requirement: the stacked filters *are* the
+        feedback, but the per-goal base and adjusted goals must not
+        change from one input to the next.
+        """
+        if grouped:
+            return False
+        return all(
+            loop.trace.is_empty and not loop.adjuster.mid_group
+            for loop in lane.loops
+        )
+
+    def _columns(
+        self, view: GridView, engine: InferenceEngine, items: list[InputItem]
+    ) -> np.ndarray:
+        """Per-step grid columns for one view (-1 where any miss)."""
+        positions = np.full(len(items), -1, dtype=np.int64)
+        trusted = view.trusted
+        for position, item in enumerate(items):
+            column = view.column_for(item.index, item.work_factor)
+            if column is None:
+                continue
+            if not trusted and not view.env_matches(engine, item.index, column):
+                continue
+            positions[position] = column
+        return positions
+
+    def _run_fast(
+        self,
+        lane: "LockstepServingLoop",
+        items: list[InputItem],
+        column_cache: dict,
+    ) -> "list[RunResult]":
+        loops = lane.loops
+        cell = lane.cell
+        n_goals = len(loops)
+        n = len(items)
+
+        # Goal state is constant across the run (the eligibility
+        # gate): one base/adjusted pair per goal, like the batch path.
+        bases = [loop.goal for loop in loops]
+        adjusteds = [
+            loop.adjuster.adjust(loop.goal, items[0]) for loop in loops
+        ]
+        periods = [base.period for base in bases]
+        deadlines = [adjusted.deadline_s for adjusted in adjusteds]
+
+        # Column resolution is shared across every lane and goal
+        # reading one view — the cross-scheme win on the read side.
+        cols: list[np.ndarray | None] = []
+        for g, loop in enumerate(loops):
+            view = loop.grid_view
+            if view is None or not view.matches_timing(
+                deadlines[g], periods[g]
+            ):
+                cols.append(None)
+                continue
+            cache_key = (id(view), id(loop.engine))
+            cached = column_cache.get(cache_key)
+            if cached is None:
+                cached = self._columns(view, loop.engine, items)
+                column_cache[cache_key] = cached
+            cols.append(cached)
+
+        rows = np.full((n_goals, n), -1, dtype=np.int64)
+        requested = np.zeros((n_goals, n), dtype=np.float64)
+        fallbacks: list[dict[int, InferenceOutcome]] = [
+            {} for _ in range(n_goals)
+        ]
+        proxies = [_ObservedProxy() for _ in range(n_goals)]
+        observed: list = [None] * n_goals
+        # (view, config) -> (row or -1, requested clamped cap).  Config
+        # identities are stable (schedulers hand out their candidate
+        # objects), so the actuator/row resolution runs once per
+        # distinct decision instead of once per (goal, input).
+        row_memo: dict[tuple[int, int], tuple[int, float]] = {}
+        xi_mean_hist: np.ndarray | None = None
+        xi_sigma_hist: np.ndarray | None = None
+        last_config = None
+
+        for step, item in enumerate(items):
+            selections = cell.decide_many(adjusteds)
+            for g, loop in enumerate(loops):
+                config = selections[g].config
+                columns = cols[g]
+                column = columns[step] if columns is not None else -1
+                row = -1
+                cap = 0.0
+                if column >= 0:
+                    view = loop.grid_view
+                    memo_key = (id(view), id(config))
+                    entry = row_memo.get(memo_key)
+                    if entry is None:
+                        engine = loop.engine
+                        effective = engine.actuator.set_power_cap(
+                            config.power_w
+                        )
+                        resolved = view.row_for(
+                            config.model, effective, config.rung_cap
+                        )
+                        entry = (
+                            resolved if resolved is not None else -1,
+                            engine.machine.clamp_power(config.power_w),
+                        )
+                        row_memo[memo_key] = entry
+                    row, cap = entry
+                if row >= 0:
+                    grid = loop.grid_view.grid
+                    rows[g, step] = row
+                    requested[g, step] = cap
+                    proxy = proxies[g]
+                    proxy.model_name = grid.configs[row].model.name
+                    proxy.power_cap_w = cap
+                    proxy.latency_s = grid.latency_s[row, column]
+                    proxy.full_latency_s = grid.full_latency_s[row, column]
+                    proxy.idle_power_w = grid.idle_power_w[row, column]
+                    proxy.period_s = periods[g]
+                    observed[g] = proxy
+                else:
+                    outcome = loop.engine.run(
+                        model=config.model,
+                        power_cap_w=config.power_w,
+                        index=item.index,
+                        deadline_s=deadlines[g],
+                        period_s=periods[g],
+                        work_factor=item.work_factor,
+                        rung_cap=config.rung_cap,
+                    )
+                    fallbacks[g][step] = outcome
+                    observed[g] = outcome
+                last_config = config
+            cell.observe_many(observed)
+            snapshot = cell.xi_snapshot()
+            if snapshot is not None:
+                if xi_mean_hist is None:
+                    xi_mean_hist = np.zeros((n, n_goals))
+                    xi_sigma_hist = np.zeros((n, n_goals))
+                # Row-copy: the cell may mutate (or rebind) its live
+                # arrays on the next observe.
+                xi_mean_hist[step] = snapshot[0]
+                xi_sigma_hist[step] = snapshot[1]
+
+        # The sequential path leaves the actuator at the last decision.
+        if last_config is not None:
+            loops[-1].engine.actuator.set_power_cap(last_config.power_w)
+
+        item_indices = [item.index for item in items]
+        results = []
+        for g, loop in enumerate(loops):
+            records = self._fill_records(
+                loop=loop,
+                base=bases[g],
+                adjusted=adjusteds[g],
+                period=periods[g],
+                rows_g=rows[g],
+                cols_g=cols[g],
+                requested_g=requested[g],
+                fallback_g=fallbacks[g],
+                item_indices=item_indices,
+                xi_mean_hist=xi_mean_hist,
+                xi_sigma_hist=xi_sigma_hist,
+                g=g,
+                n=n,
+            )
+            results.append(
+                RunResult(
+                    scheduler_name=loop.scheduler.name,
+                    goal=loop.goal,
+                    records=records,
+                )
+            )
+        LOCKSTEP_TELEMETRY.record_cell(cell)
+        return results
+
+    @staticmethod
+    def _fill_records(
+        loop: ServingLoop,
+        base: Goal,
+        adjusted: Goal,
+        period: float,
+        rows_g: np.ndarray,
+        cols_g: "np.ndarray | None",
+        requested_g: np.ndarray,
+        fallback_g: "dict[int, InferenceOutcome]",
+        item_indices: list[int],
+        xi_mean_hist: "np.ndarray | None",
+        xi_sigma_hist: "np.ndarray | None",
+        g: int,
+        n: int,
+    ) -> list[ServedInput]:
+        """One goal's records, goal-major from the grid columns.
+
+        Grid-served steps are grouped by row and realised with the
+        batch path's vectorized slices + direct ``__dict__`` fill (the
+        parity suite pins the result against constructor-built
+        sequential records field by field); engine-fallback steps reuse
+        :meth:`ServingLoop._record` on their stored outcomes.  ξ per
+        record comes from the per-step history snapshots, matching what
+        the per-step path reads right after each ``observe_many``.
+        """
+        records: list[ServedInput | None] = [None] * n
+        deadline = adjusted.deadline_s
+        served = np.nonzero(rows_g >= 0)[0]
+        if served.size:
+            view = loop.grid_view
+            grid = view.grid
+            fill = object.__setattr__
+            for row in np.unique(rows_g[served]).tolist():
+                positions = served[rows_g[served] == row]
+                columns = cols_g[positions]
+                model = grid.configs[row].model
+                model_name = model.name
+                effective = float(grid.power_cap_w[row])
+                power = float(grid.inference_power_w[row])
+                met_row = grid.met_deadline[row, columns]
+                quality_row = grid.quality[row, columns]
+                energy_row = grid.energy_j[row, columns]
+                latency = grid.latency_s[row, columns].tolist()
+                full = grid.full_latency_s[row, columns].tolist()
+                rungs = grid.completed_rungs[row, columns].tolist()
+                inference_j = grid.inference_j[row, columns].tolist()
+                idle_j = grid.idle_j[row, columns].tolist()
+                idle_power = grid.idle_power_w[row, columns].tolist()
+                env = grid.env_factor[columns].tolist()
+                met = met_row.tolist()
+                quality = quality_row.tolist()
+                metric = model.task.quality_to_metric_list(quality)
+                caps = requested_g[positions].tolist()
+
+                latency_violation = np.logical_not(met_row).tolist()
+                accuracy = base.quality_violated(quality_row)
+                if isinstance(accuracy, np.ndarray):
+                    accuracy_violation = accuracy.tolist()
+                else:
+                    accuracy_violation = [bool(accuracy)] * len(positions)
+                budget = base.energy_violated(energy_row)
+                if isinstance(budget, np.ndarray):
+                    energy_violation = budget.tolist()
+                else:
+                    energy_violation = [bool(budget)] * len(positions)
+                if xi_mean_hist is not None:
+                    xi_means = xi_mean_hist[positions, g].tolist()
+                    xi_sigmas = xi_sigma_hist[positions, g].tolist()
+                else:
+                    xi_means = xi_sigmas = None
+
+                for j, position in enumerate(positions.tolist()):
+                    energy = object.__new__(EnergyBreakdown)
+                    fill(energy, "__dict__", {
+                        "inference_j": inference_j[j],
+                        "idle_j": idle_j[j],
+                    })
+                    outcome = object.__new__(InferenceOutcome)
+                    fill(outcome, "__dict__", {
+                        "index": item_indices[position],
+                        "model_name": model_name,
+                        "power_cap_w": caps[j],
+                        "effective_cap_w": effective,
+                        "latency_s": latency[j],
+                        "full_latency_s": full[j],
+                        "met_deadline": met[j],
+                        "quality": quality[j],
+                        "metric_value": metric[j],
+                        "completed_rungs": rungs[j],
+                        "energy": energy,
+                        "inference_power_w": power,
+                        "idle_power_w": idle_power[j],
+                        "env_factor": env[j],
+                        "deadline_s": deadline,
+                        "period_s": period,
+                    })
+                    record = object.__new__(ServedInput)
+                    fill(record, "__dict__", {
+                        "outcome": outcome,
+                        "goal": base,
+                        "effective_deadline_s": deadline,
+                        "latency_violation": latency_violation[j],
+                        "accuracy_violation": accuracy_violation[j],
+                        "energy_violation": energy_violation[j],
+                        "xi_mean": (
+                            xi_means[j] if xi_means is not None else 0.0
+                        ),
+                        "xi_sigma": (
+                            xi_sigmas[j] if xi_sigmas is not None else 0.0
+                        ),
+                    })
+                    records[position] = record
+        for step, outcome in fallback_g.items():
+            records[step] = loop._record(
+                item_goal=base,
+                adjusted=adjusted,
+                outcome=outcome,
+                xi_mean=(
+                    float(xi_mean_hist[step, g])
+                    if xi_mean_hist is not None
+                    else 0.0
+                ),
+                xi_sigma=(
+                    float(xi_sigma_hist[step, g])
+                    if xi_sigma_hist is not None
+                    else 0.0
+                ),
+            )
+        return records

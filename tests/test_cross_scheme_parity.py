@@ -1,0 +1,440 @@
+"""Parity suite for the cross-scheme lockstep engine.
+
+Pins the contract of the Table-4 cell fusion at every layer:
+
+* the stacked No-coord cell controller ≡ fresh scalar
+  ``NoCoordScheduler`` runs, elementwise bit-identical (decisions and
+  both filter planes);
+* the stacking contract: warm schedulers, subclasses, and structurally
+  different ladders must refuse to stack (sequential reference path),
+  never stack wrongly;
+* cross-scheme fused cells ≡ per-scheme lockstep cells ≡ the
+  per-goal sequential path, across platforms and objectives —
+  discrete record fields exactly, floats ≤1e-12 relative;
+* pool execution of a :class:`TableCellSpec` plan is bit-identical to
+  serial;
+* the decision-path telemetry: a fully fused cell serves **zero**
+  inputs through per-input Python ``decide``/``observe`` calls, and
+  grid-complete cells never touch ``InferenceEngine.run``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import NoCoordCellController, NoCoordScheduler
+from repro.cli import build_parser
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.experiments.harness import SCHEMES, evaluate_schemes, make_scheme
+from repro.models.inference import GridView, InferenceEngine
+from repro.runtime.executor import (
+    LockstepCellSpec,
+    RunExecutor,
+    ScenarioKey,
+    TableCellSpec,
+    timing_grid,
+)
+from repro.runtime.loop import (
+    LOCKSTEP_TELEMETRY,
+    CrossSchemeLockstepLoop,
+    LockstepServingLoop,
+)
+from repro.workloads.scenarios import build_scenario
+
+#: Float tolerance of the acceptance bar; in practice the stacked
+#: state advances bit-identically.
+REL_TOL = 1e-12
+
+#: Schemes whose schedulers never stack (feedback-free: they ride the
+#: batch fast path in a fused cell instead).
+FEEDBACK_FREE = ("Oracle", "OracleStatic", "App-only")
+
+FLOAT_FIELDS = (
+    "latency_s",
+    "full_latency_s",
+    "quality",
+    "metric_value",
+    "energy_j",
+    "inference_power_w",
+    "idle_power_w",
+    "env_factor",
+)
+DISCRETE_FIELDS = (
+    "index",
+    "model_name",
+    "power_cap_w",
+    "effective_cap_w",
+    "met_deadline",
+    "completed_rungs",
+    "deadline_s",
+    "period_s",
+)
+
+
+def _assert_runs_match(cell_a, cell_b, schemes):
+    assert cell_a.goals == cell_b.goals
+    for name in schemes:
+        pairs = zip(cell_a.scheme_runs(name), cell_b.scheme_runs(name))
+        for a, b in pairs:
+            assert a.scheduler_name == b.scheduler_name
+            assert len(a.records) == len(b.records)
+            for ra, rb in zip(a.records, b.records):
+                for field in DISCRETE_FIELDS:
+                    assert getattr(ra.outcome, field) == getattr(
+                        rb.outcome, field
+                    ), (name, field)
+                for field in FLOAT_FIELDS:
+                    assert getattr(ra.outcome, field) == pytest.approx(
+                        getattr(rb.outcome, field), rel=REL_TOL, abs=0.0
+                    ), (name, field)
+                assert ra.goal == rb.goal
+                assert ra.effective_deadline_s == rb.effective_deadline_s
+                assert ra.latency_violation == rb.latency_violation
+                assert ra.accuracy_violation == rb.accuracy_violation
+                assert ra.energy_violation == rb.energy_violation
+                assert (ra.xi_mean, ra.xi_sigma) == pytest.approx(
+                    (rb.xi_mean, rb.xi_sigma), rel=REL_TOL, abs=0.0
+                )
+
+
+def _grid_goals(scenario, objective):
+    anchor = scenario.anchor_latency_s()
+    if objective is ObjectiveKind.MINIMIZE_ENERGY:
+        return [
+            Goal(objective=objective, deadline_s=anchor * f, accuracy_min=q)
+            for f in (1.0, 1.5)
+            for q in (0.85, 0.9, 0.95)
+        ]
+    budget = scenario.machine.default_power() * anchor * 0.6
+    return [
+        Goal(objective=objective, deadline_s=anchor * f, energy_budget_j=b)
+        for f in (1.0, 1.5)
+        for b in (budget, budget * 1.5)
+    ]
+
+
+def _no_coord(scenario):
+    return NoCoordScheduler(scenario.profile(), scenario.candidates.anytime)
+
+
+# ----------------------------------------------------------------------
+# Stacked No-coord ≡ scalar No-coord
+# ----------------------------------------------------------------------
+class _Measured:
+    """Minimal outcome stub carrying what No-coord's observe reads."""
+
+    def __init__(self, full_latency_s: float, power_cap_w: float) -> None:
+        self.full_latency_s = full_latency_s
+        self.power_cap_w = power_cap_w
+
+
+@pytest.mark.parametrize("seed", [0, 11, 42])
+@pytest.mark.parametrize(
+    "objective",
+    [ObjectiveKind.MINIMIZE_ENERGY, ObjectiveKind.MAXIMIZE_ACCURACY],
+)
+def test_stacked_no_coord_matches_scalar(seed, objective):
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=9)
+    goals = _grid_goals(scenario, objective)
+    scalars = [_no_coord(scenario) for _ in goals]
+    cell = NoCoordScheduler.stack_into_cell(
+        [_no_coord(scenario) for _ in goals]
+    )
+    assert isinstance(cell, NoCoordCellController)
+
+    rng = np.random.default_rng(seed)
+    item = scenario.make_stream().item(0)
+    powers = scalars[0].powers
+    for _ in range(25):
+        stacked = cell.decide_many(goals)
+        for g, (scheduler, goal) in enumerate(zip(scalars, goals)):
+            config = scheduler.decide(item, goal)
+            assert stacked[g].config.model is config.model
+            assert stacked[g].config.rung_cap == config.rung_cap
+            assert stacked[g].config.power_w == config.power_w
+        outcomes = [
+            _Measured(
+                full_latency_s=float(rng.uniform(0.01, 0.3)),
+                power_cap_w=float(rng.choice(powers)),
+            )
+            for _ in goals
+        ]
+        cell.observe_many(outcomes)
+        for scheduler, outcome in zip(scalars, outcomes):
+            scheduler.observe(outcome)
+        for g, scheduler in enumerate(scalars):
+            assert cell._app.mean[g] == scheduler._app_filter.mean
+            assert cell._app.sigma[g] == scheduler._app_filter.sigma
+            assert cell._sys.mean[g] == scheduler._sys_filter.mean
+            assert cell._sys.sigma[g] == scheduler._sys_filter.sigma
+
+
+def test_no_coord_stats_and_snapshot_contract():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=9)
+    goals = _grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY)
+    cell = NoCoordScheduler.stack_into_cell([_no_coord(scenario) for _ in goals])
+    assert cell.xi_snapshot() is None
+    cell.decide_many(goals)
+    stats = cell.lockstep_stats
+    assert stats["goals"] == len(goals)
+    assert stats["stacked_calls"] == 1
+    assert stats["stacked_states"] == len(goals)
+
+
+# ----------------------------------------------------------------------
+# Stacking refusal contract
+# ----------------------------------------------------------------------
+def test_no_coord_refuses_warm_schedulers():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=9)
+    warm = _no_coord(scenario)
+    warm.observe(_Measured(0.1, warm.powers[-1]))
+    assert NoCoordScheduler.stack_into_cell([warm, _no_coord(scenario)]) is None
+
+
+def test_no_coord_refuses_subclasses():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=9)
+
+    class Tweaked(NoCoordScheduler):
+        pass
+
+    tweaked = Tweaked(scenario.profile(), scenario.candidates.anytime)
+    assert NoCoordCellController.from_schedulers([tweaked]) is None
+
+
+def test_no_coord_refuses_mismatched_ladders():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=9)
+    profile = scenario.profile()
+    anytime = scenario.candidates.anytime
+    reduced = NoCoordScheduler(
+        profile, anytime, powers=list(profile.powers)[:2]
+    )
+    assert (
+        NoCoordCellController.from_schedulers([_no_coord(scenario), reduced])
+        is None
+    )
+
+
+def test_no_coord_refuses_empty():
+    assert NoCoordCellController.from_schedulers([]) is None
+
+
+# ----------------------------------------------------------------------
+# Cross-scheme fused cells ≡ per-scheme lockstep ≡ sequential
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("platform", "task", "env", "seed"),
+    [
+        ("CPU1", "image", "default", 5),
+        ("CPU2", "image", "memory", 17),
+        ("GPU", "image", "compute", 23),
+        ("CPU1", "sentence", "compute", 29),
+        ("EMBEDDED", "image", "memory", 41),
+    ],
+)
+@pytest.mark.parametrize(
+    "objective",
+    [ObjectiveKind.MINIMIZE_ENERGY, ObjectiveKind.MAXIMIZE_ACCURACY],
+)
+def test_cross_scheme_matches_lockstep_and_sequential(
+    platform, task, env, seed, objective
+):
+    scenario = build_scenario(platform, task, env, "standard", seed=seed)
+    goals = _grid_goals(scenario, objective)
+    n_inputs = 12
+    cross = evaluate_schemes(
+        scenario, goals, SCHEMES, n_inputs=n_inputs, cross_scheme=True
+    )
+    per_scheme = evaluate_schemes(
+        scenario, goals, SCHEMES, n_inputs=n_inputs, cross_scheme=False
+    )
+    sequential = evaluate_schemes(
+        scenario, goals, SCHEMES, n_inputs=n_inputs,
+        fuse_cells=False, lockstep=False,
+    )
+    _assert_runs_match(cross, per_scheme, SCHEMES)
+    _assert_runs_match(cross, sequential, SCHEMES)
+
+
+def test_cross_scheme_is_the_default_for_lockstep_cells():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=5)
+    goals = _grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY)
+    LOCKSTEP_TELEMETRY.reset()
+    evaluate_schemes(scenario, goals, SCHEMES, n_inputs=8)
+    snapshot = LOCKSTEP_TELEMETRY.snapshot()
+    assert snapshot["cross_cells"] >= 1
+    assert snapshot["cross_lanes"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Pool ≡ serial
+# ----------------------------------------------------------------------
+def test_table_cell_pool_matches_serial():
+    key = ScenarioKey("CPU1", "image", "default", "standard", 7)
+    scenario = key.build()
+    goals = tuple(_grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY))
+    plan = [
+        TableCellSpec(
+            scenario=key, goals=goals, schemes=SCHEMES, n_inputs=10
+        ),
+        TableCellSpec(
+            scenario=key,
+            goals=tuple(_grid_goals(scenario, ObjectiveKind.MAXIMIZE_ACCURACY)),
+            schemes=SCHEMES,
+            n_inputs=10,
+        ),
+    ]
+    serial = RunExecutor(workers=1).run_plan(plan)
+    pooled = RunExecutor(workers=2).run_plan(plan)
+    for cell_a, cell_b in zip(serial, pooled):
+        for runs_a, runs_b in zip(cell_a, cell_b):
+            for ra, rb in zip(runs_a, runs_b):
+                assert ra == rb
+
+
+# ----------------------------------------------------------------------
+# Telemetry: the fused decision path never goes per-input Python
+# ----------------------------------------------------------------------
+def test_fused_cell_serves_zero_sequential_inputs():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=5)
+    goals = _grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY)
+    LOCKSTEP_TELEMETRY.reset()
+    evaluate_schemes(scenario, goals, SCHEMES, n_inputs=10, cross_scheme=True)
+    snapshot = LOCKSTEP_TELEMETRY.snapshot()
+    # Every stacked scheme advanced through decide_many/observe_many;
+    # the feedback-free schemes rode the batch fast path.  Nothing
+    # went through the per-input sequential reference loop.
+    assert snapshot["sequential_inputs"] == 0
+    assert snapshot["cross_cells"] == 1
+    assert snapshot["cross_lanes"] == len(SCHEMES) - len(FEEDBACK_FREE)
+    assert snapshot["fallback_runs"] == len(FEEDBACK_FREE) * len(goals)
+    assert snapshot["lockstep_runs"] == (
+        (len(SCHEMES) - len(FEEDBACK_FREE)) * len(goals)
+    )
+
+
+def test_grid_complete_cell_never_calls_engine_run(monkeypatch):
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=5)
+    anchor = scenario.anchor_latency_s()
+    # One shared timing across goals: one grid serves the whole cell.
+    goals = [
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=anchor * 1.4,
+            accuracy_min=q,
+        )
+        for q in (0.85, 0.9, 0.95)
+    ]
+    n_inputs = 10
+    engine = scenario.make_engine()
+    stream = scenario.make_stream()
+    grid = timing_grid(
+        scenario, goals[0], n_inputs, engine=engine, stream=stream
+    )
+    view = GridView(grid, trusted=True)
+    lanes = []
+    for scheme in ("ALERT", "Sys-only", "No-coord"):
+        schedulers = [
+            make_scheme(scheme, scenario, engine, stream, goal, n_inputs)
+            for goal in goals
+        ]
+        lane = LockstepServingLoop.for_schedulers(
+            engine, stream, schedulers, goals, [view] * len(goals)
+        )
+        assert lane is not None
+        lanes.append(lane)
+
+    def boom(self, **kwargs):
+        raise AssertionError("engine.run must not be called on a full grid")
+
+    monkeypatch.setattr(InferenceEngine, "run", boom)
+    results = CrossSchemeLockstepLoop(lanes).run(n_inputs)
+    assert len(results) == len(lanes)
+    for lane_runs in results:
+        for run in lane_runs:
+            assert len(run.records) == n_inputs
+            assert all(record is not None for record in run.records)
+
+
+# ----------------------------------------------------------------------
+# Spec and harness validation
+# ----------------------------------------------------------------------
+def test_table_cell_spec_off_switch_delegates():
+    key = ScenarioKey("CPU1", "image", "default", "standard", 7)
+    scenario = key.build()
+    goals = tuple(_grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY))[:3]
+    schemes = ("ALERT", "No-coord", "Oracle", "OracleStatic")
+    table = RunExecutor().run_plan(
+        [TableCellSpec(key, goals, schemes, 8, cross_scheme=False)]
+    )[0]
+    lockstep = RunExecutor().run_plan(
+        [LockstepCellSpec(key, goals, schemes, 8)]
+    )[0]
+    for runs_a, runs_b in zip(table, lockstep):
+        for ra, rb in zip(runs_a, runs_b):
+            assert ra == rb
+
+
+def test_cross_scheme_requires_fused_lockstep_cells():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=5)
+    goals = _grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY)[:2]
+    with pytest.raises(ConfigurationError):
+        evaluate_schemes(
+            scenario, goals, ("ALERT",), n_inputs=4,
+            fuse_cells=False, cross_scheme=True,
+        )
+    with pytest.raises(ConfigurationError):
+        evaluate_schemes(
+            scenario, goals, ("ALERT",), n_inputs=4,
+            lockstep=False, cross_scheme=True,
+        )
+
+
+def test_cross_scheme_requires_importable_factory():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=5)
+    goals = _grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY)[:2]
+
+    def closure_factory(*args, **kwargs):
+        return make_scheme(*args, **kwargs)
+
+    with pytest.raises(ConfigurationError):
+        evaluate_schemes(
+            scenario, goals, ("ALERT",), n_inputs=4,
+            scheme_factory=closure_factory, cross_scheme=True,
+        )
+
+
+def test_cross_loop_rejects_empty_and_mixed_streams():
+    scenario = build_scenario("CPU1", "image", "default", "standard", seed=5)
+    goals = _grid_goals(scenario, ObjectiveKind.MINIMIZE_ENERGY)[:2]
+    engine = scenario.make_engine()
+    with pytest.raises(ConfigurationError):
+        CrossSchemeLockstepLoop([])
+    lanes = []
+    for _ in range(2):
+        stream = scenario.make_stream()
+        schedulers = [
+            make_scheme("ALERT", scenario, engine, stream, goal, 4)
+            for goal in goals
+        ]
+        lanes.append(
+            LockstepServingLoop.for_schedulers(
+                engine, stream, schedulers, goals, [None] * len(goals)
+            )
+        )
+    with pytest.raises(ConfigurationError):
+        CrossSchemeLockstepLoop(lanes)
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("command", ["table4", "table5", "fig08"])
+def test_cli_cross_scheme_flag(command):
+    parser = build_parser()
+    assert parser.parse_args([command]).cross_scheme is None
+    assert parser.parse_args([command, "--cross-scheme"]).cross_scheme is True
+    assert (
+        parser.parse_args([command, "--no-cross-scheme"]).cross_scheme is False
+    )
