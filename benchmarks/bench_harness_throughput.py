@@ -35,6 +35,11 @@ Table 4 image scenario (CPU1, default environment):
   the section records the cross-scheme decision-path counters
   (``cross_cells``/``cross_lanes``/``sequential_inputs``) so the
   zero-per-input-Python property is visible in the artifact.
+* **Serving front-end** — the open-loop fleet (:mod:`repro.serve`)
+  against the sequential harness: a one-replica fleet serves the same
+  outcomes through the virtual-time event loop, so the ratio isolates
+  the front-end's per-request overhead; multi-replica per-policy rates
+  ride along as absolute context.
 * **Run executor** — a table4-style cell plan (constraint-grid goals ×
   schemes, ALERT included so the plan carries real feedback work)
   executed by :class:`repro.runtime.executor.RunExecutor` with 1, 2,
@@ -74,6 +79,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.baselines import make_alert
 from repro.core.goals import Goal, ObjectiveKind
 from repro.experiments.harness import SCHEMES, evaluate_schemes, make_scheme
 from repro.runtime.executor import (
@@ -83,7 +89,10 @@ from repro.runtime.executor import (
     timing_grid,
 )
 from repro.runtime.loop import LOCKSTEP_TELEMETRY, ServingLoop
+from repro.serve import FleetFrontend, Replica, make_policy
+from repro.serve.policies import POLICY_KINDS
 from repro.workloads.scenarios import build_scenario, constraint_grid
+from repro.workloads.traces import make_arrivals
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_harness.json"
@@ -340,6 +349,82 @@ def bench_cross_scheme(
     }
 
 
+def bench_serving_frontend(
+    n_requests: int, min_seconds: float, fleet_replicas: int = 4
+) -> dict:
+    """Event-loop fleet vs. the sequential closed-loop harness.
+
+    The gated ratio is the apples-to-apples one: a *one-replica* fleet
+    performs exactly the harness's engine/controller work per request
+    (the parity test pins the outcomes bit-identical), so
+    ``relative_throughput`` isolates the virtual-time event-loop
+    overhead of the front-end — arrival events, admission, dispatch,
+    completion callbacks.  The multi-replica per-policy rates are
+    informational (absolute, machine-dependent).
+    """
+    scenario = _scenario()
+    profile = scenario.profile()
+    anchor = scenario.anchor_latency_s()
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=1.25 * anchor,
+        accuracy_min=0.9,
+    )
+
+    def harness_once():
+        ServingLoop(
+            scenario.make_engine(), scenario.make_stream(),
+            make_alert(profile), goal,
+        ).run(n_requests, batch=False)
+
+    def fleet_once(n_replicas: int, policy: str):
+        lanes = [
+            Replica(i, scenario.make_engine(), make_alert(profile), None, None)
+            for i in range(n_replicas)
+        ]
+        FleetFrontend(
+            lanes,
+            make_arrivals("poisson", 0.7 * n_replicas / anchor, seed=7),
+            scenario.make_stream(),
+            goal,
+            make_policy(policy),
+        ).run_requests(n_requests)
+
+    harness_rps = _best_rate(harness_once, n_requests, min_seconds)
+    single_rps = _best_rate(
+        lambda: fleet_once(1, "round-robin"), n_requests, min_seconds
+    )
+    policies = {
+        policy: round(
+            _best_rate(
+                lambda: fleet_once(fleet_replicas, policy),
+                n_requests,
+                min_seconds,
+            ),
+            1,
+        )
+        for policy in POLICY_KINDS
+    }
+    return {
+        "n_requests": n_requests,
+        "fleet_replicas": fleet_replicas,
+        "cpu_count": os.cpu_count(),
+        "harness_requests_per_sec": round(harness_rps, 1),
+        "single_replica_requests_per_sec": round(single_rps, 1),
+        "relative_throughput": round(single_rps / harness_rps, 2),
+        "fleet_requests_per_sec": policies,
+        "note": (
+            "relative_throughput = one-replica fleet rps / sequential "
+            "ServingLoop rps on the same scenario and controller: both "
+            "serve identical outcomes (tests/test_traces_arrivals.py), "
+            "so the ratio is pure front-end overhead and transfers "
+            "across machines.  fleet_requests_per_sec is the "
+            f"{fleet_replicas}-replica virtual-time rate per policy, "
+            "absolute and machine-dependent."
+        ),
+    }
+
+
 def _cell_plan(n_goals: int, n_inputs: int) -> list[RunSpec]:
     scenario = _scenario()
     key = ScenarioKey.for_scenario(scenario)
@@ -414,6 +499,9 @@ def run(
         "cross_scheme": bench_cross_scheme(
             n_deadlines=3, n_floors=5, n_inputs=n_inputs, repeats=5
         ),
+        "serving_frontend": bench_serving_frontend(
+            n_requests=n_inputs, min_seconds=min_seconds
+        ),
         "executor": bench_executor(n_goals, plan_inputs),
     }
 
@@ -446,6 +534,11 @@ def quick_metrics(min_seconds: float = 0.1) -> dict:
         "cross_scheme": bench_cross_scheme(
             n_deadlines=3, n_floors=5, n_inputs=120, repeats=3
         ),
+        # The fleet front-end's event-loop overhead ratio (one-replica
+        # fleet vs. the sequential harness serving identical outcomes).
+        "serving_frontend": bench_serving_frontend(
+            n_requests=120, min_seconds=min_seconds
+        ),
         # Pool ratios are only compared when the measuring box's
         # cpu_count matches the committed artifact's (see
         # check_bench_regression.py) — a tiny plan keeps the spin-up
@@ -476,6 +569,9 @@ def smoke() -> None:
     assert cross["n_goals"] == 2
     assert cross["decision_path"]["sequential_inputs"] == 0
     assert cross["decision_path"]["cross_cells"] >= 1
+    frontend = bench_serving_frontend(n_requests=15, min_seconds=0.05)
+    assert frontend["relative_throughput"] > 0
+    assert set(frontend["fleet_requests_per_sec"]) == set(POLICY_KINDS)
     executor = bench_executor(
         n_goals=2, n_inputs=10, worker_counts=(1, 2)
     )
@@ -512,6 +608,8 @@ def main() -> None:
         print("WARNING: cross-scheme fused cells slower than per-scheme")
     if result["cell_fusion"]["table4"]["speedup"] < 3.0:
         print("WARNING: fused table4 cells below the 3x target")
+    if result["serving_frontend"]["relative_throughput"] < 0.5:
+        print("WARNING: fleet front-end overhead above 2x the harness")
 
 
 if __name__ == "__main__":

@@ -73,6 +73,7 @@ CHECKS = (
             "cell_fusion.table4.speedup",
             "lockstep.speedup",
             "cross_scheme.speedup",
+            "serving_frontend.relative_throughput",
         ),
         # Pool ratios only transfer between same-core-count boxes:
         # each dotted metric is compared only when the baseline

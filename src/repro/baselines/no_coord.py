@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.config_space import Configuration
 from repro.core.controller import lockstep_stats_dict
 from repro.core.goals import Goal, ObjectiveKind
+from repro.core.kernel import Measurement
 from repro.core.selector import BaselineSelection
 from repro.core.slowdown import GlobalSlowdownEstimator, StackedSlowdownEstimator
 from repro.errors import ConfigurationError
@@ -45,7 +46,112 @@ from repro.models.inference import InferenceOutcome
 from repro.models.profiles import ProfileTable
 from repro.workloads.inputs import InputItem
 
-__all__ = ["NoCoordScheduler", "NoCoordCellController"]
+__all__ = ["NoCoordKernel", "NoCoordScheduler", "NoCoordCellController"]
+
+
+class NoCoordKernel:
+    """No-coord's clock-free decision kernel.
+
+    Owns both mutually oblivious Kalman filters and both scalar
+    decision rules (the pinned references the stacked cell reproduces
+    with masks).  Knows nothing about periods or outcome records —
+    :class:`NoCoordScheduler` adapts the harness convention onto it.
+    """
+
+    def __init__(self, profile: ProfileTable, anytime: AnytimeDnn,
+                 powers: tuple[float, ...]) -> None:
+        self.profile = profile
+        self.model = anytime
+        self.powers = powers
+        self.default_power = powers[-1]
+        self.app_filter = GlobalSlowdownEstimator()
+        self.sys_filter = GlobalSlowdownEstimator()
+        self.last_power = self.default_power
+        # Profile lookups are pure functions of the (model, cap) pair,
+        # so everything a decision reads is precomputed here once:
+        # the rung ladder at the default power (app side) and the
+        # per-cap full-ladder latency/draw arrays (sys side).
+        model_name = anytime.name
+        self.rung_latencies = tuple(
+            profile.rung_latencies(model_name, self.default_power)
+        )
+        self.power_latencies = tuple(
+            profile.latency(model_name, power) for power in powers
+        )
+        self.power_draws = tuple(
+            profile.power(model_name, power) for power in powers
+        )
+        self.app_reference = self.power_latencies[-1]
+        # observe() sees machine-clamped caps, which may lie off the
+        # candidate ladder; unknown caps fall back to the profile once
+        # and are memoised.
+        self.latency_by_cap = dict(zip(powers, self.power_latencies))
+        # Decisions recur over a small (rung, power) lattice; handing
+        # out one Configuration object per point keeps identities
+        # stable so downstream identity-keyed memos (grid-row lookup,
+        # batch grouping) hit.
+        self._configs: dict[tuple[int, float], Configuration] = {}
+
+    # ------------------------------------------------------------------
+    # Application side: pick the stop rung, assuming default power.
+    # ------------------------------------------------------------------
+    def _app_decide_rung(self, goal: Goal) -> int:
+        xi = self.app_filter.mean
+        chosen = 0
+        for k, rung_latency in enumerate(self.rung_latencies):
+            if xi * rung_latency <= goal.deadline_s:
+                chosen = k
+        return chosen
+
+    # ------------------------------------------------------------------
+    # System side: pick the cheapest cap, assuming the full ladder.
+    # ------------------------------------------------------------------
+    def _sys_decide_power(self, goal: Goal) -> float:
+        xi = self.sys_filter.mean
+        deadline = goal.deadline_s
+        feasible: list[int] = []
+        for k, t_full in enumerate(self.power_latencies):
+            if xi * t_full <= deadline:
+                feasible.append(k)
+        if goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY:
+            budget = goal.energy_budget_j
+            if budget is not None:
+                affordable = [
+                    k
+                    for k in feasible
+                    if self.power_draws[k]
+                    * min(xi * self.power_latencies[k], deadline)
+                    <= budget
+                ]
+                if affordable:
+                    return self.powers[affordable[-1]]
+            return self.powers[feasible[-1]] if feasible else self.powers[-1]
+        # Minimise energy: cheapest cap that still meets the deadline.
+        if feasible:
+            return self.powers[feasible[0]]
+        return self.powers[-1]
+
+    def decide(self, goal: Goal) -> Configuration:
+        rung = self._app_decide_rung(goal)
+        power = self._sys_decide_power(goal)
+        self.last_power = power
+        key = (rung, power)
+        config = self._configs.get(key)
+        if config is None:
+            config = Configuration(model=self.model, power_w=power, rung_cap=rung)
+            self._configs[key] = config
+        return config
+
+    def observe(self, measurement: Measurement) -> None:
+        # Each side interprets the measurement through its own (wrong)
+        # frame of reference — this is the lack of coordination.
+        self.app_filter.observe(measurement.full_latency_s, self.app_reference)
+        cap = measurement.power_cap_w
+        sys_reference = self.latency_by_cap.get(cap)
+        if sys_reference is None:
+            sys_reference = self.profile.latency(self.model.name, cap)
+            self.latency_by_cap[cap] = sys_reference
+        self.sys_filter.observe(measurement.full_latency_s, sys_reference)
 
 
 class NoCoordScheduler:
@@ -70,99 +176,55 @@ class NoCoordScheduler:
             tuple(sorted(powers)) if powers is not None else tuple(profile.powers)
         )
         self.default_power = self.powers[-1]
-        self._app_filter = GlobalSlowdownEstimator()
-        self._sys_filter = GlobalSlowdownEstimator()
-        self._last_power = self.default_power
         self.name = name
         self.grid_view = grid_view
-        # Profile lookups are pure functions of the (model, cap) pair,
-        # so everything a decision reads is precomputed here once:
-        # the rung ladder at the default power (app side) and the
-        # per-cap full-ladder latency/draw arrays (sys side).
-        model_name = anytime.name
-        self._rung_latencies = tuple(
-            profile.rung_latencies(model_name, self.default_power)
-        )
-        self._power_latencies = tuple(
-            profile.latency(model_name, power) for power in self.powers
-        )
-        self._power_draws = tuple(
-            profile.power(model_name, power) for power in self.powers
-        )
-        self._app_reference = self._power_latencies[-1]
-        # observe() sees machine-clamped caps, which may lie off the
-        # candidate ladder; unknown caps fall back to the profile once
-        # and are memoised.
-        self._latency_by_cap = dict(zip(self.powers, self._power_latencies))
-        # Decisions recur over a small (rung, power) lattice; handing
-        # out one Configuration object per point keeps identities
-        # stable so downstream identity-keyed memos (grid-row lookup,
-        # batch grouping) hit.
-        self._configs: dict[tuple[int, float], Configuration] = {}
+        self.kernel = NoCoordKernel(profile, anytime, self.powers)
 
-    # ------------------------------------------------------------------
-    # Application side: pick the stop rung, assuming default power.
-    # ------------------------------------------------------------------
-    def _app_decide_rung(self, goal: Goal) -> int:
-        xi = self._app_filter.mean
-        chosen = 0
-        for k, rung_latency in enumerate(self._rung_latencies):
-            if xi * rung_latency <= goal.deadline_s:
-                chosen = k
-        return chosen
+    # Delegating views of the kernel state (the stacking fingerprint
+    # and the parity suites read these under their pre-split names).
+    @property
+    def _app_filter(self) -> GlobalSlowdownEstimator:
+        return self.kernel.app_filter
 
-    # ------------------------------------------------------------------
-    # System side: pick the cheapest cap, assuming the full ladder.
-    # ------------------------------------------------------------------
-    def _sys_decide_power(self, goal: Goal) -> float:
-        xi = self._sys_filter.mean
-        deadline = goal.deadline_s
-        feasible: list[int] = []
-        for k, t_full in enumerate(self._power_latencies):
-            if xi * t_full <= deadline:
-                feasible.append(k)
-        if goal.objective is ObjectiveKind.MAXIMIZE_ACCURACY:
-            budget = goal.energy_budget_j
-            if budget is not None:
-                affordable = [
-                    k
-                    for k in feasible
-                    if self._power_draws[k]
-                    * min(xi * self._power_latencies[k], deadline)
-                    <= budget
-                ]
-                if affordable:
-                    return self.powers[affordable[-1]]
-            return self.powers[feasible[-1]] if feasible else self.powers[-1]
-        # Minimise energy: cheapest cap that still meets the deadline.
-        if feasible:
-            return self.powers[feasible[0]]
-        return self.powers[-1]
+    @property
+    def _sys_filter(self) -> GlobalSlowdownEstimator:
+        return self.kernel.sys_filter
+
+    @property
+    def _rung_latencies(self) -> tuple[float, ...]:
+        return self.kernel.rung_latencies
+
+    @property
+    def _power_latencies(self) -> tuple[float, ...]:
+        return self.kernel.power_latencies
+
+    @property
+    def _power_draws(self) -> tuple[float, ...]:
+        return self.kernel.power_draws
+
+    @property
+    def _last_power(self) -> float:
+        return self.kernel.last_power
 
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
-        rung = self._app_decide_rung(goal)
-        power = self._sys_decide_power(goal)
-        self._last_power = power
-        key = (rung, power)
-        config = self._configs.get(key)
-        if config is None:
-            config = Configuration(model=self.model, power_w=power, rung_cap=rung)
-            self._configs[key] = config
-        return config
+        return self.kernel.decide(goal)
 
     def observe(self, outcome: InferenceOutcome) -> None:
-        # Each side interprets the measurement through its own (wrong)
-        # frame of reference — this is the lack of coordination.
-        self._app_filter.observe(outcome.full_latency_s, self._app_reference)
-        cap = outcome.power_cap_w
-        sys_reference = self._latency_by_cap.get(cap)
-        if sys_reference is None:
-            sys_reference = self.profile.latency(self.model.name, cap)
-            self._latency_by_cap[cap] = sys_reference
-        self._sys_filter.observe(outcome.full_latency_s, sys_reference)
+        # No-coord never measures idle power, and each side supplies
+        # its own frame of reference, so the measurement is built from
+        # exactly the two fields the scheme reads (pinning the
+        # pre-split observe contract: any outcome-shaped record
+        # carrying latency + cap works).
+        self.kernel.observe(
+            Measurement(
+                model_name=self.model.name,
+                power_cap_w=outcome.power_cap_w,
+                full_latency_s=outcome.full_latency_s,
+            )
+        )
 
     @staticmethod
     def stack_into_cell(schedulers):

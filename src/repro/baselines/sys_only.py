@@ -16,6 +16,12 @@ restricted to a single model and mean-only prediction, which is
 faithful to [63]'s mean-latency Kalman feedback.  Like ALERT itself,
 it runs on the vectorized batch decision path (the selector's
 default), so per-decision cost stays flat as the power grid grows.
+
+The scheme follows the repository's kernel split
+(:mod:`repro.core.kernel`): :class:`SysOnlyKernel` owns the clock-free
+state transitions (ξ filter in, power selection out), and
+:class:`SysOnlyScheduler` adapts it to the harness's outcome-record
+protocol.
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.controller import lockstep_stats_dict
 from repro.core.estimator import AlertEstimator
 from repro.core.goals import Goal
-from repro.core.selector import ConfigSelector
+from repro.core.kernel import Measurement, measurement_from_outcome
+from repro.core.selector import ConfigSelector, SelectionResult
 from repro.core.slowdown import GlobalSlowdownEstimator, StackedSlowdownEstimator
 from repro.errors import ConfigurationError
 from repro.models.base import DnnModel
@@ -34,7 +41,40 @@ from repro.models.inference import InferenceOutcome
 from repro.models.profiles import ProfileTable
 from repro.workloads.inputs import InputItem
 
-__all__ = ["SysOnlyScheduler", "SysOnlyCellController"]
+__all__ = ["SysOnlyKernel", "SysOnlyScheduler", "SysOnlyCellController"]
+
+
+class SysOnlyKernel:
+    """Sys-only's clock-free decision kernel.
+
+    One mean-only ξ filter over the pinned model's latency, one
+    vectorized power selection per decide.  φ is a pure function of
+    the profile (idle draw over the top cap's inference draw) — the
+    identical double the pre-split scheduler recomputed per decision —
+    so it is evaluated once here.
+    """
+
+    def __init__(
+        self,
+        selector: ConfigSelector,
+        profile: ProfileTable,
+        model_name: str,
+        top_power: float,
+    ) -> None:
+        self.selector = selector
+        self.profile = profile
+        self.slowdown = GlobalSlowdownEstimator()
+        self.phi = profile.idle_power_w / profile.power(model_name, top_power)
+
+    def decide(self, goal: Goal) -> SelectionResult:
+        xi_mean, xi_sigma = self.slowdown.snapshot()
+        return self.selector.select(goal, xi_mean, xi_sigma, self.phi)
+
+    def observe(self, measurement: Measurement) -> None:
+        t_prof = self.profile.latency(
+            measurement.model_name, measurement.power_cap_w
+        )
+        self.slowdown.observe(measurement.full_latency_s, t_prof)
 
 
 class SysOnlyScheduler:
@@ -61,23 +101,29 @@ class SysOnlyScheduler:
         self.model = fastest
         self.space = ConfigurationSpace(models=[fastest], powers=power_list)
         self.estimator = AlertEstimator(profile, variance_aware=False)
-        self.selector = ConfigSelector(self.space, self.estimator)
-        self.slowdown = GlobalSlowdownEstimator()
         self.profile = profile
         self.name = name
         self.grid_view = grid_view
+        self.kernel = SysOnlyKernel(
+            selector=ConfigSelector(self.space, self.estimator),
+            profile=profile,
+            model_name=fastest.name,
+            top_power=self.space.powers[-1],
+        )
+
+    @property
+    def selector(self) -> ConfigSelector:
+        return self.kernel.selector
+
+    @property
+    def slowdown(self) -> GlobalSlowdownEstimator:
+        return self.kernel.slowdown
 
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
-        xi_mean, xi_sigma = self.slowdown.snapshot()
-        phi = self.profile.idle_power_w / self.profile.power(
-            self.model.name, self.space.powers[-1]
-        )
-        result = self.selector.select(goal, xi_mean, xi_sigma, phi)
-        return result.config
+        return self.kernel.decide(goal).config
 
     def observe(self, outcome: InferenceOutcome) -> None:
-        t_prof = self.profile.latency(outcome.model_name, outcome.power_cap_w)
-        self.slowdown.observe(outcome.full_latency_s, t_prof)
+        self.kernel.observe(measurement_from_outcome(outcome))
 
     @staticmethod
     def stack_into_cell(schedulers):

@@ -13,6 +13,12 @@ can be regenerated from a shell::
     python -m repro table4 --platform CPU1 --env memory --workers 4
     python -m repro table5 --workers 4
     python -m repro serve --platform CPU1 --env memory --inputs 200
+    python -m repro fleet --replicas 4 --arrivals poisson --policy cost-aware
+
+``fleet`` is the open-loop counterpart of ``serve``: N replicas (each
+with its own ALERT controller) behind a bounded admission queue and a
+load-balancing policy, driven by a seeded arrival process on a
+deterministic virtual clock — same seeds, same metrics, every run.
 
 The grid-evaluating commands (``table4``, ``table5``, ``fig08``) take
 ``--workers N`` to fan their (goal × scheme) run plans out over a
@@ -40,8 +46,12 @@ from repro import experiments
 from repro._version import __version__
 from repro.baselines import make_alert
 from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError, SimulationError
 from repro.runtime.loop import ServingLoop
+from repro.serve import FleetFrontend, PowerBudget, Replica, make_policy
+from repro.serve.policies import POLICY_KINDS
 from repro.workloads.scenarios import build_scenario
+from repro.workloads.traces import ARRIVAL_KINDS, make_arrivals
 
 __all__ = ["main", "build_parser"]
 
@@ -168,6 +178,77 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--deadline-factor", type=float, default=1.25)
     serve.add_argument("--accuracy-min", type=float, default=0.90)
     serve.add_argument("--seed", type=int, default=20200417)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="open-loop multi-replica serving front-end (virtual time)",
+        description=(
+            "Drive N ALERT replicas from a seeded open-loop arrival "
+            "process on a deterministic virtual clock: a bounded "
+            "admission queue drops what the fleet cannot absorb, a "
+            "load-balancing policy spreads requests over the replicas "
+            "(each with its own controller state), and an optional "
+            "global power budget is split equally across them.  Same "
+            "seeds => bit-identical metrics."
+        ),
+    )
+    fleet.add_argument("--platform", default="CPU1")
+    fleet.add_argument("--task", default="image")
+    fleet.add_argument("--env", default="memory")
+    fleet.add_argument("--replicas", type=int, default=4)
+    fleet.add_argument(
+        "--arrivals",
+        choices=ARRIVAL_KINDS,
+        default="poisson",
+        help="arrival process shape (seeded, open loop)",
+    )
+    fleet.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help=(
+            "mean arrival rate in requests/s; default loads the fleet "
+            "at ~0.7 of its aggregate service capacity"
+        ),
+    )
+    fleet.add_argument(
+        "--policy",
+        choices=POLICY_KINDS,
+        default="cost-aware",
+        help="load-balancing policy",
+    )
+    fleet.add_argument(
+        "--power-budget",
+        type=float,
+        default=None,
+        help="fleet-wide power budget in W, split across replicas",
+    )
+    fleet.add_argument(
+        "--duration",
+        type=float,
+        default=120.0,
+        help="virtual-time horizon in seconds",
+    )
+    fleet.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="fleet-wide backlog bound (queued + in flight)",
+    )
+    fleet.add_argument("--deadline-factor", type=float, default=1.25)
+    fleet.add_argument("--accuracy-min", type=float, default=0.90)
+    fleet.add_argument("--seed", type=int, default=20200417)
+    fleet.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=7,
+        help="seed for the arrival process (separate from the scenario)",
+    )
+    fleet.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run: 2 replicas, 20 virtual seconds, asserts traffic",
+    )
     return parser
 
 
@@ -185,6 +266,103 @@ def _run_serve(args: argparse.Namespace) -> str:
         scenario.make_engine(), scenario.make_stream(), scheduler, goal
     ).run(args.inputs)
     return f"{goal.describe()}\n{result.describe()}"
+
+
+def build_fleet(
+    *,
+    platform: str = "CPU1",
+    task: str = "image",
+    env: str = "memory",
+    replicas: int = 4,
+    arrivals: str = "poisson",
+    rate_hz: float | None = None,
+    policy: str = "cost-aware",
+    power_budget_w: float | None = None,
+    queue_capacity: int | None = 64,
+    deadline_factor: float = 1.25,
+    accuracy_min: float = 0.90,
+    seed: int = 20200417,
+    arrival_seed: int = 7,
+    trace=None,
+) -> FleetFrontend:
+    """Assemble a deterministic virtual-time fleet for one scenario.
+
+    Every replica gets its own engine realisation and its own ALERT
+    controller from the same scenario seed (identical twins — the
+    determinism the parity tests pin).  When ``rate_hz`` is ``None``
+    the arrival rate is set to ~0.7 of the fleet's aggregate capacity
+    at the anchor latency, a comfortably loaded open-loop operating
+    point.
+    """
+    if replicas < 1:
+        raise ConfigurationError(f"need at least one replica, got {replicas}")
+    scenario = build_scenario(platform, task, env, "standard", seed)
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=deadline_factor * scenario.anchor_latency_s(),
+        accuracy_min=accuracy_min,
+    )
+    if rate_hz is None:
+        rate_hz = 0.7 * replicas / scenario.anchor_latency_s()
+    lanes = [
+        Replica(
+            replica_id=i,
+            engine=scenario.make_engine(),
+            scheduler=make_alert(scenario.profile()),
+            clock=None,
+            metrics=None,
+        )
+        for i in range(replicas)
+    ]
+    return FleetFrontend(
+        lanes,
+        make_arrivals(arrivals, rate_hz, seed=arrival_seed),
+        scenario.make_stream(),
+        goal,
+        make_policy(policy),
+        queue_capacity=queue_capacity,
+        budget=PowerBudget(power_budget_w),
+        trace=trace,
+    )
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    if args.smoke:
+        args.replicas = 2
+        args.duration = 20.0
+    fleet = build_fleet(
+        platform=args.platform,
+        task=args.task,
+        env=args.env,
+        replicas=args.replicas,
+        arrivals=args.arrivals,
+        rate_hz=args.rate,
+        policy=args.policy,
+        power_budget_w=args.power_budget,
+        queue_capacity=args.queue_capacity,
+        deadline_factor=args.deadline_factor,
+        accuracy_min=args.accuracy_min,
+        seed=args.seed,
+        arrival_seed=args.arrival_seed,
+    )
+    summary = fleet.run(args.duration)
+    if args.smoke and summary["served"] == 0:
+        raise SimulationError("fleet smoke run served no requests")
+    lines = [
+        f"fleet: {args.replicas} x {args.platform}/{args.task}/{args.env}"
+        f"  policy={args.policy}  arrivals={args.arrivals}"
+        f"  duration={args.duration:g}s (virtual)",
+        f"  arrived={summary['arrived']}  admitted={summary['admitted']}"
+        f"  served={summary['served']}  dropped={summary['dropped']}",
+        f"  violations={summary['violations']}"
+        f"  (rate {summary['violation_rate']:.3f})",
+        f"  p50={summary['p50_response_s'] * 1e3:.1f} ms"
+        f"  p99={summary['p99_response_s'] * 1e3:.1f} ms"
+        f"  mean service={summary['mean_service_s'] * 1e3:.1f} ms",
+        f"  energy={summary['energy_j']:.1f} J"
+        f"  per-replica={summary['per_replica_served']}",
+    ]
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -247,6 +425,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.command == "serve":
         print(_run_serve(args))
+    elif args.command == "fleet":
+        print(_run_fleet(args))
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

@@ -23,6 +23,13 @@ from repro.core.controller import AlertController, ControllerState
 from repro.core.estimator import AlertEstimator, ConfigEstimate
 from repro.core.goals import Goal, GoalAdjuster, ObjectiveKind
 from repro.core.kalman import AdaptiveKalmanFilter, IdlePowerFilter
+from repro.core.kernel import (
+    AlertKernel,
+    DecisionKernel,
+    Measurement,
+    kernel_of,
+    measurement_from_outcome,
+)
 from repro.core.selector import ConfigSelector, SelectionResult
 from repro.core.slowdown import GlobalSlowdownEstimator
 
@@ -40,6 +47,11 @@ __all__ = [
     "ObjectiveKind",
     "AdaptiveKalmanFilter",
     "IdlePowerFilter",
+    "AlertKernel",
+    "DecisionKernel",
+    "Measurement",
+    "kernel_of",
+    "measurement_from_outcome",
     "ConfigSelector",
     "SelectionResult",
     "GlobalSlowdownEstimator",

@@ -1,18 +1,22 @@
 """The ALERT feedback controller (paper Section 3.2).
 
-:class:`AlertController` owns the online state — the global-slowdown
-Kalman filter and the idle-power filter — and exposes the two calls the
-serving loop makes per input:
+Since the kernel split (:mod:`repro.core.kernel`), this module holds
+the *adapters*: :class:`AlertController` builds the candidate space,
+estimator, selector, and filters, then delegates its two per-input
+calls to a clock-free :class:`~repro.core.kernel.AlertKernel` it owns:
 
-* :meth:`observe` — step 1, fold in the previous input's measurements;
-* :meth:`decide` — steps 3-4, estimate every configuration under the
-  (already goal-adjusted) requirements and pick the best one.
+* :meth:`AlertController.observe` — step 1, fold in the previous
+  input's measurements (translated to a clock-free
+  :class:`~repro.core.kernel.Measurement`);
+* :meth:`AlertController.decide` — steps 3-4, estimate every
+  configuration under the (already goal-adjusted) requirements and
+  pick the best one.
 
 Goal adjustment (step 2) lives in :class:`repro.core.goals.GoalAdjuster`
-and is owned by the serving loop, because it needs the input-group
-structure the controller is agnostic to.
+and is owned by the serving driver, because it needs the input-group
+structure the kernel is agnostic to.
 
-The controller also models its own cost: the paper measures ALERT's
+The kernel also models its own cost: the paper measures ALERT's
 scheduler at 0.6-1.7% of an input's inference time, and subtracts its
 worst case from the deadline so the scheduler never causes the
 violation it is preventing.  Two mechanisms keep the real cost far
@@ -25,16 +29,21 @@ lets converged Kalman phases skip re-estimation entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import islice
 
 import numpy as np
 
 from repro.core.config_space import Configuration, ConfigurationSpace
 from repro.core.estimator import AlertEstimator
 from repro.core.goals import Goal
-from repro.core.kalman import IdlePowerFilter, StackedIdlePowerFilter
+from repro.core.kalman import IdlePowerFilter
+from repro.core.kernel import (
+    AlertCellKernel,
+    AlertKernel,
+    Measurement,
+    measurement_from_outcome,
+)
 from repro.core.selector import ConfigSelector, SelectionResult
-from repro.core.slowdown import GlobalSlowdownEstimator, StackedSlowdownEstimator
+from repro.core.slowdown import GlobalSlowdownEstimator
 from repro.errors import ConfigurationError
 from repro.models.base import DnnModel
 from repro.models.profiles import ProfileTable
@@ -68,21 +77,14 @@ def lockstep_stats_dict(
     }
 
 
-def _evict_oldest_half(memo: dict) -> None:
-    """Drop the least-recently-inserted half of a decision memo.
-
-    Dict insertion order is the age order here (entries are only ever
-    added), so this keeps the newer half — the states a converged or
-    slowly drifting filter is actually revisiting — instead of
-    restarting cold, which made every memo hit vanish each time the
-    cap was crossed.
-    """
-    for key in list(islice(iter(memo), len(memo) // 2)):
-        del memo[key]
-
 #: Fraction of the mean profiled latency charged as worst-case
 #: scheduler overhead (the paper's measured range is 0.6-1.7%).
 DEFAULT_OVERHEAD_FRACTION = 0.017
+
+#: Memo entries kept before the oldest half is evicted (dict insertion
+#: order); bounds memory on very long runs with drifting environments
+#: without restarting the cache cold.
+DEFAULT_MEMO_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -97,6 +99,14 @@ class ControllerState:
 
 class AlertController:
     """ALERT: joint DNN / power-cap selection with feedback.
+
+    Construction wires the candidate machinery; the per-input state
+    transitions live in the owned :class:`~repro.core.kernel.AlertKernel`
+    (exposed as :attr:`kernel`, the object serving drivers feed
+    directly).  Every pre-split attribute — ``slowdown``,
+    ``idle_filter``, ``selector``, the memo internals — remains
+    readable here via delegating properties, so trace consumers and
+    the stacking fingerprint are unaffected by the split.
 
     Parameters
     ----------
@@ -135,11 +145,6 @@ class AlertController:
         :class:`repro.core.slowdown.GlobalSlowdownEstimator`.
     """
 
-    #: Memo entries kept before the oldest half is evicted (dict
-    #: insertion order); bounds memory on very long runs with drifting
-    #: environments without restarting the cache cold.
-    _MEMO_CAP = 4096
-
     def __init__(
         self,
         profile: ProfileTable,
@@ -169,23 +174,22 @@ class AlertController:
         self.estimator = AlertEstimator(
             profile, variance_aware=variance_aware, confidence=confidence
         )
-        self.selector = ConfigSelector(self.space, self.estimator)
-        self.slowdown = GlobalSlowdownEstimator(
-            q0=q0, keep_history=keep_xi_history
-        )
         idle_ratio = profile.idle_power_w / max(
             profile.inference_power_w.values()
         )
-        self.idle_filter = IdlePowerFilter(phi0=idle_ratio)
         mean_latency = sum(profile.latency_s.values()) / len(profile.latency_s)
-        self._overhead_s = overhead_fraction * mean_latency
-        self._last_selection: SelectionResult | None = None
-        self._memo: dict[tuple, SelectionResult] | None = (
-            {} if decision_memo else None
+        self.kernel = AlertKernel(
+            selector=ConfigSelector(self.space, self.estimator),
+            profile=profile,
+            slowdown=GlobalSlowdownEstimator(
+                q0=q0, keep_history=keep_xi_history
+            ),
+            idle_filter=IdlePowerFilter(phi0=idle_ratio),
+            overhead_s=overhead_fraction * mean_latency,
+            decision_memo=decision_memo,
+            memo_decimals=memo_decimals,
+            memo_cap=DEFAULT_MEMO_CAP,
         )
-        self._memo_decimals = memo_decimals
-        self._memo_hits = 0
-        self._memo_misses = 0
 
     # ------------------------------------------------------------------
     # Step 1: measurement feedback
@@ -212,12 +216,14 @@ class AlertController:
 
         Returns the observed slowdown ratio.
         """
-        t_prof = self.profile.latency(model_name, power_w)
-        ratio = self.slowdown.observe(full_latency_s, t_prof)
-        if idle_power_w is not None:
-            inference_power = self.profile.power(model_name, power_w)
-            self.idle_filter.update(idle_power_w, inference_power)
-        return ratio
+        return self.kernel.observe(
+            Measurement(
+                model_name=model_name,
+                power_cap_w=power_w,
+                full_latency_s=full_latency_s,
+                idle_power_w=idle_power_w,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Steps 3-4: estimate and pick
@@ -226,70 +232,68 @@ class AlertController:
         """Select the configuration for the next input.
 
         ``goal`` should already be group-adjusted (workflow step 2);
-        the controller additionally reserves its own worst-case
-        overhead from the deadline.
+        the kernel additionally reserves its own worst-case overhead
+        from the deadline.
         """
-        effective = goal
-        adjusted_deadline = max(1e-6, goal.deadline_s - self._overhead_s)
-        if adjusted_deadline != goal.deadline_s:
-            effective = goal.with_deadline(adjusted_deadline)
-        xi_mean, xi_sigma = self.slowdown.snapshot()
-        phi = self.idle_filter.phi
-        tail = (self.slowdown.tail_fraction, self.slowdown.tail_ratio)
-
-        key: tuple | None = None
-        if self._memo is not None:
-            nd = self._memo_decimals
-            key = (
-                goal,
-                round(xi_mean, nd),
-                round(xi_sigma, nd),
-                round(phi, nd),
-                round(tail[0], nd),
-                round(tail[1], nd),
-            )
-            cached = self._memo.get(key)
-            if cached is not None:
-                self._memo_hits += 1
-                self._last_selection = cached
-                return cached
-
-        result = self.selector.select(
-            effective, xi_mean, xi_sigma, phi, tail=tail
-        )
-        if self._memo is not None and key is not None:
-            self._memo_misses += 1
-            if len(self._memo) >= self._MEMO_CAP:
-                _evict_oldest_half(self._memo)
-            self._memo[key] = result
-        self._last_selection = result
-        return result
+        return self.kernel.decide(goal)
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection (delegating views of the kernel state)
     # ------------------------------------------------------------------
+    @property
+    def selector(self) -> ConfigSelector:
+        return self.kernel.selector
+
+    @property
+    def slowdown(self) -> GlobalSlowdownEstimator:
+        return self.kernel.slowdown
+
+    @property
+    def idle_filter(self) -> IdlePowerFilter:
+        return self.kernel.idle_filter
+
+    @property
+    def _overhead_s(self) -> float:
+        return self.kernel.overhead_s
+
+    @property
+    def _memo(self) -> dict | None:
+        return self.kernel.memo
+
+    @property
+    def _memo_decimals(self) -> int:
+        return self.kernel.memo_decimals
+
+    @property
+    def _MEMO_CAP(self) -> int:
+        return self.kernel.memo_cap
+
+    @_MEMO_CAP.setter
+    def _MEMO_CAP(self, value: int) -> None:
+        self.kernel.memo_cap = value
+
     @property
     def worst_case_overhead_s(self) -> float:
         """The per-decision overhead reserved from each deadline."""
-        return self._overhead_s
+        return self.kernel.overhead_s
 
     @property
     def last_selection(self) -> SelectionResult | None:
         """The most recent selection (None before the first decide)."""
-        return self._last_selection
+        return self.kernel.last_selection
 
     @property
     def memo_stats(self) -> tuple[int, int]:
         """(hits, misses) of the decision memo since construction."""
-        return self._memo_hits, self._memo_misses
+        return self.kernel.memo_hits, self.kernel.memo_misses
 
     def state(self) -> ControllerState:
         """Snapshot of the filters for traces and tests."""
         return ControllerState(
-            xi_mean=self.slowdown.mean,
-            xi_sigma=self.slowdown.sigma,
-            phi=self.idle_filter.phi,
-            observations=self.slowdown.observations,
+            xi_mean=self.kernel.slowdown.mean,
+            xi_sigma=self.kernel.slowdown.sigma,
+            phi=self.kernel.idle_filter.phi,
+            observations=self.kernel.slowdown.observations,
         )
 
     def configurations(self) -> list[Configuration]:
@@ -297,19 +301,27 @@ class AlertController:
         return list(self.space)
 
 
-class AlertCellController:
+class AlertCellController(AlertCellKernel):
     """Lockstep ALERT across a cell's goal grid (one state per goal).
 
     Every goal of a fused cell consumes the same input sequence, so
     their independent ALERT states — ξ filter, idle-power filter, tail
     model, decision memo — can advance in lockstep: one stacked
     :meth:`observe_many` pass folds in all goals' measurements, and one
-    :meth:`decide_many` pass computes every goal's selection through
+    :meth:`~repro.core.kernel.AlertCellKernel.decide_many` pass
+    computes every goal's selection through
     :meth:`repro.core.selector.ConfigSelector.select_many` (single
     fused erf + lexsort per step, covering exactly the goals whose
     quantized state missed their memo).  Each goal's trajectory is
     bit-identical to a fresh :class:`AlertController` serving that goal
     alone (``tests/test_lockstep_parity.py``).
+
+    The stacked state transitions live in the clock-free
+    :class:`~repro.core.kernel.AlertCellKernel` base; this adapter
+    owns the harness-facing conventions — outcome-shaped records in
+    :meth:`observe_many` (periods resolved to idle-phase samples via
+    :func:`~repro.core.kernel.measurement_from_outcome`) and the
+    telemetry surface the lockstep loops read.
 
     Build through :meth:`from_controllers`, which validates that the
     per-goal controllers are fresh and structurally identical (same
@@ -317,60 +329,6 @@ class AlertCellController:
     configuration) and returns ``None`` when they are not — callers
     fall back to the sequential per-goal path.
     """
-
-    def __init__(
-        self,
-        selector: ConfigSelector,
-        profile: ProfileTable,
-        n_goals: int,
-        overhead_s: float,
-        q0: float,
-        min_sigma: float,
-        tail_threshold_sigmas: float,
-        tail_ewma: float,
-        phi0: np.ndarray,
-        idle_m0: float,
-        idle_s: float,
-        idle_v: float,
-        memo_decimals: int,
-        memo_cap: int,
-        decision_memo: bool = True,
-    ) -> None:
-        if n_goals < 1:
-            raise ConfigurationError(f"need at least one goal, got {n_goals}")
-        self.selector = selector
-        self.profile = profile
-        self.n_goals = n_goals
-        self._overhead_s = overhead_s
-        self.slowdown = StackedSlowdownEstimator(
-            n_goals,
-            q0=q0,
-            min_sigma=min_sigma,
-            tail_threshold_sigmas=tail_threshold_sigmas,
-            tail_ewma=tail_ewma,
-        )
-        self.idle_filter = StackedIdlePowerFilter(
-            phi0, m0=idle_m0, s=idle_s, v=idle_v
-        )
-        self._memos: list[dict] | None = (
-            [{} for _ in range(n_goals)] if decision_memo else None
-        )
-        self._memo_decimals = memo_decimals
-        self._memo_cap = memo_cap
-        self._memo_hits = 0
-        self._memo_misses = 0
-        self._stacked_calls = 0
-        self._stacked_states = 0
-        # Overhead-adjusted goals are pure functions of the goal; the
-        # serving loop re-decides the same Goal objects for thousands
-        # of inputs, so the dataclass replace + validation is cached.
-        self._effective: dict[Goal, Goal] = {}
-        # The lockstep loops pass the identical goal-list objects every
-        # step; resolving the whole list through ``_effective`` per
-        # step would hash every (frozen, hash-recomputing) Goal three
-        # times per input.  One id-tuple lookup replaces all of it;
-        # the entry pins its goals, keeping the ids stable.
-        self._adjusted_lists: dict[tuple, tuple[list, list]] = {}
 
     @classmethod
     def from_controllers(
@@ -467,146 +425,16 @@ class AlertCellController:
         """Fold every goal's previous-input measurements in, stacked.
 
         ``outcomes`` holds one :class:`InferenceOutcome`-shaped record
-        per goal; the ξ observation uses the run-to-completion latency
-        and the idle-power filter only sees goals whose period had an
-        idle phase — exactly the :class:`AlertScheduler` measurement
-        conventions, applied elementwise.
+        per goal; each is translated to its clock-free
+        :class:`~repro.core.kernel.Measurement` (the ξ observation uses
+        the run-to-completion latency and the idle-power filter only
+        sees goals whose period had an idle phase — exactly the
+        :class:`AlertScheduler` measurement conventions) before the
+        stacked kernel pass.
         """
-        profile = self.profile
-        measured = np.array([o.full_latency_s for o in outcomes])
-        t_prof = np.array(
-            [profile.latency(o.model_name, o.power_cap_w) for o in outcomes]
+        super().observe_many(
+            [measurement_from_outcome(o) for o in outcomes]
         )
-        self.slowdown.observe(measured, t_prof)
-        idle_mask = np.array([o.period_s > o.latency_s for o in outcomes])
-        if idle_mask.any():
-            inference = np.array(
-                [profile.power(o.model_name, o.power_cap_w) for o in outcomes]
-            )
-            idle = np.array(
-                [
-                    o.idle_power_w if has_idle else 0.0
-                    for o, has_idle in zip(outcomes, idle_mask)
-                ]
-            )
-            self.idle_filter.update_where(idle_mask, idle, inference)
-
-    # ------------------------------------------------------------------
-    # Steps 3-4: estimate and pick, all goals at once
-    # ------------------------------------------------------------------
-    def decide_many(self, goals) -> list[SelectionResult]:
-        """One selection per goal (already group-adjusted), stacked.
-
-        Per-goal memo keys quantize each goal's own filter state
-        exactly like :meth:`AlertController.decide`; only the goals
-        that miss go into the stacked
-        :meth:`~repro.core.selector.ConfigSelector.select_many` pass.
-        """
-        if len(goals) != self.n_goals:
-            raise ConfigurationError(
-                f"expected {self.n_goals} goals, got {len(goals)}"
-            )
-        xi_mean = self.slowdown.mean
-        xi_sigma = self.slowdown.sigma
-        phi = self.idle_filter.phi
-        tail_fraction = self.slowdown.tail_fraction
-        tail_ratio = self.slowdown.tail_ratio
-        nd = self._memo_decimals
-
-        results: list[SelectionResult | None] = [None] * self.n_goals
-        ids = tuple(map(id, goals))
-        adjusted_entry = self._adjusted_lists.get(ids)
-        if adjusted_entry is None:
-            effectives = []
-            for goal in goals:
-                effective = self._effective.get(goal)
-                if effective is None:
-                    effective = goal
-                    adjusted = max(1e-6, goal.deadline_s - self._overhead_s)
-                    if adjusted != goal.deadline_s:
-                        effective = goal.with_deadline(adjusted)
-                    if len(self._effective) >= 4096:
-                        self._flush_goal_caches()
-                    self._effective[goal] = effective
-                effectives.append(effective)
-            if len(self._adjusted_lists) >= 64:
-                self._flush_goal_caches()
-            # Pin the goals and their adjusted twins: live references
-            # keep every id in the key (and in the memo keys below)
-            # unambiguous.
-            self._adjusted_lists[ids] = (list(goals), effectives)
-        else:
-            effectives = adjusted_entry[1]
-
-        # One bulk tolist per state vector: identical doubles to
-        # per-element float() casts, without G numpy scalar reads.
-        means = xi_mean.tolist()
-        sigmas = xi_sigma.tolist()
-        phis = phi.tolist()
-        fractions = tail_fraction.tolist()
-        ratios = tail_ratio.tolist()
-
-        miss_goals: list[Goal] = []
-        miss_index: list[int] = []
-        miss_keys: list[tuple | None] = []
-        for g in range(self.n_goals):
-            effective = effectives[g]
-            key: tuple | None = None
-            if self._memos is not None:
-                # id(effective) stands in for the goal value: the
-                # adjusted goals are interned per value through
-                # ``_effective`` and pinned by ``_adjusted_lists``, so
-                # equal goals share one id and ids never alias while
-                # any memo entry can still be reached.
-                key = (
-                    id(effective),
-                    round(means[g], nd),
-                    round(sigmas[g], nd),
-                    round(phis[g], nd),
-                    round(fractions[g], nd),
-                    round(ratios[g], nd),
-                )
-                cached = self._memos[g].get(key)
-                if cached is not None:
-                    self._memo_hits += 1
-                    results[g] = cached
-                    continue
-            miss_goals.append(effective)
-            miss_index.append(g)
-            miss_keys.append(key)
-
-        if miss_goals:
-            index = np.array(miss_index)
-            selections = self.selector.select_many(
-                miss_goals,
-                xi_mean[index],
-                xi_sigma[index],
-                phi[index],
-                tails=[(fractions[g], ratios[g]) for g in miss_index],
-            )
-            self._stacked_calls += 1
-            self._stacked_states += len(miss_goals)
-            for g, key, selection in zip(miss_index, miss_keys, selections):
-                if self._memos is not None and key is not None:
-                    self._memo_misses += 1
-                    memo = self._memos[g]
-                    if len(memo) >= self._memo_cap:
-                        _evict_oldest_half(memo)
-                    memo[key] = selection
-                results[g] = selection
-        return results
-
-    def _flush_goal_caches(self) -> None:
-        """Drop the goal-resolution caches *and* the decision memos.
-
-        Evicting ``_effective`` / ``_adjusted_lists`` entries un-pins
-        goal objects, so a recycled id could otherwise match a stale
-        id-keyed memo entry; flushing together makes that impossible.
-        """
-        self._effective.clear()
-        self._adjusted_lists.clear()
-        if self._memos is not None:
-            self._memos = [{} for _ in range(self.n_goals)]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -614,7 +442,7 @@ class AlertCellController:
     @property
     def worst_case_overhead_s(self) -> float:
         """The per-decision overhead reserved from each deadline."""
-        return self._overhead_s
+        return self.overhead_s
 
     def state_for(self, g: int) -> ControllerState:
         """Snapshot of goal ``g``'s filters (mirrors ``state()``)."""
@@ -632,15 +460,15 @@ class AlertCellController:
     @property
     def memo_stats(self) -> tuple[int, int]:
         """(hits, misses) across all goals since construction."""
-        return self._memo_hits, self._memo_misses
+        return self.memo_hits, self.memo_misses
 
     @property
     def lockstep_stats(self) -> dict:
         """Decision-path health counters for benches and telemetry."""
         return lockstep_stats_dict(
             self.n_goals,
-            self._stacked_calls,
-            self._stacked_states,
-            self._memo_hits,
-            self._memo_misses,
+            self.stacked_calls,
+            self.stacked_states,
+            self.memo_hits,
+            self.memo_misses,
         )

@@ -1,0 +1,210 @@
+"""Clocks: the time authorities the decision kernel is driven by.
+
+The kernel split (:mod:`repro.core.kernel`) removed all knowledge of
+time from the decision logic; this module is where that knowledge now
+lives.  Three time authorities share one tiny surface:
+
+* :class:`SimulatedClock` — the batch harness's authority.  The
+  closed-loop serving loops (:mod:`repro.runtime.loop`) advance it by
+  each input's occupied period, which is how the paper's harness
+  models a device that blocks until the period boundary.  It does not
+  schedule callbacks; it is a pure odometer the loops tick.
+* :class:`VirtualClock` — the serving front-end's deterministic
+  authority.  A (time, seq, callback) heap: ``schedule`` posts an
+  event, ``run`` drains the heap in (time, insertion) order, jumping
+  time forward instead of sleeping.  Same seed ⇒ same event order ⇒
+  bit-identical fleet runs, which is what the fleet tests and the
+  ``repro fleet`` CLI rely on.
+* :class:`WallClock` — the live adapter: the same ``schedule``/``now``
+  surface mapped onto an :mod:`asyncio` event loop (``call_later``),
+  for running the fleet against real time.  Nothing in the test suite
+  depends on it; it exists so the virtual-time front-end code runs
+  unmodified against a real event loop.
+
+Determinism note: ``VirtualClock`` breaks simultaneous events by
+insertion sequence, never by callback identity, so Python hash
+randomisation cannot reorder a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Clock",
+    "SchedulingClock",
+    "SimulatedClock",
+    "VirtualClock",
+    "WallClock",
+    "ScheduledEvent",
+]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The minimal time authority: a monotonically advancing ``now``."""
+
+    def now(self) -> float:
+        """Current time in seconds (origin is authority-defined)."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class SchedulingClock(Clock, Protocol):
+    """A clock that can also run callbacks at future instants."""
+
+    def schedule(self, delay_s: float, callback: Callable[[], None]):
+        """Run ``callback`` ``delay_s`` seconds from ``now``."""
+        ...  # pragma: no cover - protocol
+
+
+class SimulatedClock:
+    """The batch harness's odometer: time advances by explicit ticks.
+
+    The closed-loop serving loops tick it once per served input with
+    the input's occupied period (``max(latency, period)`` — the
+    blocking-device model), so ``now`` is the simulated wall time at
+    the end of the last period and ``ticks`` counts served inputs.
+    Pure bookkeeping: ticking never runs callbacks, and the loops'
+    decisions never read it — that is the whole point of the split.
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = start_s
+        self.ticks = 0
+
+    def now(self) -> float:
+        return self._now
+
+    def tick(self, elapsed_s: float) -> float:
+        """Advance by one input's occupied period; returns new ``now``."""
+        if elapsed_s < 0:
+            raise ConfigurationError(
+                f"time cannot run backwards (tick {elapsed_s})"
+            )
+        self._now += elapsed_s
+        self.ticks += 1
+        return self._now
+
+    def tick_many(self, total_elapsed_s: float, n: int) -> float:
+        """Advance by ``n`` inputs' combined occupied time at once.
+
+        The batch fast paths realise whole runs in one vectorized pass;
+        this keeps the odometer equivalent to ``n`` individual ticks
+        without a per-input Python loop.
+        """
+        if total_elapsed_s < 0 or n < 0:
+            raise ConfigurationError(
+                f"time cannot run backwards (tick {total_elapsed_s} x{n})"
+            )
+        self._now += total_elapsed_s
+        self.ticks += n
+        return self._now
+
+
+class ScheduledEvent:
+    """Handle for a :class:`VirtualClock` callback; supports cancel."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class VirtualClock:
+    """Deterministic event timeline: sleep by jumping, not waiting.
+
+    ``schedule`` posts callbacks onto a heap ordered by (fire time,
+    insertion sequence); ``run`` pops them in order, setting ``now`` to
+    each event's fire time before invoking it.  Callbacks may schedule
+    further events (including at zero delay).  A whole simulated hour
+    of fleet traffic runs in however long the Python work takes.
+    """
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = start_s
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def now(self) -> float:
+        return self._now
+
+    def schedule(
+        self, delay_s: float, callback: Callable[[], None]
+    ) -> ScheduledEvent:
+        """Post ``callback`` at ``now + delay_s``; returns its handle."""
+        if delay_s < 0:
+            raise ConfigurationError(
+                f"cannot schedule into the past (delay {delay_s})"
+            )
+        event = ScheduledEvent(self._now + delay_s, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    @property
+    def pending(self) -> int:
+        """Scheduled-but-not-fired event count (cancelled included)."""
+        return len(self._heap)
+
+    def run(self, until_s: float | None = None) -> int:
+        """Drain events in timeline order; returns the number fired.
+
+        With ``until_s`` the timeline stops at that instant: events at
+        ``when <= until_s`` fire, later ones stay pending, and ``now``
+        lands exactly on ``until_s`` — so metrics windows close at the
+        requested duration regardless of event spacing.
+        """
+        fired = 0
+        while self._heap:
+            if until_s is not None and self._heap[0].when > until_s:
+                break
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.when
+            event.callback()
+            fired += 1
+        if until_s is not None and self._now < until_s:
+            self._now = until_s
+        return fired
+
+
+class WallClock:
+    """The same scheduling surface on a live :mod:`asyncio` loop.
+
+    ``schedule`` maps to ``loop.call_later`` and ``now`` to the loop's
+    monotonic time, so front-end code written against
+    :class:`VirtualClock` drives real traffic unchanged.  The caller
+    owns the loop's lifecycle (the front-end never calls ``run`` on
+    this clock — the event loop is already running).
+    """
+
+    def __init__(self, loop=None) -> None:
+        if loop is None:
+            import asyncio
+
+            loop = asyncio.get_event_loop()
+        self._loop = loop
+
+    def now(self) -> float:
+        return self._loop.time()
+
+    def schedule(self, delay_s: float, callback: Callable[[], None]):
+        if delay_s < 0:
+            raise ConfigurationError(
+                f"cannot schedule into the past (delay {delay_s})"
+            )
+        return self._loop.call_later(delay_s, callback)

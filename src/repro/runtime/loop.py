@@ -64,14 +64,13 @@ Violation bookkeeping follows the paper:
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
 from repro.core.goals import Goal, GoalAdjuster
 from repro.errors import ConfigurationError
 from repro.hw.energy import EnergyBreakdown
 from repro.models.inference import GridView, InferenceEngine, InferenceOutcome
+from repro.runtime.clock import SimulatedClock
 from repro.runtime.results import RunResult, ServedInput
 from repro.runtime.scheduler import Scheduler
 from repro.workloads.inputs import InputItem, InputStream
@@ -207,6 +206,15 @@ class ServingLoop:
         Optional shared-realisation view (see the module docstring).
         When omitted, the loop probes the scheduler for a ``grid_view``
         attribute.
+    clock:
+        The :class:`~repro.runtime.clock.SimulatedClock` this driver
+        advances (a fresh one is built when omitted).  The loop ticks
+        it by each served input's occupied time
+        (``max(latency, period)`` — the blocking-device model), so
+        after a run ``clock.now()`` is the simulated wall time the
+        trace consumed.  Decisions never read it: the kernel split
+        keeps the policy clock-free, and this loop is just one driver
+        of the kernel (the :mod:`repro.serve` front-end is another).
     """
 
     def __init__(
@@ -218,6 +226,7 @@ class ServingLoop:
         requirement_trace: RequirementTrace | None = None,
         adjuster: GoalAdjuster | None = None,
         grid_view: GridView | None = None,
+        clock: SimulatedClock | None = None,
     ) -> None:
         self.engine = engine
         self.stream = stream
@@ -225,6 +234,7 @@ class ServingLoop:
         self.goal = goal
         self.trace = requirement_trace or RequirementTrace()
         self.adjuster = adjuster if adjuster is not None else GoalAdjuster()
+        self.clock = clock if clock is not None else SimulatedClock()
         if grid_view is None:
             grid_view = getattr(scheduler, "grid_view", None)
         self.grid_view = grid_view
@@ -240,18 +250,7 @@ class ServingLoop:
         """The base goal with any requirement-trace override applied."""
         if self.trace.is_empty:
             return self.goal
-        override = self.trace.active_at(index)
-        goal = self.goal
-        if override.deadline_s is not None:
-            goal = goal.with_deadline(override.deadline_s)
-        if override.accuracy_min is not None or override.energy_budget_j is not None:
-            kwargs = {}
-            if override.accuracy_min is not None:
-                kwargs["accuracy_min"] = override.accuracy_min
-            if override.energy_budget_j is not None:
-                kwargs["energy_budget_j"] = override.energy_budget_j
-            goal = replace(goal, **kwargs)
-        return goal
+        return self.trace.apply(self.goal, index)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -397,7 +396,15 @@ class ServingLoop:
         with the oracles' feasibility masks, so "violated" means the
         same thing to the bookkeeping and to the perfect-knowledge
         baselines.
+
+        Also the "input served" commit point: every non-batch path
+        (sequential, lockstep stepwise, cross-scheme) records through
+        here, so this is where the simulated clock advances by the
+        input's occupied time.
         """
+        latency = outcome.latency_s
+        period = outcome.period_s
+        self.clock.tick(latency if latency > period else period)
         latency_violation = not outcome.met_deadline
         accuracy_violation = bool(item_goal.quality_violated(outcome.quality))
         energy_violation = bool(item_goal.energy_violated(outcome.energy_j))
@@ -460,6 +467,10 @@ class ServingLoop:
 
         n = len(items)
         records: list[ServedInput | None] = [None] * n
+        # Occupied simulated time across the run (the per-input ticks
+        # the sequential path would have made), folded into the clock
+        # in one tick_many at the end.
+        total_occupied = 0.0
 
         # Shared-realisation serving: when a grid view covers this
         # run's timing and every input, configuration groups become
@@ -540,6 +551,9 @@ class ServingLoop:
                 env = column.env_factor.tolist()
 
             model_name = model.name
+            total_occupied += sum(
+                t if t > period else period for t in latency
+            )
             met = met_row.tolist()
             quality = quality_row.tolist()
             metric = model.task.quality_to_metric_list(quality)
@@ -605,6 +619,7 @@ class ServingLoop:
                 records[position] = record
         # The sequential path leaves the actuator at the last decision.
         engine.actuator.set_power_cap(configs[-1].power_w)
+        self.clock.tick_many(total_occupied, n)
         return records
 
 

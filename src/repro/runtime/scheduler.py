@@ -14,6 +14,7 @@ from typing import Protocol, runtime_checkable
 from repro.core.config_space import Configuration
 from repro.core.controller import AlertCellController, AlertController
 from repro.core.goals import Goal
+from repro.core.kernel import measurement_from_outcome
 from repro.errors import ConfigurationError
 from repro.models.base import DnnModel
 from repro.models.inference import InferenceOutcome
@@ -79,20 +80,22 @@ class AlertScheduler:
         self.name = name
         self.grid_view = grid_view
 
+    @property
+    def kernel(self):
+        """The clock-free decision kernel behind this scheduler.
+
+        Event-loop drivers (:mod:`repro.serve`) feed the kernel
+        :class:`~repro.core.kernel.Measurement` records directly; the
+        batch harness keeps using :meth:`observe` with outcome records.
+        """
+        return self.controller.kernel
+
     def decide(self, item: InputItem, goal: Goal) -> Configuration:
-        result = self.controller.decide(goal)
+        result = self.controller.kernel.decide(goal)
         return result.config
 
     def observe(self, outcome: InferenceOutcome) -> None:
-        idle_power = None
-        if outcome.period_s > outcome.latency_s:
-            idle_power = outcome.idle_power_w
-        self.controller.observe(
-            model_name=outcome.model_name,
-            power_w=outcome.power_cap_w,
-            full_latency_s=outcome.full_latency_s,
-            idle_power_w=idle_power,
-        )
+        self.controller.kernel.observe(measurement_from_outcome(outcome))
 
     @property
     def state(self):

@@ -1,0 +1,37 @@
+"""Open-loop multi-replica serving front-end over the decision kernel.
+
+The kernel split (:mod:`repro.core.kernel`) made ALERT's decision
+logic clock-free; this package is the second driver of that kernel —
+an event-loop serving system beside the paper's closed-loop batch
+harness.  Arrivals come from seeded open-loop processes, a bounded
+queue admits or drops, a policy balances across N replicas (each with
+its own controller state), and everything runs deterministically on
+virtual time.  Entry point: ``repro fleet`` (see :mod:`repro.cli`).
+"""
+
+from repro.serve.budget import PowerBudget
+from repro.serve.frontend import FleetFrontend, Request
+from repro.serve.metrics import FleetMetrics
+from repro.serve.policies import (
+    POLICY_KINDS,
+    CostAwarePolicy,
+    LeastLoadedPolicy,
+    LoadBalancingPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.serve.replica import Replica
+
+__all__ = [
+    "PowerBudget",
+    "FleetFrontend",
+    "Request",
+    "FleetMetrics",
+    "POLICY_KINDS",
+    "CostAwarePolicy",
+    "LeastLoadedPolicy",
+    "LoadBalancingPolicy",
+    "RoundRobinPolicy",
+    "make_policy",
+    "Replica",
+]

@@ -1,0 +1,45 @@
+"""Global power budget partitioned across fleet replicas.
+
+The paper evaluates ALERT per machine; a fleet front-end adds one new
+resource decision above the per-replica controllers: how much of a
+global power budget each replica may spend.  The simple, predictable
+policy here is an equal split over the *active* replicas — on churn
+(a replica joining or draining) the front-end re-partitions, so each
+per-replica ALERT controller always optimises under the cap it will
+actually be held to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerBudget"]
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """An equal-share partition of a fleet-wide power budget.
+
+    ``total_w`` of ``None`` means uncapped: every replica runs its
+    controller's own power decisions unclamped.
+    """
+
+    total_w: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_w is not None and self.total_w <= 0:
+            raise ConfigurationError(
+                f"power budget must be positive, got {self.total_w}"
+            )
+
+    def share_w(self, n_active: int) -> float | None:
+        """Per-replica cap when ``n_active`` replicas split the budget."""
+        if self.total_w is None:
+            return None
+        if n_active < 1:
+            raise ConfigurationError(
+                f"cannot partition a budget over {n_active} replicas"
+            )
+        return self.total_w / n_active

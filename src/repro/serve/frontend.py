@@ -1,0 +1,246 @@
+"""The open-loop fleet front-end: arrivals, admission, dispatch.
+
+This is the serving-system counterpart of the closed-loop harness.
+Where :class:`~repro.runtime.loop.ServingLoop` *pulls* the next input
+the instant the previous one finishes, the front-end is *open loop*:
+an arrival process (:mod:`repro.workloads.traces`) pushes requests at
+its own pace, a bounded admission queue drops what the fleet cannot
+absorb, and a load-balancing policy (:mod:`repro.serve.policies`)
+spreads the admitted requests over N replicas, each running its own
+ALERT controller.
+
+Everything runs on a scheduling clock.  With
+:class:`~repro.runtime.clock.VirtualClock` (the default and the test
+mode) a run is fully deterministic — same seeds, same event order,
+same metrics — and a simulated hour completes in however long the
+Python work takes; the same code drives a ``WallClock`` unchanged.
+
+Requirement traces compose: when one is supplied, each arrival's goal
+is the trace-rewritten goal at that arrival index, so fleet goals
+change at arrival boundaries exactly as harness goals change at input
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.goals import Goal
+from repro.errors import ConfigurationError
+from repro.runtime.clock import VirtualClock
+from repro.serve.budget import PowerBudget
+from repro.serve.metrics import FleetMetrics
+from repro.workloads.inputs import InputItem
+from repro.workloads.traces import ArrivalProcess, RequirementTrace
+
+__all__ = ["Request", "FleetFrontend"]
+
+
+@dataclass(slots=True)
+class Request:
+    """One admitted unit of work travelling through the fleet."""
+
+    index: int
+    item: InputItem
+    goal: Goal
+    arrival_s: float
+    on_served: object | None = field(default=None, repr=False)
+
+
+class FleetFrontend:
+    """Drive N replicas from an arrival process on one clock.
+
+    Parameters
+    ----------
+    replicas:
+        The :class:`~repro.serve.replica.Replica` lanes, id order.
+    arrivals:
+        Seeded :class:`~repro.workloads.traces.ArrivalProcess`.
+    stream:
+        Input stream; arrival ``i`` serves ``stream.item(i)``.
+    goal:
+        The base goal every request arrives under (before trace
+        rewrites).
+    policy:
+        :class:`~repro.serve.policies.LoadBalancingPolicy` instance.
+    clock:
+        Shared scheduling clock; defaults to a fresh
+        :class:`~repro.runtime.clock.VirtualClock`.
+    queue_capacity:
+        Fleet-wide backlog bound (queued + in flight, summed over
+        active replicas).  Arrivals beyond it are dropped and
+        accounted; ``None`` means unbounded.
+    budget:
+        Optional :class:`~repro.serve.budget.PowerBudget` split equally
+        over active replicas and re-split on churn.
+    trace:
+        Optional :class:`~repro.workloads.traces.RequirementTrace`
+        rewriting goals at arrival-index boundaries.
+    on_served:
+        Optional ``(request, outcome)`` callback invoked as each
+        request finishes — the observability hook the parity tests and
+        trace consumers use.
+    """
+
+    def __init__(
+        self,
+        replicas,
+        arrivals: ArrivalProcess,
+        stream,
+        goal: Goal,
+        policy,
+        clock=None,
+        *,
+        queue_capacity: int | None = None,
+        budget: PowerBudget | None = None,
+        trace: RequirementTrace | None = None,
+        metrics: FleetMetrics | None = None,
+        on_served=None,
+    ) -> None:
+        if not replicas:
+            raise ConfigurationError("a fleet needs at least one replica")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue capacity must be >= 1, got {queue_capacity}"
+            )
+        self.replicas = list(replicas)
+        self.arrivals = arrivals
+        self.stream = stream
+        self.goal = goal
+        self.policy = policy
+        self.clock = clock if clock is not None else VirtualClock()
+        self.queue_capacity = queue_capacity
+        self.budget = budget if budget is not None else PowerBudget(None)
+        self.trace = trace if trace is not None else RequirementTrace()
+        self.metrics = metrics if metrics is not None else FleetMetrics()
+        self.on_served = on_served
+        self._next_index = 0
+        self._max_arrivals: int | None = None
+        for replica in self.replicas:
+            replica.clock = self.clock
+            replica.metrics = self.metrics
+        self._apply_budget()
+
+    # ------------------------------------------------------------------
+    # Fleet membership
+    # ------------------------------------------------------------------
+    @property
+    def active_replicas(self) -> list:
+        return [r for r in self.replicas if r.active]
+
+    def _apply_budget(self) -> None:
+        active = self.active_replicas
+        if not active:
+            return
+        share = self.budget.share_w(len(active))
+        for replica in active:
+            replica.power_cap_w = share
+
+    def add_replica(self, replica) -> None:
+        """Join a new lane mid-run; the budget is re-partitioned."""
+        replica.clock = self.clock
+        replica.metrics = self.metrics
+        replica.active = True
+        self.replicas.append(replica)
+        self._apply_budget()
+
+    def deactivate_replica(self, replica_id: int) -> None:
+        """Drain one lane: re-dispatch its queue, re-partition power."""
+        for replica in self.replicas:
+            if replica.replica_id == replica_id:
+                stranded = replica.drain()
+                break
+        else:
+            raise ConfigurationError(f"no replica with id {replica_id}")
+        self._apply_budget()
+        for request in stranded:
+            self._dispatch(request)
+
+    # ------------------------------------------------------------------
+    # Arrival and admission
+    # ------------------------------------------------------------------
+    def _backlog(self) -> int:
+        return sum(replica.backlog for replica in self.active_replicas)
+
+    def _goal_at(self, index: int) -> Goal:
+        return self.trace.apply(self.goal, index)
+
+    def _dispatch(self, request: Request) -> None:
+        active = self.active_replicas
+        if not active:
+            self.metrics.record_drop("no_replica")
+            return
+        self.policy.select(active, request.goal).submit(request)
+
+    def _on_arrival(self) -> None:
+        index = self._next_index
+        self._next_index += 1
+        self._chain_next_arrival()
+        self.metrics.record_arrival()
+        if (
+            self.queue_capacity is not None
+            and self._backlog() >= self.queue_capacity
+        ):
+            self.metrics.record_drop("queue_full")
+            return
+        request = Request(
+            index=index,
+            item=self.stream.item(index),
+            goal=self._goal_at(index),
+            arrival_s=self.clock.now(),
+            on_served=self.on_served,
+        )
+        self.metrics.record_admitted()
+        self._dispatch(request)
+
+    def _chain_next_arrival(self) -> None:
+        """Post the next arrival event lazily, one ahead of *now*.
+
+        Chaining (rather than pre-scheduling a whole schedule) keeps
+        the heap small and lets a duration-bounded run stop generating
+        arrivals past the horizon for free.
+        """
+        index = self._next_index
+        if self._max_arrivals is not None and index >= self._max_arrivals:
+            return
+        when = self.arrivals.time_of(index)
+        delay = when - self.clock.now()
+        if delay < 0:
+            raise ConfigurationError(
+                f"arrival {index} at {when} is already in the past"
+            )
+        self.clock.schedule(delay, self._on_arrival)
+
+    # ------------------------------------------------------------------
+    # Run modes
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> dict:
+        """Serve the arrival timeline for ``duration_s`` virtual seconds.
+
+        Only meaningful on a :class:`VirtualClock`.  The metrics window
+        closes exactly at ``duration_s``: requests still in flight at
+        the horizon are neither served nor violations — they are simply
+        outside the window, as in any fixed-duration load test.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {duration_s}"
+            )
+        self._chain_next_arrival()
+        self.clock.run(until_s=duration_s)
+        return self.metrics.summary()
+
+    def run_requests(self, n_requests: int) -> dict:
+        """Serve exactly ``n_requests`` arrivals and drain completely.
+
+        The finite-workload mode the parity tests use: every admitted
+        request finishes before the call returns, so counts are exact.
+        """
+        if n_requests < 1:
+            raise ConfigurationError(
+                f"need at least one request, got {n_requests}"
+            )
+        self._max_arrivals = self._next_index + n_requests
+        self._chain_next_arrival()
+        self.clock.run()
+        return self.metrics.summary()

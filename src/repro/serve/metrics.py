@@ -1,0 +1,101 @@
+"""Fleet-level serving metrics: latency tails, violations, drops.
+
+The closed-loop harness reports per-input violation flags
+(:class:`repro.runtime.results.ServedInput`); an open-loop front-end
+needs the serving-system view instead — end-to-end response time
+(queueing included), deadline violations against the *arrival* time,
+and explicit drop accounting for requests the bounded admission queue
+refused.  This module is pure bookkeeping; the front-end and replicas
+push events into it and ``summary()`` renders the percentiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FleetMetrics"]
+
+
+class FleetMetrics:
+    """Counters and response-time samples for one fleet run.
+
+    Violations are end-to-end: a request violates when its response
+    time (finish − arrival, queueing and service included) exceeds the
+    deadline of the goal it arrived under.  That is deliberately
+    stricter than the per-outcome ``met_deadline`` flag, which only
+    sees service time.
+    """
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        self.admitted = 0
+        self.served = 0
+        self.violations = 0
+        self.drops: dict[str, int] = {}
+        self.responses_s: list[float] = []
+        self.service_s: list[float] = []
+        self.energy_j = 0.0
+        self.per_replica_served: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Event feed
+    # ------------------------------------------------------------------
+    def record_arrival(self) -> None:
+        self.arrived += 1
+
+    def record_admitted(self) -> None:
+        self.admitted += 1
+
+    def record_drop(self, reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+
+    def record_served(
+        self,
+        replica_id: int,
+        response_s: float,
+        service_s: float,
+        violated: bool,
+        energy_j: float = 0.0,
+    ) -> None:
+        self.served += 1
+        self.responses_s.append(response_s)
+        self.service_s.append(service_s)
+        self.energy_j += energy_j
+        if violated:
+            self.violations += 1
+        self.per_replica_served[replica_id] = (
+            self.per_replica_served.get(replica_id, 0) + 1
+        )
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        return sum(self.drops.values())
+
+    def percentile_s(self, q: float) -> float:
+        """Response-time percentile in seconds (0.0 when nothing served)."""
+        if not self.responses_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.responses_s), q))
+
+    def summary(self) -> dict:
+        """One flat dict: everything a fleet run reports or asserts on."""
+        served = self.served
+        return {
+            "arrived": self.arrived,
+            "admitted": self.admitted,
+            "served": served,
+            "dropped": self.dropped,
+            "drops": dict(self.drops),
+            "violations": self.violations,
+            "violation_rate": (self.violations / served) if served else 0.0,
+            "p50_response_s": self.percentile_s(50.0),
+            "p99_response_s": self.percentile_s(99.0),
+            "mean_service_s": (
+                float(np.mean(self.service_s)) if self.service_s else 0.0
+            ),
+            "energy_j": self.energy_j,
+            "per_replica_served": dict(self.per_replica_served),
+        }

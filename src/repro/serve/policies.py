@@ -1,0 +1,116 @@
+"""Load-balancing policies: which replica serves the next request.
+
+The front-end asks a policy to pick among the *active* replicas for
+every admitted request.  All three policies are deterministic — ties
+break on the lowest replica id, and round-robin keeps an explicit
+cursor — so a fleet run is a pure function of its seeds.
+
+* :class:`RoundRobinPolicy` — cycle through active replicas in id
+  order; the classic baseline.
+* :class:`LeastLoadedPolicy` — smallest backlog (queued + in-flight);
+  join-the-shortest-queue.
+* :class:`CostAwarePolicy` — smallest expected *time to drain through
+  this replica*: ``(backlog + 1) x`` the replica kernel's own latency
+  estimate for the request's goal.  This is the policy the kernel
+  split buys: the decision kernel's per-goal latency belief is
+  queryable without serving an input, so the balancer can weigh a
+  replica that believes it is slowed down (its ξ estimate is high)
+  against one that does not.  Kernels that expose no estimate (the
+  decoupled baseline returns a bare configuration) degrade to
+  least-loaded.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "LoadBalancingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "CostAwarePolicy",
+    "POLICY_KINDS",
+    "make_policy",
+]
+
+
+class LoadBalancingPolicy:
+    """Interface: pick one replica from a non-empty active list."""
+
+    kind = "base"
+
+    def select(self, replicas, goal):
+        """Choose the replica to serve a request arriving under ``goal``.
+
+        ``replicas`` is the list of active replicas in id order; the
+        front-end never calls with an empty list.
+        """
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(LoadBalancingPolicy):
+    """Cycle through active replicas regardless of load."""
+
+    kind = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, replicas, goal):
+        choice = replicas[self._cursor % len(replicas)]
+        self._cursor += 1
+        return choice
+
+
+class LeastLoadedPolicy(LoadBalancingPolicy):
+    """Join the shortest queue; ties go to the lowest replica id."""
+
+    kind = "least-loaded"
+
+    def select(self, replicas, goal):
+        return min(replicas, key=lambda r: (r.backlog, r.replica_id))
+
+
+class CostAwarePolicy(LoadBalancingPolicy):
+    """Minimise backlog x the kernel's own expected service latency.
+
+    The probe (:meth:`repro.serve.replica.Replica.expected_latency_s`)
+    reads the decision kernel's estimate for this goal without mutating
+    any filter state, so balancing never perturbs the controllers'
+    behaviour.
+    """
+
+    kind = "cost-aware"
+
+    def select(self, replicas, goal):
+        costs = []
+        for replica in replicas:
+            expected = replica.expected_latency_s(goal)
+            if expected is None:
+                # No estimate surface anywhere in the fleet: degrade to
+                # least-loaded rather than mixing incomparable costs.
+                return min(replicas, key=lambda r: (r.backlog, r.replica_id))
+            costs.append(
+                ((replica.backlog + 1) * expected, replica.replica_id, replica)
+            )
+        return min(costs)[2]
+
+
+POLICY_KINDS = ("round-robin", "least-loaded", "cost-aware")
+
+_POLICIES = {
+    "round-robin": RoundRobinPolicy,
+    "least-loaded": LeastLoadedPolicy,
+    "cost-aware": CostAwarePolicy,
+}
+
+
+def make_policy(kind: str) -> LoadBalancingPolicy:
+    """Instantiate a policy by CLI name."""
+    try:
+        return _POLICIES[kind]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown load-balancing policy {kind!r}; "
+            f"expected one of {POLICY_KINDS}"
+        ) from None

@@ -1,0 +1,153 @@
+"""One serving replica: an engine + controller pair on the event loop.
+
+A replica is the event-loop re-expression of the closed-loop
+:class:`~repro.runtime.loop.ServingLoop` round trip, rebased on the
+clock-free kernel split:
+
+* **decide** happens at dispatch time (a request leaves the FIFO);
+* the engine realises the outcome and the replica goes *busy* for the
+  outcome's service latency (one request in flight per replica — the
+  paper's single-accelerator machine model);
+* **observe** happens at finish time, feeding the kernel a
+  :class:`~repro.core.kernel.Measurement` via the same
+  ``measurement_from_outcome`` convention the harness uses — it is the
+  driver, not the kernel, that owns the idle-phase question.
+
+With one replica and a FIFO queue this interleaving (decide_n, serve_n,
+observe_n, decide_{n+1}, ...) is exactly the sequential harness path,
+which is what the fleet/harness parity test pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.kernel import kernel_of, measurement_from_outcome
+
+__all__ = ["Replica"]
+
+
+class Replica:
+    """A single-flight serving lane owning its own controller state.
+
+    Parameters
+    ----------
+    replica_id:
+        Stable integer id; policies use it for deterministic ties.
+    engine / scheduler:
+        The replica's private engine realisation and policy adapter
+        (per-replica controller state — each replica tracks its own ξ).
+    clock:
+        A scheduling clock (:class:`~repro.runtime.clock.VirtualClock`
+        or ``WallClock``); service completions are posted onto it.
+    metrics:
+        Shared :class:`~repro.serve.metrics.FleetMetrics` sink.
+    power_cap_w:
+        The replica's share of the fleet power budget, or ``None`` for
+        uncapped.  Re-assigned by the front-end on churn; decisions
+        requesting more power are clamped to the share.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        engine,
+        scheduler,
+        clock,
+        metrics,
+        power_cap_w: float | None = None,
+    ) -> None:
+        self.replica_id = replica_id
+        self.engine = engine
+        self.scheduler = scheduler
+        self.kernel = kernel_of(scheduler)
+        self.clock = clock
+        self.metrics = metrics
+        self.power_cap_w = power_cap_w
+        self.queue: deque = deque()
+        self.busy = False
+        self.active = True
+        self.served = 0
+
+    @property
+    def backlog(self) -> int:
+        """Requests this replica still owes: queued plus in flight."""
+        return len(self.queue) + (1 if self.busy else 0)
+
+    def expected_latency_s(self, goal) -> float | None:
+        """The kernel's current latency belief for ``goal``, or ``None``.
+
+        Probes ``kernel.decide`` — which mutates only memo counters,
+        never filter state — and reads the selection's estimate.
+        Kernels that return a bare configuration (no estimate record)
+        yield ``None`` and the cost-aware policy degrades gracefully.
+        """
+        selection = self.kernel.decide(goal)
+        estimate = getattr(selection, "estimate", None)
+        if estimate is None:
+            return None
+        return estimate.latency_mean_s
+
+    # ------------------------------------------------------------------
+    # Event flow: submit -> dispatch -> finish -> dispatch next
+    # ------------------------------------------------------------------
+    def submit(self, request) -> None:
+        """Accept an admitted request; dispatch immediately if idle."""
+        self.queue.append(request)
+        self._maybe_start()
+
+    def drain(self) -> list:
+        """Deactivate: stop accepting dispatches, return queued requests.
+
+        An in-flight request (if any) finishes normally and still
+        records; the queued remainder is handed back to the front-end
+        for re-dispatch to the surviving replicas.
+        """
+        self.active = False
+        stranded = list(self.queue)
+        self.queue.clear()
+        return stranded
+
+    def _maybe_start(self) -> None:
+        if self.busy or not self.active or not self.queue:
+            return
+        request = self.queue.popleft()
+        self.busy = True
+        goal = request.goal
+        config = self.scheduler.decide(request.item, goal)
+        power_w = config.power_w
+        if self.power_cap_w is not None and power_w > self.power_cap_w:
+            power_w = self.power_cap_w
+        outcome = self.engine.run(
+            model=config.model,
+            power_cap_w=power_w,
+            index=request.item.index,
+            deadline_s=goal.deadline_s,
+            period_s=goal.period,
+            work_factor=request.item.work_factor,
+            rung_cap=config.rung_cap,
+        )
+        self.clock.schedule(
+            outcome.latency_s, lambda: self._finish(request, outcome)
+        )
+
+    def _finish(self, request, outcome) -> None:
+        """Service completed: observe, account, dispatch the next."""
+        self.busy = False
+        # Same measurement convention as the closed-loop harness (idle
+        # sample iff the accounting period had an idle phase), so a
+        # one-replica fleet reproduces the ServingLoop filter states
+        # bit for bit — pinned by the fleet/harness parity test.
+        self.kernel.observe(measurement_from_outcome(outcome))
+        self.served += 1
+        response_s = self.clock.now() - request.arrival_s
+        self.metrics.record_served(
+            replica_id=self.replica_id,
+            response_s=response_s,
+            service_s=outcome.latency_s,
+            violated=response_s > request.goal.deadline_s + 1e-12,
+            energy_j=outcome.energy.total_j,
+        )
+        if request.on_served is not None:
+            request.on_served(request, outcome)
+        self._maybe_start()
