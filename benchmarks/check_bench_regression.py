@@ -80,6 +80,7 @@ CHECKS = (
         # section's recorded cpu_count equals os.cpu_count().
         "cpu_gated_metrics": (
             "executor.workers.2.speedup_vs_serial",
+            "sweep.workers.2.store_speedup",
         ),
     },
 )
@@ -92,17 +93,22 @@ def _cpu_gate_passes(baseline, metric: str) -> bool:
     ``cpu_count`` records the core count of the box that wrote the
     committed artifact.  An artifact predating the field (or written
     on a different box) skips the comparison rather than gating on
-    numbers that do not transfer.  A ``workers.<N>`` pool ratio is
-    additionally skipped when the box has fewer than N cores: with the
-    pool pinned to one core the ratio measures nothing but process
-    overhead, and overhead noise would gate the build.
+    numbers that do not transfer.  A ``workers.<N>`` ratio *against a
+    serial baseline* (``speedup_vs_serial``) is additionally skipped
+    when the box has fewer than N cores: with the pool pinned to one
+    core the ratio measures nothing but process overhead, and
+    overhead noise would gate the build.  Pool-vs-pool ratios at the
+    same worker count (the sweep's ``store_speedup``) carry no such
+    clause — both arms timeslice identically, so the ratio measures
+    duplicated work and transfers to any box with the committed
+    cpu_count.
     """
     section = metric.split(".", 1)[0]
     committed_cpus = _dig(baseline, f"{section}.cpu_count")
     if committed_cpus is None or committed_cpus != os.cpu_count():
         return False
     parts = metric.split(".")
-    if "workers" in parts:
+    if "workers" in parts and parts[-1] == "speedup_vs_serial":
         workers = int(parts[parts.index("workers") + 1])
         if os.cpu_count() < workers:
             return False

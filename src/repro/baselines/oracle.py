@@ -119,6 +119,7 @@ def oracle_outcome_grid(
     goal: Goal,
     stream: InputStream,
     n_inputs: int,
+    allocator=None,
 ) -> BatchOutcomeGrid:
     """The full (configuration × input) outcome grid for one setting.
 
@@ -126,7 +127,10 @@ def oracle_outcome_grid(
     the "run 90 inputs in all possible configurations" table both
     oracles read from.  The experiment harness computes this once per
     (scenario, goal) cell and shares it between Oracle and
-    OracleStatic.
+    OracleStatic.  ``allocator`` passes through to
+    :meth:`~repro.models.inference.InferenceEngine.evaluate_batch`, so
+    a grid store can realise the grid directly inside a shared-memory
+    segment (bit-identical to private realisation).
     """
     if n_inputs < 1:
         raise ConfigurationError(f"need at least one input, got {n_inputs}")
@@ -136,6 +140,7 @@ def oracle_outcome_grid(
         deadline_s=goal.deadline_s,
         period_s=goal.period,
         work_factors=[stream.item(i).work_factor for i in range(n_inputs)],
+        allocator=allocator,
     )
 
 

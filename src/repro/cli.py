@@ -14,6 +14,16 @@ can be regenerated from a shell::
     python -m repro table5 --workers 4
     python -m repro serve --platform CPU1 --env memory --inputs 200
     python -m repro fleet --replicas 4 --arrivals poisson --policy cost-aware
+    python -m repro sweep --platforms CPU1 GPU --workers 4 \
+        --checkpoint sweep.jsonl   # resumable multi-scenario sweep
+
+``sweep`` is the production-scale front over the same executor: it
+expands a declarative spec (platforms x tasks x envs x seeds x the
+constraint grid x schemes) into fused cells, streams compact per-cell
+summaries back (O(cells) driver memory), shares realised outcome
+grids across pool workers through ``multiprocessing.shared_memory``,
+and checkpoints completed cells to JSONL so a killed sweep resumes
+bit-identically.
 
 ``fleet`` is the open-loop counterpart of ``serve``: N replicas (each
 with its own ALERT controller) behind a bounded admission queue and a
@@ -249,6 +259,81 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="short CI run: 2 replicas, 20 virtual seconds, asserts traffic",
     )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="declarative (scenario x goal x scheme) sweep, resumable",
+        description=(
+            "Expand a declarative sweep spec (platforms x tasks x envs x "
+            "seeds x the constraint grid x schemes) into the executor's "
+            "cell plan and run it with streaming per-cell summaries "
+            "(driver memory stays O(cells)).  With --workers > 1 a "
+            "shared-memory grid store realises each outcome grid once "
+            "per sweep instead of once per worker; with --checkpoint "
+            "completed cells append to a JSONL file and a restarted "
+            "sweep resumes bit-identically."
+        ),
+    )
+    sweep.add_argument("--platforms", nargs="+", default=["CPU1"])
+    sweep.add_argument("--tasks", nargs="+", default=["image"])
+    sweep.add_argument("--envs", nargs="+", default=["memory"])
+    sweep.add_argument(
+        "--schemes", nargs="+", default=["Oracle", "OracleStatic", "ALERT"]
+    )
+    sweep.add_argument(
+        "--objectives",
+        nargs="+",
+        choices=("min_energy", "min_error"),
+        default=["min_energy", "min_error"],
+        help="which halves of each scenario's constraint grid to sweep",
+    )
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[20200417])
+    sweep.add_argument("--stride", type=int, default=3)
+    sweep.add_argument("--inputs", type=int, default=100)
+    sweep.add_argument("--workers", type=int, default=1, help=workers_help)
+    sweep.add_argument(
+        "--grid-store",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "share realised outcome grids across workers through "
+            "shared memory (default: on when --workers > 1; "
+            "bit-identical either way)"
+        ),
+    )
+    sweep.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSONL file completed cells append to (enables resume)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="skip cells already in the checkpoint (default on)",
+    )
+    sweep.add_argument(
+        "--keep-runs",
+        action="store_true",
+        help=(
+            "also collect full per-input RunResults (driver memory "
+            "grows to O(inputs); summaries alone are the default)"
+        ),
+    )
+    sweep.add_argument(
+        "--cell-limit",
+        type=int,
+        default=None,
+        help="execute at most N new cells, then stop (crash simulation)",
+    )
+    sweep.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "short CI run: one scenario, two schemes, strided goals; "
+            "asserts every cell completed"
+        ),
+    )
     return parser
 
 
@@ -365,6 +450,42 @@ def _run_fleet(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_sweep(args: argparse.Namespace) -> str:
+    # Imported lazily: the sweep engine pulls in the whole runtime
+    # stack, which the lighter commands never need.
+    from repro.runtime.sweep import SweepSpec, run_sweep
+
+    if args.smoke:
+        args.platforms = ["CPU1"]
+        args.tasks = ["image"]
+        args.envs = ["memory"]
+        args.schemes = ["Oracle", "OracleStatic"]
+        args.stride = max(args.stride, 7)
+        args.inputs = min(args.inputs, 20)
+    spec = SweepSpec(
+        platforms=tuple(args.platforms),
+        tasks=tuple(args.tasks),
+        envs=tuple(args.envs),
+        schemes=tuple(args.schemes),
+        objectives=tuple(args.objectives),
+        settings_stride=args.stride,
+        n_inputs=args.inputs,
+        seeds=tuple(args.seeds),
+    )
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        grid_store=args.grid_store,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        keep_runs=args.keep_runs,
+        cell_limit=args.cell_limit,
+    )
+    if args.smoke and not result.complete:
+        raise SimulationError("sweep smoke run left cells unexecuted")
+    return result.describe()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -427,6 +548,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_run_serve(args))
     elif args.command == "fleet":
         print(_run_fleet(args))
+    elif args.command == "sweep":
+        print(_run_sweep(args))
     else:  # pragma: no cover - argparse enforces the choices
         return 2
     return 0

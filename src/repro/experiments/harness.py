@@ -278,6 +278,7 @@ def evaluate_schemes(
     lockstep: bool | None = None,
     cross_scheme: bool | None = None,
     requirement_trace=None,
+    grid_store=None,
 ) -> CellResult:
     """Run every scheme over every constraint setting of a cell.
 
@@ -325,6 +326,12 @@ def evaluate_schemes(
     (Figure 9's dynamic requirements) to every run of the cell; traced
     cells take the per-step serving paths but keep full parity across
     worker counts and fusion settings.
+
+    ``grid_store`` optionally plugs a
+    :class:`repro.runtime.grid_store.GridStoreClient` under every
+    executing process, so pooled cells attach shared-memory outcome
+    grids instead of realising per-process copies (the sweep engine's
+    zero-copy path; value-identical either way).
     """
     goal_list = tuple(goals)
     scheme_list = tuple(schemes)
@@ -397,7 +404,9 @@ def evaluate_schemes(
             )
             for group in groups
         ]
-        executor = RunExecutor(workers=workers, chunksize=1)
+        executor = RunExecutor(
+            workers=workers, chunksize=1, grid_store=grid_store
+        )
         grid_results = executor.run_plan(plan, scenarios={key: scenario})
         runs = {name: [None] * len(goal_list) for name in scheme_list}
         for group, cell_lists in zip(groups, grid_results):
@@ -419,7 +428,9 @@ def evaluate_schemes(
             )
             for goal in goal_list
         ]
-        executor = RunExecutor(workers=workers, chunksize=1)
+        executor = RunExecutor(
+            workers=workers, chunksize=1, grid_store=grid_store
+        )
         cell_results = executor.run_plan(plan, scenarios={key: scenario})
         runs = {name: [] for name in scheme_list}
         for cell in cell_results:
@@ -440,7 +451,9 @@ def evaluate_schemes(
         for goal in goal_list
         for name in scheme_list
     ]
-    executor = RunExecutor(workers=workers, chunksize=len(scheme_list))
+    executor = RunExecutor(
+        workers=workers, chunksize=len(scheme_list), grid_store=grid_store
+    )
     results = executor.run_plan(plan, scenarios={key: scenario})
     runs = {name: [] for name in scheme_list}
     for spec, result in zip(plan, results):

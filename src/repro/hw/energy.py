@@ -77,12 +77,18 @@ def period_energy_arrays(
     period_s: float,
     inference_power_w: np.ndarray,
     idle_power_w: np.ndarray,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """:func:`period_energy` over aligned arrays of periods.
 
     Returns ``(inference_j, idle_j)`` computed with the exact
     per-element arithmetic of the scalar bookkeeping, so the batch
-    evaluation path and the metered path agree to the bit.
+    evaluation path and the metered path agree to the bit.  ``out``
+    optionally supplies the two destination arrays — the values are
+    identical either way (same multiplications, different backing
+    memory), which lets grid realisation write its energy planes
+    straight into a shared-memory segment instead of copying them
+    there afterwards.
     """
     latency = np.asarray(latency_s, dtype=float)
     if period_s < 0 or np.any(latency < 0):
@@ -94,7 +100,11 @@ def period_energy_arrays(
     ):
         raise SimulationError("power draws must be non-negative")
     idle_time = np.maximum(0.0, period_s - latency)
-    return latency * inference_power_w, idle_time * idle_power_w
+    inference_out, idle_out = out if out is not None else (None, None)
+    return (
+        np.multiply(latency, inference_power_w, out=inference_out),
+        np.multiply(idle_time, idle_power_w, out=idle_out),
+    )
 
 
 class EnergyAccount:

@@ -48,6 +48,10 @@ __all__ = [
     "BatchOutcomeGrid",
     "GridView",
     "InferenceEngine",
+    "SHARED_GRID_ARRAYS",
+    "shared_grid_payload",
+    "write_shared_grid",
+    "adopt_shared_grid",
 ]
 
 
@@ -185,6 +189,25 @@ class BatchOutcomeGrid:
             }
         return self._column_of.get(int(index))
 
+    def columns_of(self, indices) -> np.ndarray | None:
+        """Column positions of ``indices``; None when any is off-grid.
+
+        The serving fast paths resolve a whole run's columns per run,
+        so the common case — the run asks for the grid's own leading
+        inputs in order — is answered with one vectorized prefix
+        compare instead of a per-index dictionary walk.
+        """
+        wanted = np.asarray(indices, dtype=int)
+        own = np.asarray(self.indices, dtype=int)
+        if len(wanted) <= len(own) and np.array_equal(
+            own[: len(wanted)], wanted
+        ):
+            return np.arange(len(wanted))
+        positions = [self.column_for(index) for index in indices]
+        if any(position is None for position in positions):
+            return None
+        return np.asarray(positions, dtype=int)
+
 
 class GridView:
     """Serving accessors over one shared :class:`BatchOutcomeGrid`.
@@ -271,10 +294,9 @@ class GridView:
     def columns_for(self, indices, work_factors) -> np.ndarray | None:
         """Columns serving a whole run, or None when any input misses."""
         grid = self.grid
-        positions = [grid.column_for(index) for index in indices]
-        if any(position is None for position in positions):
+        columns = grid.columns_of(indices)
+        if columns is None:
             return None
-        columns = np.asarray(positions, dtype=int)
         factors = np.asarray(list(work_factors), dtype=float)
         if not np.array_equal(factors, grid.work_factors[columns]):
             return None
@@ -334,6 +356,167 @@ class GridView:
             "period_s": period_s,
         })
         return outcome
+
+
+#: Array fields of :class:`BatchOutcomeGrid` that travel through a flat
+#: shared buffer, in layout order.  Every dtype here is 8 bytes except
+#: ``met_deadline`` (bool), which sits last so all offsets stay
+#: naturally aligned.  ``configs`` never crosses the buffer: attachers
+#: supply their own configuration tuple (the scenario's memoised space),
+#: which keeps :meth:`GridView.row_for`'s identity keys process-local.
+SHARED_GRID_ARRAYS = (
+    "indices",
+    "work_factors",
+    "env_factor",
+    "power_cap_w",
+    "inference_power_w",
+    "idle_power_w",
+    "latency_s",
+    "full_latency_s",
+    "quality",
+    "completed_rungs",
+    "inference_j",
+    "idle_j",
+    "met_deadline",
+)
+
+
+def shared_grid_layout(n_configs: int, n_inputs: int) -> tuple[list, int]:
+    """The flat-buffer layout of a grid *before* it exists: ``(fields, nbytes)``.
+
+    Every array field's dtype and shape is a static function of the
+    grid's dimensions, so the buffer a grid will occupy can be sized —
+    and a shared-memory segment created — before realisation starts.
+    Combined with :func:`buffer_grid_allocator` this makes publishing
+    zero-copy end to end: the batch evaluation writes its output
+    planes directly into the segment instead of realising privately
+    and copying 30-odd megabytes per grid afterwards.  The field table
+    is identical to what :func:`shared_grid_payload` derives from a
+    realised grid (the regression suite cross-checks the two).
+    """
+    two_d = (n_configs, n_inputs)
+    shapes = {
+        "indices": ([n_inputs], "<i8"),
+        "work_factors": ([n_inputs], "<f8"),
+        "env_factor": ([n_inputs], "<f8"),
+        "power_cap_w": ([n_configs], "<f8"),
+        "inference_power_w": ([n_configs], "<f8"),
+        "idle_power_w": (list(two_d), "<f8"),
+        "latency_s": (list(two_d), "<f8"),
+        "full_latency_s": (list(two_d), "<f8"),
+        "quality": (list(two_d), "<f8"),
+        "completed_rungs": (list(two_d), "<i8"),
+        "inference_j": (list(two_d), "<f8"),
+        "idle_j": (list(two_d), "<f8"),
+        "met_deadline": (list(two_d), "|b1"),
+    }
+    fields = []
+    offset = 0
+    for name in SHARED_GRID_ARRAYS:
+        shape, dtype = shapes[name]
+        offset = -(-offset // 16) * 16
+        fields.append([name, dtype, shape, offset])
+        offset += int(np.prod(shape)) * np.dtype(dtype).itemsize
+    return fields, offset
+
+
+def buffer_grid_allocator(fields: list, buffer):
+    """An allocator handing out writable views into a grid buffer.
+
+    ``fields`` is a :func:`shared_grid_layout` field table; the
+    returned callable maps ``(name, shape, dtype)`` requests from
+    :meth:`InferenceEngine.evaluate_batch` to ndarray views at the
+    field's buffer offset.  Shape and dtype are validated against the
+    layout so a drifted caller fails loudly instead of writing past a
+    neighbouring field.
+    """
+    table = {name: (dtype, shape, offset) for name, dtype, shape, offset in fields}
+
+    def allocate(name: str, shape, dtype) -> np.ndarray:
+        expected_dtype, expected_shape, offset = table[name]
+        if list(shape) != expected_shape or np.dtype(dtype).str != expected_dtype:
+            raise ConfigurationError(
+                f"grid field {name!r} expects {expected_shape}/{expected_dtype}, "
+                f"allocation asked for {list(shape)}/{np.dtype(dtype).str}"
+            )
+        return np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype), buffer=buffer, offset=offset
+        )
+
+    return allocate
+
+
+def shared_grid_payload(grid: BatchOutcomeGrid) -> tuple[dict, list]:
+    """Describe a grid for flat-buffer export: ``(meta, arrays)``.
+
+    ``meta`` is plain picklable data — scalars plus a field table of
+    ``[name, dtype, shape, offset]`` rows and the total ``nbytes`` —
+    suitable for a manager dict; ``arrays`` aligns with the field table
+    and holds the (contiguous) source arrays to copy.  The buffer
+    layout is consumed by :func:`write_shared_grid` and
+    :func:`adopt_shared_grid`.
+    """
+    fields = []
+    arrays = []
+    offset = 0
+    for name in SHARED_GRID_ARRAYS:
+        array = np.ascontiguousarray(getattr(grid, name))
+        offset = -(-offset // 16) * 16
+        fields.append([name, array.dtype.str, list(array.shape), offset])
+        arrays.append(array)
+        offset += array.nbytes
+    meta = {
+        "deadline_s": grid.deadline_s,
+        "period_s": grid.period_s,
+        "n_configs": grid.n_configs,
+        "n_inputs": grid.n_inputs,
+        "fields": fields,
+        "nbytes": offset,
+    }
+    return meta, arrays
+
+
+def write_shared_grid(meta: dict, arrays: list, buffer) -> None:
+    """Copy a grid's arrays into ``buffer`` at the meta's offsets."""
+    for (name, dtype, shape, offset), array in zip(meta["fields"], arrays):
+        view = np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype), buffer=buffer, offset=offset
+        )
+        view[...] = array
+
+
+def adopt_shared_grid(
+    configs: tuple, meta: dict, buffer, owner=None
+) -> BatchOutcomeGrid:
+    """A :class:`BatchOutcomeGrid` over zero-copy views of ``buffer``.
+
+    Every adopted array is explicitly marked read-only
+    (``writeable=False``): the buffer is typically a shared-memory
+    segment mapped by several worker processes at once, and a stray
+    in-place mutation must raise instead of silently corrupting sibling
+    workers' grids.  ``owner`` (e.g. the ``SharedMemory`` object whose
+    ``buf`` this is) is pinned on the grid so the mapping outlives all
+    array views.
+    """
+    if len(configs) != meta["n_configs"]:
+        raise ConfigurationError(
+            f"shared grid covers {meta['n_configs']} configuration rows, "
+            f"got {len(configs)} configs to adopt it with"
+        )
+    values: dict = {
+        "configs": tuple(configs),
+        "deadline_s": meta["deadline_s"],
+        "period_s": meta["period_s"],
+    }
+    for name, dtype, shape, offset in meta["fields"]:
+        view = np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype), buffer=buffer, offset=offset
+        )
+        view.flags.writeable = False
+        values[name] = view
+    grid = BatchOutcomeGrid(**values)
+    grid._shared_owner = owner
+    return grid
 
 
 @dataclass
@@ -543,6 +726,7 @@ class InferenceEngine:
         deadline_s: float,
         period_s: float | None = None,
         work_factors: Sequence[float] | None = None,
+        allocator=None,
     ) -> BatchOutcomeGrid:
         """Evaluate every configuration on every input in one pass.
 
@@ -553,6 +737,14 @@ class InferenceEngine:
         ``model``, ``power_w``, and ``rung_cap`` (duck-typed so the
         engine does not import the configuration space);
         ``work_factors`` aligns with ``indices`` and defaults to 1.0.
+
+        ``allocator`` optionally supplies the destination memory for
+        every grid field (``allocator(name, shape, dtype) -> ndarray``,
+        see :func:`buffer_grid_allocator`): the evaluation then writes
+        its output planes directly into that memory — e.g. a
+        shared-memory segment — via ``out=`` on the final producing
+        ops.  The arithmetic and its order are unchanged, so results
+        are bit-identical to the privately allocated default.
 
         ``time_budget_s`` has no batch equivalent — the oracles never
         carry a leftover budget; use :meth:`evaluate` for that.
@@ -590,7 +782,16 @@ class InferenceEngine:
             [self._environment[i].idle_power_w for i in index_array], dtype=float
         )
 
+        n_configs, n_inputs = len(config_list), index_array.size
+
+        def alloc(name: str, shape, dtype) -> np.ndarray:
+            if allocator is None:
+                return np.empty(shape, dtype=dtype)
+            return allocator(name, shape, dtype)
+
+        grid_shape = (n_configs, n_inputs)
         table = self._config_table(config_list)
+        full = alloc("full_latency_s", grid_shape, float)
         if table.any_sensitive:
             # work_scale short-circuits to exactly 1.0 for insensitive
             # models, matching DnnModel.work_scale.
@@ -601,17 +802,25 @@ class InferenceEngine:
             )
             # Multiplication order mirrors the scalar path:
             # ((nominal * multiplier) * work_scale) * env_factor.
-            full = (table.base_latency[:, None] * work_scale) * env[None, :]
+            np.multiply(
+                table.base_latency[:, None] * work_scale,
+                env[None, :],
+                out=full,
+            )
         else:
             # work_scale == 1.0 exactly; x * 1.0 == x bit-for-bit.
-            full = table.base_latency[:, None] * env[None, :]
-        idle_power = np.minimum(idle_draw[None, :], table.draw[:, None])
+            np.multiply(table.base_latency[:, None], env[None, :], out=full)
+        idle_power = np.minimum(
+            idle_draw[None, :],
+            table.draw[:, None],
+            out=alloc("idle_power_w", grid_shape, float),
+        )
 
-        n_configs, n_inputs = len(config_list), index_array.size
-        latency = np.empty((n_configs, n_inputs), dtype=float)
-        quality = np.empty((n_configs, n_inputs), dtype=float)
-        rungs = np.zeros((n_configs, n_inputs), dtype=int)
-        met = np.empty((n_configs, n_inputs), dtype=bool)
+        latency = alloc("latency_s", grid_shape, float)
+        quality = alloc("quality", grid_shape, float)
+        rungs = alloc("completed_rungs", grid_shape, int)
+        rungs.fill(0)
+        met = alloc("met_deadline", grid_shape, bool)
 
         trad = table.traditional_rows
         if trad.size:
@@ -639,16 +848,46 @@ class InferenceEngine:
             period_s=period,
             inference_power_w=table.power[:, None],
             idle_power_w=idle_power,
+            out=(
+                alloc("inference_j", grid_shape, float),
+                alloc("idle_j", grid_shape, float),
+            ),
         )
+        indices_out = index_array
+        caps_out = table.caps
+        power_out = table.power
+        if allocator is not None:
+            # The small 1-D planes are copies into the buffer: the
+            # config table's arrays are shared across grids and must
+            # not alias externally owned memory.
+            for name, src in (
+                ("indices", index_array),
+                ("work_factors", factors),
+                ("env_factor", env),
+                ("power_cap_w", table.caps),
+                ("inference_power_w", table.power),
+            ):
+                view = allocator(name, src.shape, src.dtype)
+                view[...] = src
+                if name == "indices":
+                    indices_out = view
+                elif name == "work_factors":
+                    factors = view
+                elif name == "env_factor":
+                    env = view
+                elif name == "power_cap_w":
+                    caps_out = view
+                else:
+                    power_out = view
         return BatchOutcomeGrid(
             configs=config_list,
-            indices=index_array,
+            indices=indices_out,
             deadline_s=deadline_s,
             period_s=period,
             work_factors=factors,
             env_factor=env,
-            power_cap_w=table.caps,
-            inference_power_w=table.power,
+            power_cap_w=caps_out,
+            inference_power_w=power_out,
             idle_power_w=idle_power,
             latency_s=latency,
             full_latency_s=full,

@@ -94,13 +94,23 @@ __all__ = [
     "factory_accepts",
     "factory_accepts_oracle_grid",
     "space_fingerprint",
+    "structural_space_fingerprint",
 ]
 
 #: Default dotted path of the scheme factory (module:attribute).
 DEFAULT_FACTORY = "repro.experiments.harness:make_scheme"
 
-#: Upper bound on per-process cached oracle outcome grids.
+#: Upper bound on per-process cached oracle outcome grids.  The cache
+#: is LRU: a hit refreshes recency, so a long interleaved plan evicts
+#: the grid touched longest ago, not the one inserted first.
 _GRID_CACHE_CAPACITY = 32
+#: Upper bound on the per-scenario caches (scenarios, spaces, shared
+#: engine/stream realisations).  A production sweep walks hundreds of
+#: scenarios through one worker; unbounded maps would pin every
+#: engine's memoised environment draws for the life of the process.
+_SCENARIO_CACHE_CAPACITY = 16
+#: Upper bound on resolved scheme-factory callables (keyed by path).
+_FACTORY_CACHE_CAPACITY = 64
 
 
 @dataclass(frozen=True)
@@ -404,6 +414,22 @@ def space_fingerprint(configs: Iterable) -> tuple:
     )
 
 
+def structural_space_fingerprint(configs: Iterable) -> tuple:
+    """A *cross-process* identity of a candidate configuration list.
+
+    The per-process :func:`space_fingerprint` keys on ``id(model)``,
+    which never survives a process boundary; the shared grid store
+    instead keys on structure — (model name, cap, rung) rows in order.
+    Safe there because the store only serves a scenario's *default*
+    candidate space, whose rows are a deterministic enumeration of the
+    scenario key: same key, same structure, every process.
+    """
+    return tuple(
+        (config.model.name, config.power_w, config.rung_cap)
+        for config in configs
+    )
+
+
 def run_single(
     scenario: Scenario,
     goal: Goal,
@@ -455,6 +481,7 @@ def timing_grid(
     space=None,
     engine=None,
     stream=None,
+    allocator=None,
 ):
     """The oracle outcome grid for one (scenario, timing) pair.
 
@@ -464,7 +491,9 @@ def timing_grid(
     shares the grid.  ``space`` overrides the scenario's full candidate
     space (custom factories evaluating reduced sets);
     ``engine``/``stream`` reuse an existing realisation (one engine's
-    memoised draws serve every timing of a scenario).
+    memoised draws serve every timing of a scenario); ``allocator``
+    (see :func:`repro.models.inference.buffer_grid_allocator`) lets a
+    grid store realise the arrays directly inside a shared segment.
     """
     # Imported lazily: baselines imports repro.runtime, so a module
     # level import here would be circular.
@@ -476,38 +505,73 @@ def timing_grid(
         engine = scenario.make_engine()
     if stream is None:
         stream = scenario.make_stream()
-    return oracle_outcome_grid(engine, space, goal, stream, n_inputs)
+    return oracle_outcome_grid(
+        engine, space, goal, stream, n_inputs, allocator=allocator
+    )
 
 
 class _WorkerState:
-    """Per-process caches: scenarios, factories, spaces, outcome grids."""
+    """Per-process caches: scenarios, factories, spaces, outcome grids.
 
-    def __init__(self, scenarios: Mapping[ScenarioKey, Scenario] | None = None):
-        self._scenarios: dict[ScenarioKey, Scenario] = dict(scenarios or {})
-        self._factories: dict[str, Callable] = {}
-        self._spaces: dict[ScenarioKey, object] = {}
+    Every cache is LRU-bounded (hit refreshes recency, insertion at
+    capacity evicts the least recently used entry), so a worker that
+    walks an arbitrarily large sweep holds a bounded working set.
+    ``grid_store`` optionally plugs a cross-process
+    :class:`repro.runtime.grid_store.GridStoreClient` under the grid
+    cache: a local miss attaches the store's shared copy before falling
+    back to realising (and publishing) the grid here.
+    """
+
+    def __init__(
+        self,
+        scenarios: Mapping[ScenarioKey, Scenario] | None = None,
+        grid_store=None,
+    ):
+        self._scenarios: OrderedDict[ScenarioKey, Scenario] = OrderedDict(
+            scenarios or {}
+        )
+        self._factories: OrderedDict[str, Callable] = OrderedDict()
+        self._spaces: OrderedDict[ScenarioKey, object] = OrderedDict()
         self._grids: OrderedDict[tuple, object] = OrderedDict()
-        self._realisations: dict[ScenarioKey, tuple] = {}
+        self._realisations: OrderedDict[ScenarioKey, tuple] = OrderedDict()
+        self._grid_store = grid_store
+
+    @staticmethod
+    def _cache_get(cache: OrderedDict, key):
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+        return cached
+
+    @staticmethod
+    def _cache_put(cache: OrderedDict, key, value, capacity: int) -> None:
+        while len(cache) >= capacity:
+            cache.popitem(last=False)
+        cache[key] = value
 
     def scenario(self, key: ScenarioKey) -> Scenario:
-        cached = self._scenarios.get(key)
+        cached = self._cache_get(self._scenarios, key)
         if cached is None:
             cached = key.build()
-            self._scenarios[key] = cached
+            self._cache_put(
+                self._scenarios, key, cached, _SCENARIO_CACHE_CAPACITY
+            )
         return cached
 
     def factory(self, path: str) -> Callable:
-        cached = self._factories.get(path)
+        cached = self._cache_get(self._factories, path)
         if cached is None:
             cached = resolve_factory(path)
-            self._factories[path] = cached
+            self._cache_put(
+                self._factories, path, cached, _FACTORY_CACHE_CAPACITY
+            )
         return cached
 
     def space(self, key: ScenarioKey):
-        cached = self._spaces.get(key)
+        cached = self._cache_get(self._spaces, key)
         if cached is None:
             cached = self.scenario(key).space()
-            self._spaces[key] = cached
+            self._cache_put(self._spaces, key, cached, _SCENARIO_CACHE_CAPACITY)
         return cached
 
     def realisation(self, key: ScenarioKey) -> tuple:
@@ -517,13 +581,15 @@ class _WorkerState:
         memoise their environment draws; streams memoise their items.
         Fused cells share this pair across every run and grid build of
         a scenario, so a plan realises each scenario's environment
-        exactly once.
+        exactly once (per residency in the bounded cache).
         """
-        cached = self._realisations.get(key)
+        cached = self._cache_get(self._realisations, key)
         if cached is None:
             scenario = self.scenario(key)
             cached = (scenario.make_engine(), scenario.make_stream())
-            self._realisations[key] = cached
+            self._cache_put(
+                self._realisations, key, cached, _SCENARIO_CACHE_CAPACITY
+            )
         return cached
 
     def grid(self, key: ScenarioKey, goal: Goal, n_inputs: int, space=None):
@@ -539,17 +605,42 @@ class _WorkerState:
             n_inputs,
             space_fingerprint(space),
         )
-        cached = self._grids.get(cache_key)
+        cached = self._cache_get(self._grids, cache_key)
         if cached is None:
-            engine, stream = self.realisation(key)
-            cached = timing_grid(
-                self.scenario(key), goal, n_inputs, space=space,
-                engine=engine, stream=stream,
-            )
-            if len(self._grids) >= _GRID_CACHE_CAPACITY:
-                self._grids.popitem(last=False)
-            self._grids[cache_key] = cached
+            cached = self._build_grid(key, goal, n_inputs, space)
+            self._cache_put(self._grids, cache_key, cached, _GRID_CACHE_CAPACITY)
         return cached
+
+    def _build_grid(self, key: ScenarioKey, goal: Goal, n_inputs: int, space):
+        """Attach the shared copy when a store is plugged in, else realise.
+
+        The store only serves the scenario's *default* candidate space:
+        its cross-process keys are structural, and only the default
+        space's row enumeration is a deterministic function of the
+        scenario key (custom ``grid_provider`` spaces stay on the local
+        per-process cache).
+        """
+
+        def realize(allocator=None):
+            engine, stream = self.realisation(key)
+            return timing_grid(
+                self.scenario(key), goal, n_inputs, space=space,
+                engine=engine, stream=stream, allocator=allocator,
+            )
+
+        store = self._grid_store
+        if store is None or space is not self.space(key):
+            return realize()
+        store_key = (
+            key,
+            goal.deadline_s,
+            goal.period,
+            n_inputs,
+            structural_space_fingerprint(space),
+        )
+        return store.get_or_realize(
+            store_key, tuple(space), realize, n_inputs=n_inputs
+        )
 
     def _grid_provider(self, key: ScenarioKey, goal: Goal, n_inputs: int):
         """The cache-backed grid hook offered to capable factories."""
@@ -751,13 +842,28 @@ class _WorkerState:
 
 #: Lazily-created state of a pool worker process.
 _POOL_STATE: _WorkerState | None = None
+#: Grid-store client handed to this pool's workers at initialisation.
+_POOL_GRID_STORE = None
+
+
+def _pool_initializer(grid_store=None) -> None:
+    """Pool-worker setup: reset state, remember the grid store.
+
+    Runs once per worker process.  Resetting ``_POOL_STATE`` matters
+    under fork start methods: a forked worker inherits whatever module
+    globals the parent had, and stale state must not leak between
+    pools.
+    """
+    global _POOL_STATE, _POOL_GRID_STORE
+    _POOL_STATE = None
+    _POOL_GRID_STORE = grid_store
 
 
 def _pool_execute(spec: "RunSpec | CellSpec | LockstepCellSpec | TableCellSpec"):
     """Top-level pool entry point (must be picklable by reference)."""
     global _POOL_STATE
     if _POOL_STATE is None:
-        _POOL_STATE = _WorkerState()
+        _POOL_STATE = _WorkerState(grid_store=_POOL_GRID_STORE)
     return _POOL_STATE.execute(spec)
 
 
@@ -778,9 +884,18 @@ class RunExecutor:
         the scheme list keeps one goal's runs (which share an oracle
         grid) on one worker; fused plans carry one :class:`CellSpec`
         per goal, so the default chunk of 1 is already cell-granular.
+    grid_store:
+        Optional :class:`repro.runtime.grid_store.GridStoreClient`.
+        When given, every executing process (serial or pooled) attaches
+        shared-memory outcome grids from the store before realising its
+        own — each grid is realised once *per sweep* instead of once
+        per worker.  Absent, behaviour is exactly the per-process grid
+        cache.
     """
 
-    def __init__(self, workers: int = 1, chunksize: int = 1) -> None:
+    def __init__(
+        self, workers: int = 1, chunksize: int = 1, grid_store=None
+    ) -> None:
         if workers < 1:
             raise ConfigurationError(
                 f"need at least one worker, got {workers}"
@@ -791,6 +906,7 @@ class RunExecutor:
             )
         self.workers = workers
         self.chunksize = chunksize
+        self.grid_store = grid_store
 
     def run_plan(
         self,
@@ -811,10 +927,14 @@ class RunExecutor:
         if not plan:
             return []
         if self.workers == 1 or len(plan) == 1:
-            state = _WorkerState(scenarios)
+            state = _WorkerState(scenarios, grid_store=self.grid_store)
             return [state.execute(spec) for spec in plan]
         n_workers = min(self.workers, len(plan))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_pool_initializer,
+            initargs=(self.grid_store,),
+        ) as pool:
             return list(
                 pool.map(_pool_execute, plan, chunksize=self.chunksize)
             )

@@ -71,7 +71,7 @@ from repro.errors import ConfigurationError
 from repro.hw.energy import EnergyBreakdown
 from repro.models.inference import GridView, InferenceEngine, InferenceOutcome
 from repro.runtime.clock import SimulatedClock
-from repro.runtime.results import RunResult, ServedInput
+from repro.runtime.results import RunArrays, RunResult, ServedInput
 from repro.runtime.scheduler import Scheduler
 from repro.workloads.inputs import InputItem, InputStream
 from repro.workloads.traces import RequirementTrace
@@ -148,6 +148,7 @@ class LockstepTelemetry:
 
     def snapshot(self) -> dict:
         calls = self.stacked_calls
+        memo_total = self.memo_hits + self.memo_misses
         return {
             "lockstep_cells": self.lockstep_cells,
             "lockstep_runs": self.lockstep_runs,
@@ -159,6 +160,11 @@ class LockstepTelemetry:
             ),
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            # The ROADMAP's "memo never hits in-run" observation, kept
+            # honest by the artifact: the benches surface this rate.
+            "memo_hit_rate": (
+                round(self.memo_hits / memo_total, 4) if memo_total else 0.0
+            ),
             "sequential_inputs": self.sequential_inputs,
             "cross_cells": self.cross_cells,
             "cross_lanes": self.cross_lanes,
@@ -286,7 +292,7 @@ class ServingLoop:
         """
         if n_inputs < 1:
             raise ConfigurationError(f"need at least one input, got {n_inputs}")
-        items = [self.stream.item(index) for index in range(n_inputs)]
+        items = self.stream.items(n_inputs)
         if batch is None:
             batch = self.batch_eligible(items)
         elif batch and not self.batch_eligible(items):
@@ -295,7 +301,13 @@ class ServingLoop:
                 "path: it needs feedback, a requirement trace is active, "
                 "or inputs share group deadlines"
             )
-        records = self._run_batch(items) if batch else self._run_sequential(items)
+        if batch:
+            arrays, materialize = self._run_batch(items)
+            return RunResult(
+                scheduler_name=self.scheduler.name, goal=self.goal,
+                arrays=arrays, materialize=materialize,
+            )
+        records = self._run_sequential(items)
         return RunResult(
             scheduler_name=self.scheduler.name, goal=self.goal, records=records
         )
@@ -423,7 +435,7 @@ class ServingLoop:
     # ------------------------------------------------------------------
     # Feedback-free batch fast path
     # ------------------------------------------------------------------
-    def _run_batch(self, items: list[InputItem]) -> list[ServedInput]:
+    def _run_batch(self, items: list[InputItem]):
         """Realise a feedback-free run in vectorized passes.
 
         All decisions are collected up front (``decide_batch`` when the
@@ -432,6 +444,15 @@ class ServingLoop:
         the actuator would have enforced; violation flags are computed
         on the whole arrays.  Nothing is metered and ``observe`` is
         never called (feedback-free policies declare it a no-op).
+
+        Returns ``(arrays, materialize)``: the run's vectorized
+        :class:`~repro.runtime.results.RunArrays` plus a thunk that
+        assembles the per-input :class:`ServedInput` list on demand.
+        Building 3·n record objects is the fast path's dominant cost,
+        and summary-only consumers (the sweep driver) never need them
+        — :class:`~repro.runtime.results.RunResult` defers the build
+        to first ``records`` access.  All engine side effects (actuator
+        caps, the simulated clock) still happen here, eagerly.
         """
         base_goal = self.goal
         # Trace is empty and no item is grouped, so the adjusted goal
@@ -466,7 +487,17 @@ class ServingLoop:
                 bucket.append(position)
 
         n = len(items)
-        records: list[ServedInput | None] = [None] * n
+        # Whole-run series, filled group by group from the same numpy
+        # rows the records are built from (so aggregates over either
+        # are bit-identical).
+        arr_latency = np.empty(n)
+        arr_quality = np.empty(n)
+        arr_energy = np.empty(n)
+        arr_metric = np.empty(n)
+        arr_violated = np.empty(n, dtype=bool)
+        arr_missed = np.empty(n, dtype=bool)
+        # Per-group payloads captured for the deferred record build.
+        group_payloads = []
         # Occupied simulated time across the run (the per-input ticks
         # the sequential path would have made), folded into the clock
         # in one tick_many at the end.
@@ -518,7 +549,8 @@ class ServingLoop:
                 met_row = grid.met_deadline[row, cols]
                 quality_row = grid.quality[row, cols]
                 energy_row = grid.energy_j[row, cols]
-                latency = grid.latency_s[row, cols].tolist()
+                latency_row = grid.latency_s[row, cols]
+                latency = latency_row.tolist()
                 full = grid.full_latency_s[row, cols].tolist()
                 rungs = grid.completed_rungs[row, cols].tolist()
                 inference_j = grid.inference_j[row, cols].tolist()
@@ -542,7 +574,8 @@ class ServingLoop:
                 met_row = column.met_deadline[0]
                 quality_row = column.quality[0]
                 energy_row = column.energy_j[0]
-                latency = column.latency_s[0].tolist()
+                latency_row = column.latency_s[0]
+                latency = latency_row.tolist()
                 full = column.full_latency_s[0].tolist()
                 rungs = column.completed_rungs[0].tolist()
                 inference_j = column.inference_j[0].tolist()
@@ -561,66 +594,100 @@ class ServingLoop:
             # Vectorized violation bookkeeping (one place of tolerance
             # truth: repro.core.goals, shared with the sequential
             # _record and the oracles' feasibility masks).
-            latency_violation = np.logical_not(met_row).tolist()
+            missed_row = np.logical_not(met_row)
+            latency_violation = missed_row.tolist()
             accuracy = base_goal.quality_violated(quality_row)
             if isinstance(accuracy, np.ndarray):
-                accuracy_violation = accuracy.tolist()
+                accuracy_row = accuracy
             else:
-                accuracy_violation = [bool(accuracy)] * len(positions)
+                accuracy_row = np.full(len(positions), bool(accuracy))
+            accuracy_violation = accuracy_row.tolist()
             budget = base_goal.energy_violated(energy_row)
             if isinstance(budget, np.ndarray):
-                energy_violation = budget.tolist()
+                budget_row = budget
             else:
-                energy_violation = [bool(budget)] * len(positions)
+                budget_row = np.full(len(positions), bool(budget))
+            energy_violation = budget_row.tolist()
 
-            # Records are assembled by direct __dict__ fill: the frozen
-            # dataclass __init__ (one object.__setattr__ per field) is
-            # the fast path's dominant cost, and these classes have no
-            # __post_init__ to skip.  The parity suite pins the result
-            # against constructor-built sequential records field by
-            # field.
-            fill = object.__setattr__  # frozen dataclasses veto assignment
-            for j, position in enumerate(positions):
-                energy = object.__new__(EnergyBreakdown)
-                fill(energy, "__dict__", {
-                    "inference_j": inference_j[j],
-                    "idle_j": idle_j[j],
-                })
-                outcome = object.__new__(InferenceOutcome)
-                fill(outcome, "__dict__", {
-                    "index": item_indices[position],
-                    "model_name": model_name,
-                    "power_cap_w": requested,
-                    "effective_cap_w": effective,
-                    "latency_s": latency[j],
-                    "full_latency_s": full[j],
-                    "met_deadline": met[j],
-                    "quality": quality[j],
-                    "metric_value": metric[j],
-                    "completed_rungs": rungs[j],
-                    "energy": energy,
-                    "inference_power_w": power,
-                    "idle_power_w": idle_power[j],
-                    "env_factor": env[j],
-                    "deadline_s": deadline,
-                    "period_s": period,
-                })
-                record = object.__new__(ServedInput)
-                fill(record, "__dict__", {
-                    "outcome": outcome,
-                    "goal": base_goal,
-                    "effective_deadline_s": deadline,
-                    "latency_violation": latency_violation[j],
-                    "accuracy_violation": accuracy_violation[j],
-                    "energy_violation": energy_violation[j],
-                    "xi_mean": xi_mean,
-                    "xi_sigma": xi_sigma,
-                })
-                records[position] = record
+            arr_latency[positions] = latency_row
+            arr_quality[positions] = quality_row
+            arr_energy[positions] = energy_row
+            arr_metric[positions] = metric
+            arr_violated[positions] = missed_row | accuracy_row | budget_row
+            arr_missed[positions] = missed_row
+
+            group_payloads.append((
+                positions, model_name, power, requested, effective,
+                met, quality, metric, latency, full, rungs,
+                inference_j, idle_j, idle_power, env,
+                latency_violation, accuracy_violation, energy_violation,
+            ))
         # The sequential path leaves the actuator at the last decision.
         engine.actuator.set_power_cap(configs[-1].power_w)
         self.clock.tick_many(total_occupied, n)
-        return records
+
+        arrays = RunArrays(
+            latency_s=arr_latency, quality=arr_quality, energy_j=arr_energy,
+            metric_value=arr_metric, violated=arr_violated,
+            latency_violation=arr_missed,
+        )
+
+        def materialize() -> list[ServedInput]:
+            # Records are assembled by direct __dict__ fill: the frozen
+            # dataclass __init__ (one object.__setattr__ per field) is
+            # this build's dominant cost, and these classes have no
+            # __post_init__ to skip.  The parity suite pins the result
+            # against constructor-built sequential records field by
+            # field.  The closure holds only plain per-group lists —
+            # no engine or grid references.
+            records: list[ServedInput | None] = [None] * n
+            fill = object.__setattr__  # frozen dataclasses veto assignment
+            for (
+                positions, model_name, power, requested, effective,
+                met, quality, metric, latency, full, rungs,
+                inference_j, idle_j, idle_power, env,
+                latency_violation, accuracy_violation, energy_violation,
+            ) in group_payloads:
+                for j, position in enumerate(positions):
+                    energy = object.__new__(EnergyBreakdown)
+                    fill(energy, "__dict__", {
+                        "inference_j": inference_j[j],
+                        "idle_j": idle_j[j],
+                    })
+                    outcome = object.__new__(InferenceOutcome)
+                    fill(outcome, "__dict__", {
+                        "index": item_indices[position],
+                        "model_name": model_name,
+                        "power_cap_w": requested,
+                        "effective_cap_w": effective,
+                        "latency_s": latency[j],
+                        "full_latency_s": full[j],
+                        "met_deadline": met[j],
+                        "quality": quality[j],
+                        "metric_value": metric[j],
+                        "completed_rungs": rungs[j],
+                        "energy": energy,
+                        "inference_power_w": power,
+                        "idle_power_w": idle_power[j],
+                        "env_factor": env[j],
+                        "deadline_s": deadline,
+                        "period_s": period,
+                    })
+                    record = object.__new__(ServedInput)
+                    fill(record, "__dict__", {
+                        "outcome": outcome,
+                        "goal": base_goal,
+                        "effective_deadline_s": deadline,
+                        "latency_violation": latency_violation[j],
+                        "accuracy_violation": accuracy_violation[j],
+                        "energy_violation": energy_violation[j],
+                        "xi_mean": xi_mean,
+                        "xi_sigma": xi_sigma,
+                    })
+                    records[position] = record
+            return records
+
+        return arrays, materialize
 
 
 class LockstepServingLoop:
@@ -854,7 +921,7 @@ class CrossSchemeLockstepLoop:
         with the constructor's lane order, goal-major within a lane."""
         if n_inputs < 1:
             raise ConfigurationError(f"need at least one input, got {n_inputs}")
-        items = [self.stream.item(index) for index in range(n_inputs)]
+        items = self.stream.items(n_inputs)
         grouped = self.stream.has_groups and any(
             item.group_size > 1 for item in items
         )

@@ -18,7 +18,7 @@ from repro.core.goals import Goal, ObjectiveKind
 from repro.errors import SimulationError
 from repro.models.inference import InferenceOutcome
 
-__all__ = ["ServedInput", "RunResult", "VIOLATION_SETTING_THRESHOLD"]
+__all__ = ["ServedInput", "RunArrays", "RunResult", "VIOLATION_SETTING_THRESHOLD"]
 
 #: A setting is "violated" when more than this fraction of its inputs
 #: break a constraint (the paper's 10% rule).
@@ -64,17 +64,94 @@ class ServedInput:
         )
 
 
-@dataclass
+@dataclass(frozen=True)
+class RunArrays:
+    """Vectorized per-input series of one run, aligned with ``records``.
+
+    The batch fast path's native output: every element equals the
+    corresponding record field exactly (both are sliced from the same
+    engine/grid rows), so aggregates computed here are bit-identical
+    to the record walk — pinned by ``tests/test_sweep_parity.py``.
+    """
+
+    latency_s: np.ndarray
+    quality: np.ndarray
+    energy_j: np.ndarray
+    metric_value: np.ndarray
+    violated: np.ndarray
+    latency_violation: np.ndarray
+
+
 class RunResult:
-    """Aggregates one policy's run over one constraint setting."""
+    """Aggregates one policy's run over one constraint setting.
 
-    scheduler_name: str
-    goal: Goal
-    records: list[ServedInput]
+    ``records`` may be deferred: the batch fast path constructs the
+    result from its vectorized :class:`RunArrays` plus a
+    ``materialize`` thunk, and the per-input :class:`ServedInput`
+    objects are only assembled on first ``records`` access.  Aggregate
+    properties read the arrays when present, so summary-only consumers
+    (the sweep driver's streaming aggregation) never pay the O(inputs)
+    record build.
+    """
 
-    def __post_init__(self) -> None:
-        if not self.records:
+    def __init__(
+        self,
+        scheduler_name: str,
+        goal: Goal,
+        records: list[ServedInput] | None = None,
+        *,
+        arrays: "RunArrays | None" = None,
+        materialize=None,
+    ) -> None:
+        self.scheduler_name = scheduler_name
+        self.goal = goal
+        self.arrays = arrays
+        self._records = records
+        self._materialize = materialize
+        if records is None:
+            if materialize is None or arrays is None:
+                raise SimulationError(
+                    "a deferred run needs both arrays and a materializer"
+                )
+            if len(arrays.latency_s) == 0:
+                raise SimulationError("a run must serve at least one input")
+        elif not records:
             raise SimulationError("a run must serve at least one input")
+
+    @property
+    def records(self) -> list[ServedInput]:
+        """Per-input records, assembled on first access when deferred."""
+        if self._records is None:
+            self._records = self._materialize()
+            self._materialize = None
+        return self._records
+
+    def __eq__(self, other):
+        # The old dataclass semantics: equal on (name, goal, records).
+        # Arrays are derived data and deferral is an implementation
+        # detail, so comparison materializes.
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        return (
+            self.scheduler_name == other.scheduler_name
+            and self.goal == other.goal
+            and self.records == other.records
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(scheduler_name={self.scheduler_name!r}, "
+            f"goal={self.goal!r}, n_inputs={self.n_inputs})"
+        )
+
+    def __getstate__(self):
+        # Materialize before pickling: the thunk is a local closure
+        # (unpicklable) and the receiver loses nothing — deferral only
+        # saves work inside the serving process.
+        self.records
+        state = dict(self.__dict__)
+        state["_materialize"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Means
@@ -82,16 +159,22 @@ class RunResult:
     @property
     def n_inputs(self) -> int:
         """Number of inputs served."""
+        if self.arrays is not None:
+            return len(self.arrays.latency_s)
         return len(self.records)
 
     @property
     def mean_energy_j(self) -> float:
         """Mean whole-period energy per input."""
+        if self.arrays is not None:
+            return float(np.mean(self.arrays.energy_j))
         return float(np.mean([r.outcome.energy_j for r in self.records]))
 
     @property
     def mean_quality(self) -> float:
         """Mean delivered quality per input."""
+        if self.arrays is not None:
+            return float(np.mean(self.arrays.quality))
         return float(np.mean([r.outcome.quality for r in self.records]))
 
     @property
@@ -102,11 +185,15 @@ class RunResult:
     @property
     def mean_metric(self) -> float:
         """Mean of the task's reported metric (e.g. perplexity)."""
+        if self.arrays is not None:
+            return float(np.mean(self.arrays.metric_value))
         return float(np.mean([r.outcome.metric_value for r in self.records]))
 
     @property
     def mean_latency_s(self) -> float:
         """Mean inference latency per input."""
+        if self.arrays is not None:
+            return float(np.mean(self.arrays.latency_s))
         return float(np.mean([r.outcome.latency_s for r in self.records]))
 
     # ------------------------------------------------------------------
@@ -115,6 +202,8 @@ class RunResult:
     @property
     def violation_fraction(self) -> float:
         """Fraction of inputs that broke any applicable constraint."""
+        if self.arrays is not None:
+            return float(np.mean(self.arrays.violated))
         return float(np.mean([r.violated for r in self.records]))
 
     @property
@@ -125,6 +214,8 @@ class RunResult:
     @property
     def deadline_miss_fraction(self) -> float:
         """Fraction of inputs whose final answer missed the deadline."""
+        if self.arrays is not None:
+            return float(np.mean(self.arrays.latency_violation))
         return float(np.mean([r.latency_violation for r in self.records]))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,658 @@
+"""The sweep engine: declarative million-cell (scenario × goal) sweeps.
+
+The experiment drivers evaluate one Table-4 cell at a time and hold
+every run's full per-input record list in the driver.  This module is
+the production-scale front: a **declarative sweep spec** (platforms ×
+tasks × envs × seeds × the constraint grid × schemes) compiles into
+the executor's existing :class:`~repro.runtime.executor.CellSpec`
+plan, executes serially or across a process pool, and scales along
+three axes the drivers do not:
+
+* **zero-copy grids** — with a
+  :class:`~repro.runtime.grid_store.SharedGridStore` (the default for
+  pooled sweeps), each (scenario, timing) outcome grid is realised
+  once per *sweep* and published via ``multiprocessing.shared_memory``;
+  workers attach read-only views instead of re-realising per process;
+* **streaming aggregation** — workers return compact per-cell
+  :class:`CellSummary` rows (violation rate, means, latency
+  percentiles, normalized scores), so driver memory is O(cells), not
+  O(inputs).  ``keep_runs=True`` additionally returns the full
+  :class:`~repro.runtime.results.RunResult` objects and remains the
+  parity reference (``tests/test_sweep_parity.py``);
+* **checkpoint/resume** — each completed cell appends one JSONL line
+  keyed by a deterministic :meth:`SweepUnit.fingerprint`; a restarted
+  sweep skips finished cells and merges checkpointed summaries
+  bit-identically with fresh ones (JSON round-trips Python floats
+  exactly).
+
+Results are merged in plan order, so pooled output is bit-identical
+to serial output (common random numbers, as everywhere in this stack).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.runtime.executor import DEFAULT_FACTORY, CellSpec, ScenarioKey
+from repro.runtime.results import VIOLATION_SETTING_THRESHOLD, RunResult
+from repro.workloads.scenarios import constraint_grid
+
+__all__ = [
+    "SweepSpec",
+    "SweepUnit",
+    "CellSummary",
+    "SweepResult",
+    "compile_sweep",
+    "run_sweep",
+    "summarize_cell",
+    "load_checkpoint",
+]
+
+#: The scheme whose objective value anchors normalized scores (the
+#: Table-4 convention: everything is reported relative to the static
+#: oracle).
+_BASELINE_SCHEME = "OracleStatic"
+
+
+# ----------------------------------------------------------------------
+# Spec and compiled units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepSpec:
+    """One declarative sweep: the cross product the compiler expands.
+
+    ``objectives`` picks which halves of each scenario's constraint
+    grid participate (``"min_energy"`` / ``"min_error"``);
+    ``settings_stride`` subsamples each half's settings (the drivers'
+    ``--stride`` convention).  Invalid (platform, task) combinations —
+    e.g. a sentence task on a platform without sentence candidates —
+    are skipped at compile time, mirroring the Table-4 driver.
+    """
+
+    platforms: tuple[str, ...] = ("CPU1",)
+    tasks: tuple[str, ...] = ("image",)
+    envs: tuple[str, ...] = ("memory",)
+    schemes: tuple[str, ...] = ("Oracle", "OracleStatic", "ALERT")
+    objectives: tuple[str, ...] = ("min_energy", "min_error")
+    settings_stride: int = 1
+    n_inputs: int = 100
+    seeds: tuple[int, ...] = (20200417,)
+    candidates: str = "standard"
+    factory: str = DEFAULT_FACTORY
+
+    def __post_init__(self) -> None:
+        for name in ("platforms", "tasks", "envs", "schemes", "objectives"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+            if not getattr(self, name):
+                raise ConfigurationError(f"sweep needs at least one of {name}")
+        if not isinstance(self.seeds, tuple):
+            object.__setattr__(self, "seeds", tuple(self.seeds))
+        if not self.seeds:
+            raise ConfigurationError("sweep needs at least one seed")
+        unknown = set(self.objectives) - {"min_energy", "min_error"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown objectives {sorted(unknown)}; "
+                "choose from 'min_energy'/'min_error'"
+            )
+        if self.settings_stride < 1:
+            raise ConfigurationError(
+                f"settings_stride must be >= 1, got {self.settings_stride}"
+            )
+        if self.n_inputs < 1:
+            raise ConfigurationError(
+                f"need at least one input, got {self.n_inputs}"
+            )
+
+    def fingerprint(self) -> str:
+        """Deterministic identity of the whole spec (checkpoint key)."""
+        payload = {
+            "platforms": list(self.platforms),
+            "tasks": list(self.tasks),
+            "envs": list(self.envs),
+            "schemes": list(self.schemes),
+            "objectives": list(self.objectives),
+            "settings_stride": self.settings_stride,
+            "n_inputs": self.n_inputs,
+            "seeds": list(self.seeds),
+            "candidates": self.candidates,
+            "factory": self.factory,
+        }
+        return _digest(payload)
+
+
+def _digest(payload) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _goal_identity(goal: Goal) -> dict:
+    return {
+        "objective": goal.objective.value,
+        "deadline_s": goal.deadline_s,
+        "period_s": goal.period_s,
+        "accuracy_min": goal.accuracy_min,
+        "energy_budget_j": goal.energy_budget_j,
+        "prob_threshold": goal.prob_threshold,
+    }
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One compiled cell: every scheme of one (scenario, goal) pair."""
+
+    scenario: ScenarioKey
+    goal: Goal
+    schemes: tuple[str, ...]
+    n_inputs: int
+    factory: str = DEFAULT_FACTORY
+
+    def cell_spec(self) -> CellSpec:
+        """The executor spec this unit runs as."""
+        return CellSpec(
+            scenario=self.scenario,
+            goal=self.goal,
+            schemes=self.schemes,
+            n_inputs=self.n_inputs,
+            factory=self.factory,
+        )
+
+    def fingerprint(self) -> str:
+        """Deterministic cell identity (the checkpoint line key)."""
+        payload = {
+            "platform": self.scenario.platform,
+            "task": self.scenario.task,
+            "env": self.scenario.env,
+            "candidates": self.scenario.candidates,
+            "seed": self.scenario.seed,
+            "goal": _goal_identity(self.goal),
+            "schemes": list(self.schemes),
+            "n_inputs": self.n_inputs,
+            "factory": self.factory,
+        }
+        return _digest(payload)
+
+
+def compile_sweep(spec: SweepSpec) -> list[SweepUnit]:
+    """Expand a sweep spec into its plan-ordered cell units.
+
+    Within one scenario, units are ordered timing-major (all goals
+    sharing a deadline are consecutive), so both the per-process grid
+    cache and the shared grid store see each grid's whole unit group
+    back to back.  Combinations the Table-4 driver would not report
+    (GPU × non-image) and scenario construction failures skip that
+    combination rather than failing the sweep.
+    """
+    units: list[SweepUnit] = []
+    stride = spec.settings_stride
+    for seed in spec.seeds:
+        for platform in spec.platforms:
+            for task in spec.tasks:
+                # The Table-4 driver's platform policy: the GPU column
+                # only reports the image task.
+                if platform.upper() == "GPU" and task != "image":
+                    continue
+                for env in spec.envs:
+                    key = ScenarioKey(
+                        platform=platform,
+                        task=task,
+                        env=env,
+                        candidates=spec.candidates,
+                        seed=seed,
+                    )
+                    try:
+                        scenario = key.build()
+                    except ConfigurationError:
+                        continue
+                    grid = constraint_grid(scenario)
+                    goals: list[Goal] = []
+                    if "min_energy" in spec.objectives:
+                        goals.extend(grid.min_energy_goals[::stride])
+                    if "min_error" in spec.objectives:
+                        goals.extend(grid.min_error_goals[::stride])
+                    # Stable sort groups goals by timing while keeping
+                    # the objective/floor order within each group.
+                    goals.sort(key=lambda g: (g.deadline_s, g.period))
+                    units.extend(
+                        SweepUnit(
+                            scenario=key,
+                            goal=goal,
+                            schemes=spec.schemes,
+                            n_inputs=spec.n_inputs,
+                            factory=spec.factory,
+                        )
+                        for goal in goals
+                    )
+    return units
+
+
+# ----------------------------------------------------------------------
+# Per-cell summaries (the streaming unit of aggregation)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSummary:
+    """Compact aggregate of one scheme's run over one cell.
+
+    Everything here derives deterministically from the
+    :class:`~repro.runtime.results.RunResult`, and every float
+    round-trips exactly through JSON (``repr`` serialisation), so
+    checkpointed summaries merge bit-identically with fresh ones.
+    ``normalized_score`` is the run's objective value relative to the
+    cell's ``OracleStatic`` run (None when the cell has no baseline
+    scheme or the baseline objective is zero).
+    """
+
+    scheme: str
+    n_inputs: int
+    violation_fraction: float
+    deadline_miss_fraction: float
+    mean_quality: float
+    mean_error: float
+    mean_energy_j: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    objective_value: float
+    setting_violated: bool
+    normalized_score: float | None = None
+
+    @classmethod
+    def from_run(cls, run: RunResult) -> "CellSummary":
+        # Streaming aggregation: a batch-path run carries its series
+        # as RunArrays — summarise those directly and never touch (or
+        # materialize) the O(inputs) record list.  Otherwise one pass
+        # over the records: reading each aggregate off the RunResult
+        # properties would re-walk the record list per property (~9
+        # walks, each chasing Python attributes per record), and a
+        # sweep summarises every cell.  Either source holds the same
+        # float64 values in the same order the properties would
+        # reduce, so every aggregate is bit-identical to its property
+        # counterpart (the parity suite compares them).
+        arrays = run.arrays
+        if arrays is not None:
+            n = len(arrays.latency_s)
+            latency = arrays.latency_s
+            quality = arrays.quality
+            energy = arrays.energy_j
+            violated = arrays.violated
+            missed = arrays.latency_violation
+        else:
+            n = len(run.records)
+            latency = np.empty(n)
+            quality = np.empty(n)
+            energy = np.empty(n)
+            violated = np.empty(n, dtype=bool)
+            missed = np.empty(n, dtype=bool)
+            for i, record in enumerate(run.records):
+                outcome = record.outcome
+                latency[i] = outcome.latency_s
+                quality[i] = outcome.quality
+                energy[i] = outcome.energy_j
+                violated[i] = record.violated
+                missed[i] = record.latency_violation
+        mean_quality = float(np.mean(quality))
+        mean_energy_j = float(np.mean(energy))
+        violation_fraction = float(np.mean(violated))
+        objective_value = (
+            mean_energy_j
+            if run.goal.objective is ObjectiveKind.MINIMIZE_ENERGY
+            else 1.0 - mean_quality
+        )
+        return cls(
+            scheme=run.scheduler_name,
+            n_inputs=n,
+            violation_fraction=violation_fraction,
+            deadline_miss_fraction=float(np.mean(missed)),
+            mean_quality=mean_quality,
+            mean_error=1.0 - mean_quality,
+            mean_energy_j=mean_energy_j,
+            mean_latency_s=float(np.mean(latency)),
+            p50_latency_s=float(np.percentile(latency, 50.0)),
+            p99_latency_s=float(np.percentile(latency, 99.0)),
+            objective_value=objective_value,
+            setting_violated=violation_fraction > VIOLATION_SETTING_THRESHOLD,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "n_inputs": self.n_inputs,
+            "violation_fraction": self.violation_fraction,
+            "deadline_miss_fraction": self.deadline_miss_fraction,
+            "mean_quality": self.mean_quality,
+            "mean_error": self.mean_error,
+            "mean_energy_j": self.mean_energy_j,
+            "mean_latency_s": self.mean_latency_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "objective_value": self.objective_value,
+            "setting_violated": self.setting_violated,
+            "normalized_score": self.normalized_score,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CellSummary":
+        return cls(**payload)
+
+
+def summarize_cell(
+    schemes: tuple[str, ...], runs: list[RunResult]
+) -> tuple[CellSummary, ...]:
+    """Summaries for one cell's runs, aligned with ``schemes``.
+
+    Computes each scheme's normalized score against the cell's
+    ``OracleStatic`` run when present — worker-side, so the driver
+    never needs the runs themselves.
+    """
+    summaries = [CellSummary.from_run(run) for run in runs]
+    baseline = None
+    for name, summary in zip(schemes, summaries):
+        if name == _BASELINE_SCHEME:
+            baseline = summary.objective_value
+            break
+    if baseline:
+        summaries = [
+            CellSummary(
+                **{
+                    **summary.to_json(),
+                    "normalized_score": summary.objective_value / baseline,
+                }
+            )
+            for summary in summaries
+        ]
+    return tuple(summaries)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint I/O
+# ----------------------------------------------------------------------
+def _checkpoint_line(spec_fp: str, unit_fp: str, summaries) -> str:
+    payload = {
+        "spec": spec_fp,
+        "cell": unit_fp,
+        "summaries": [summary.to_json() for summary in summaries],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def load_checkpoint(path, spec_fp: str) -> dict[str, tuple[CellSummary, ...]]:
+    """Completed cells from a JSONL checkpoint: fingerprint → summaries.
+
+    Tolerates a corrupted or truncated trailing line (a crash mid-append)
+    by skipping anything that does not parse back into a well-formed
+    cell record; lines written under a *different* spec fingerprint are
+    ignored rather than merged into the wrong sweep.
+    """
+    cells: dict[str, tuple[CellSummary, ...]] = {}
+    if path is None or not os.path.exists(path):
+        return cells
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if payload.get("spec") != spec_fp:
+                    continue
+                fingerprint = payload["cell"]
+                summaries = tuple(
+                    CellSummary.from_json(entry)
+                    for entry in payload["summaries"]
+                )
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+            cells[fingerprint] = summaries
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+#: Lazily-created state of a sweep pool worker (separate from the
+#: executor's ``_POOL_STATE``: a sweep worker returns summaries, not
+#: RunResults, so the driver never holds O(inputs) pickled records).
+_SWEEP_STATE = None
+_SWEEP_GRID_STORE = None
+
+
+def _sweep_initializer(grid_store=None) -> None:
+    global _SWEEP_STATE, _SWEEP_GRID_STORE
+    _SWEEP_STATE = None
+    _SWEEP_GRID_STORE = grid_store
+
+
+def _sweep_execute(unit: SweepUnit, keep_runs: bool):
+    """Pool entry point: run one cell, return its compact summaries."""
+    global _SWEEP_STATE
+    if _SWEEP_STATE is None:
+        from repro.runtime.executor import _WorkerState
+
+        _SWEEP_STATE = _WorkerState(grid_store=_SWEEP_GRID_STORE)
+    runs = _SWEEP_STATE.execute(unit.cell_spec())
+    summaries = summarize_cell(unit.schemes, runs)
+    return summaries, (runs if keep_runs else None)
+
+
+@dataclass
+class SweepResult:
+    """A sweep's plan-ordered outcome: O(cells) summaries.
+
+    ``cells`` aligns one-to-one with ``units``; entries are None only
+    for an aborted (``cell_limit``) sweep's unexecuted tail.
+    ``runs`` maps unit fingerprints to full per-scheme
+    :class:`~repro.runtime.results.RunResult` lists when the sweep ran
+    with ``keep_runs=True``.
+    """
+
+    spec: SweepSpec
+    units: list[SweepUnit]
+    cells: list[tuple[CellSummary, ...] | None]
+    resumed: int
+    executed: int
+    complete: bool
+    elapsed_s: float
+    checkpoint_path: str | None = None
+    runs: dict[str, list[RunResult]] | None = None
+    grid_store_stats: dict | None = field(default=None)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.units)
+
+    def cell(self, index: int) -> tuple[CellSummary, ...]:
+        completed = self.cells[index]
+        if completed is None:
+            raise ConfigurationError(
+                f"cell {index} was not executed (aborted sweep)"
+            )
+        return completed
+
+    def describe(self) -> str:
+        done = sum(1 for cell in self.cells if cell is not None)
+        rate = self.executed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+        lines = [
+            f"sweep: {done}/{self.n_cells} cells "
+            f"({self.resumed} resumed, {self.executed} executed, "
+            f"{'complete' if self.complete else 'partial'}) "
+            f"in {self.elapsed_s:.2f}s ({rate:.1f} cells/s executed)",
+        ]
+        if self.grid_store_stats is not None:
+            stats = self.grid_store_stats
+            lines.append(
+                f"  grid store: {stats['grids']} shared grids, "
+                f"{stats['nbytes'] / 1e6:.1f} MB published"
+            )
+        by_scheme: dict[str, list[float]] = {}
+        for cell in self.cells:
+            if cell is None:
+                continue
+            for summary in cell:
+                by_scheme.setdefault(summary.scheme, []).append(
+                    summary.violation_fraction
+                )
+        for scheme, fractions in by_scheme.items():
+            lines.append(
+                f"  {scheme}: mean violation "
+                f"{float(np.mean(fractions)) * 100:.1f}% "
+                f"over {len(fractions)} cells"
+            )
+        return "\n".join(lines)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    grid_store: bool | None = None,
+    checkpoint_path: str | None = None,
+    resume: bool = True,
+    keep_runs: bool = False,
+    cell_limit: int | None = None,
+) -> SweepResult:
+    """Execute a sweep spec: compile, (re)run, stream, checkpoint.
+
+    Parameters
+    ----------
+    workers:
+        1 runs in-process; >1 fans cells out over a process pool.
+        Output is bit-identical either way (plan-ordered merge).
+    grid_store:
+        True shares realised outcome grids across workers through a
+        :class:`~repro.runtime.grid_store.SharedGridStore`; False keeps
+        the per-process caches; None (default) enables the store
+        exactly when it can pay for itself (``workers > 1``).  Store
+        construction failures degrade to per-process caches.
+    checkpoint_path:
+        JSONL file completed cells append to.  With ``resume`` (the
+        default) cells already checkpointed under this spec's
+        fingerprint are skipped and their summaries merged as-is —
+        bit-identical to recomputing them.
+    keep_runs:
+        Additionally collect every cell's full ``RunResult`` lists
+        (driver memory grows to O(inputs); the parity reference).
+    cell_limit:
+        Execute at most this many *new* cells, then stop — simulating
+        a killed sweep for crash-resume testing; the result reports
+        ``complete=False`` and the unexecuted tail stays None.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"need at least one worker, got {workers}")
+    if cell_limit is not None and cell_limit < 0:
+        raise ConfigurationError(
+            f"cell_limit must be >= 0, got {cell_limit}"
+        )
+    started = time.perf_counter()
+    spec_fp = spec.fingerprint()
+    units = compile_sweep(spec)
+    fingerprints = [unit.fingerprint() for unit in units]
+
+    checkpointed: dict[str, tuple[CellSummary, ...]] = {}
+    if checkpoint_path is not None and resume:
+        checkpointed = load_checkpoint(checkpoint_path, spec_fp)
+
+    cells: list[tuple[CellSummary, ...] | None] = [None] * len(units)
+    resumed = 0
+    pending: list[int] = []
+    for position, fingerprint in enumerate(fingerprints):
+        summaries = checkpointed.get(fingerprint)
+        if summaries is not None:
+            cells[position] = summaries
+            resumed += 1
+        else:
+            pending.append(position)
+    if cell_limit is not None:
+        pending = pending[:cell_limit]
+
+    store = None
+    client = None
+    use_store = grid_store if grid_store is not None else workers > 1
+    if use_store and pending:
+        from repro.runtime.grid_store import SharedGridStore
+
+        try:
+            store = SharedGridStore()
+            client = store.client()
+        except Exception:
+            store = None
+            client = None
+
+    runs: dict[str, list[RunResult]] | None = {} if keep_runs else None
+    handle = None
+    try:
+        if checkpoint_path is not None and pending:
+            handle = open(checkpoint_path, "a", encoding="utf-8")
+
+        def record(position: int, summaries, cell_runs) -> None:
+            cells[position] = summaries
+            if runs is not None and cell_runs is not None:
+                runs[fingerprints[position]] = cell_runs
+            if handle is not None:
+                handle.write(
+                    _checkpoint_line(spec_fp, fingerprints[position], summaries)
+                    + "\n"
+                )
+                handle.flush()
+
+        if workers == 1 or len(pending) <= 1:
+            from repro.runtime.executor import _WorkerState
+
+            state = _WorkerState(grid_store=client)
+            for position in pending:
+                unit_runs = state.execute(units[position].cell_spec())
+                summaries = summarize_cell(units[position].schemes, unit_runs)
+                record(
+                    position, summaries, unit_runs if keep_runs else None
+                )
+        elif pending:
+            n_workers = min(workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_sweep_initializer,
+                initargs=(client,),
+            ) as pool:
+                futures = {
+                    pool.submit(_sweep_execute, units[position], keep_runs):
+                    position
+                    for position in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        position = futures[future]
+                        summaries, cell_runs = future.result()
+                        record(position, summaries, cell_runs)
+    finally:
+        if handle is not None:
+            handle.close()
+        stats = store.stats() if store is not None else None
+        if store is not None:
+            store.close()
+
+    executed = len(pending)
+    complete = all(cell is not None for cell in cells)
+    return SweepResult(
+        spec=spec,
+        units=units,
+        cells=cells,
+        resumed=resumed,
+        executed=executed,
+        complete=complete,
+        elapsed_s=time.perf_counter() - started,
+        checkpoint_path=checkpoint_path,
+        runs=runs,
+        grid_store_stats=stats,
+    )

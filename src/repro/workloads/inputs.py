@@ -110,8 +110,11 @@ class InputStream(abc.ABC):
         return self._items[index]
 
     def items(self, n: int) -> list[InputItem]:
-        """The first ``n`` items."""
-        return [self.item(i) for i in range(n)]
+        """The first ``n`` items (one memo probe, then a slice)."""
+        if n < 1:
+            return []
+        self.item(n - 1)
+        return self._items[:n]
 
     @property
     def has_groups(self) -> bool:

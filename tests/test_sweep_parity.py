@@ -1,0 +1,720 @@
+"""Parity and crash-resume suite for the zero-copy sweep engine.
+
+Pins the sweep engine's contract (ISSUE 8): a shared-store sweep, a
+per-process-cache sweep, and the in-process
+:func:`repro.experiments.harness.evaluate_schemes` reference must all
+produce the same cells — discrete record fields exactly, float fields
+to ≤1e-12 relative; a killed sweep resumed from its JSONL checkpoint
+must merge bit-identically with an uninterrupted run (including a
+corrupted or truncated trailing checkpoint line); pooled execution
+must equal serial.  Also covers the satellites riding along: the
+LRU-bounded :class:`repro.runtime.executor._WorkerState` caches, the
+read-only guarantee of shared-buffer-adopted
+:class:`~repro.models.inference.BatchOutcomeGrid` arrays, and the
+``memo_hit_rate`` telemetry surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.goals import Goal, ObjectiveKind
+from repro.errors import ConfigurationError
+from repro.experiments.harness import evaluate_schemes
+from repro.models.inference import (
+    SHARED_GRID_ARRAYS,
+    adopt_shared_grid,
+    shared_grid_layout,
+    shared_grid_payload,
+    write_shared_grid,
+)
+from repro.runtime.executor import (
+    _FACTORY_CACHE_CAPACITY,
+    _GRID_CACHE_CAPACITY,
+    _SCENARIO_CACHE_CAPACITY,
+    ScenarioKey,
+    _WorkerState,
+    structural_space_fingerprint,
+    timing_grid,
+)
+from repro.runtime.grid_store import SharedGridStore
+from repro.runtime.loop import LockstepTelemetry
+from repro.runtime.results import RunResult
+from repro.runtime.sweep import (
+    CellSummary,
+    SweepSpec,
+    SweepUnit,
+    compile_sweep,
+    load_checkpoint,
+    run_sweep,
+    summarize_cell,
+)
+from repro.workloads.scenarios import build_scenario
+
+REL_TOL = 1e-12
+
+FLOAT_FIELDS = (
+    "latency_s",
+    "full_latency_s",
+    "quality",
+    "metric_value",
+    "energy_j",
+    "inference_power_w",
+    "idle_power_w",
+    "env_factor",
+)
+DISCRETE_FIELDS = (
+    "index",
+    "model_name",
+    "power_cap_w",
+    "effective_cap_w",
+    "met_deadline",
+    "completed_rungs",
+    "deadline_s",
+    "period_s",
+)
+
+#: A small but representative sweep: one scenario, mixed objectives,
+#: feedback-free and feedback-driven schemes, goals sharing timings.
+SPEC = SweepSpec(
+    platforms=("CPU1",),
+    tasks=("image",),
+    envs=("memory",),
+    schemes=("Oracle", "OracleStatic", "ALERT"),
+    objectives=("min_energy", "min_error"),
+    settings_stride=9,
+    n_inputs=12,
+    seeds=(99,),
+)
+
+
+def _assert_runs_match(a, b):
+    assert a.scheduler_name == b.scheduler_name
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        for field in DISCRETE_FIELDS:
+            assert getattr(ra.outcome, field) == getattr(rb.outcome, field), (
+                a.scheduler_name,
+                field,
+            )
+        for field in FLOAT_FIELDS:
+            assert getattr(ra.outcome, field) == pytest.approx(
+                getattr(rb.outcome, field), rel=REL_TOL, abs=0.0
+            ), (a.scheduler_name, field)
+    assert a.violation_fraction == b.violation_fraction
+
+
+# ----------------------------------------------------------------------
+# The compiler
+# ----------------------------------------------------------------------
+def test_compile_expands_cross_product():
+    units = compile_sweep(SPEC)
+    assert units, "spec compiled to an empty plan"
+    for unit in units:
+        assert unit.scenario == ScenarioKey("CPU1", "image", "memory", seed=99)
+        assert unit.schemes == SPEC.schemes
+        assert unit.n_inputs == SPEC.n_inputs
+    # Timing-major order: goals sharing a timing form one contiguous
+    # block, so the per-timing grid caches see each grid's users back
+    # to back.
+    timings = [(u.goal.deadline_s, u.goal.period) for u in units]
+    blocks = []
+    for timing in timings:
+        if not blocks or blocks[-1] != timing:
+            blocks.append(timing)
+    assert len(blocks) == len(set(timings))
+
+
+def test_compile_skips_unavailable_combinations():
+    spec = SweepSpec(
+        platforms=("GPU",),
+        tasks=("sentence",),  # no sentence candidates on GPU
+        envs=("memory",),
+        schemes=("OracleStatic",),
+        settings_stride=9,
+        n_inputs=8,
+    )
+    assert compile_sweep(spec) == []
+
+
+def test_fingerprints_are_deterministic_and_distinct():
+    units = compile_sweep(SPEC)
+    fingerprints = [unit.fingerprint() for unit in units]
+    assert fingerprints == [unit.fingerprint() for unit in compile_sweep(SPEC)]
+    assert len(set(fingerprints)) == len(fingerprints)
+    assert SPEC.fingerprint() == SPEC.fingerprint()
+    other = SweepSpec(
+        platforms=("CPU1",),
+        tasks=("image",),
+        envs=("memory",),
+        schemes=("Oracle", "OracleStatic", "ALERT"),
+        objectives=("min_energy", "min_error"),
+        settings_stride=9,
+        n_inputs=13,  # differs
+        seeds=(99,),
+    )
+    assert other.fingerprint() != SPEC.fingerprint()
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SweepSpec(platforms=())
+    with pytest.raises(ConfigurationError):
+        SweepSpec(objectives=("min_fun",))
+    with pytest.raises(ConfigurationError):
+        SweepSpec(settings_stride=0)
+    with pytest.raises(ConfigurationError):
+        SweepSpec(seeds=())
+
+
+# ----------------------------------------------------------------------
+# Parity: store == cache == in-process evaluate_schemes
+# ----------------------------------------------------------------------
+def test_sweep_matches_evaluate_schemes():
+    result = run_sweep(SPEC, workers=1, keep_runs=True)
+    assert result.complete
+    scenario = build_scenario("CPU1", "image", "memory", "standard", 99)
+    by_goal = {}
+    for unit in result.units:
+        by_goal[unit.goal] = result.runs[unit.fingerprint()]
+    reference = evaluate_schemes(
+        scenario,
+        tuple(unit.goal for unit in result.units),
+        SPEC.schemes,
+        n_inputs=SPEC.n_inputs,
+    )
+    for position, unit in enumerate(result.units):
+        for s, name in enumerate(SPEC.schemes):
+            _assert_runs_match(
+                by_goal[unit.goal][s], reference.scheme_runs(name)[position]
+            )
+            # The streamed summary is the run's own aggregate.
+            summary = result.cells[position][s]
+            run = by_goal[unit.goal][s]
+            assert summary.scheme == name
+            assert summary.violation_fraction == run.violation_fraction
+            assert summary.mean_energy_j == run.mean_energy_j
+            assert summary.objective_value == run.objective_value
+
+
+def test_pool_and_store_match_serial():
+    serial = run_sweep(SPEC, workers=1)
+    pooled_store = run_sweep(SPEC, workers=2)  # store on by default
+    pooled_cache = run_sweep(SPEC, workers=2, grid_store=False)
+    assert pooled_store.cells == serial.cells
+    assert pooled_cache.cells == serial.cells
+    assert pooled_store.grid_store_stats is not None
+    assert pooled_store.grid_store_stats["grids"] > 0
+    assert pooled_store.grid_store_stats["failed"] == 0
+
+
+def test_store_on_serial_matches_plain_serial():
+    plain = run_sweep(SPEC, workers=1, grid_store=False)
+    stored = run_sweep(SPEC, workers=1, grid_store=True)
+    assert stored.cells == plain.cells
+
+
+def test_evaluate_schemes_accepts_grid_store(memory_scenario):
+    goals = (
+        Goal(
+            objective=ObjectiveKind.MINIMIZE_ENERGY,
+            deadline_s=memory_scenario.anchor_latency_s(),
+            accuracy_min=0.9,
+        ),
+    )
+    plain = evaluate_schemes(
+        memory_scenario, goals, ("Oracle", "OracleStatic"), n_inputs=10
+    )
+    with SharedGridStore() as store:
+        shared = evaluate_schemes(
+            memory_scenario,
+            goals,
+            ("Oracle", "OracleStatic"),
+            n_inputs=10,
+            workers=2,
+            grid_store=store.client(),
+        )
+        assert store.stats()["grids"] > 0
+    for name in ("Oracle", "OracleStatic"):
+        for a, b in zip(plain.scheme_runs(name), shared.scheme_runs(name)):
+            _assert_runs_match(a, b)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / crash-resume
+# ----------------------------------------------------------------------
+def test_killed_sweep_resumes_bit_identical(tmp_path):
+    uninterrupted = run_sweep(SPEC, workers=1)
+    checkpoint = tmp_path / "sweep.jsonl"
+    partial = run_sweep(
+        SPEC, workers=1, checkpoint_path=str(checkpoint), cell_limit=3
+    )
+    assert not partial.complete
+    assert partial.executed == 3
+    assert sum(1 for cell in partial.cells if cell is not None) == 3
+    resumed = run_sweep(SPEC, workers=1, checkpoint_path=str(checkpoint))
+    assert resumed.complete
+    assert resumed.resumed == 3
+    assert resumed.executed == len(resumed.units) - 3
+    assert resumed.cells == uninterrupted.cells
+
+
+def test_resume_tolerates_truncated_trailing_line(tmp_path):
+    uninterrupted = run_sweep(SPEC, workers=1)
+    checkpoint = tmp_path / "sweep.jsonl"
+    run_sweep(SPEC, workers=1, checkpoint_path=str(checkpoint), cell_limit=4)
+    text = checkpoint.read_text()
+    lines = text.splitlines(keepends=True)
+    # A crash mid-append: the last line is cut short.
+    checkpoint.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+    resumed = run_sweep(SPEC, workers=1, checkpoint_path=str(checkpoint))
+    assert resumed.complete
+    assert resumed.resumed == 3  # the cut line re-runs
+    assert resumed.cells == uninterrupted.cells
+
+
+def test_resume_tolerates_corrupt_line(tmp_path):
+    uninterrupted = run_sweep(SPEC, workers=1)
+    checkpoint = tmp_path / "sweep.jsonl"
+    run_sweep(SPEC, workers=1, checkpoint_path=str(checkpoint), cell_limit=2)
+    with open(checkpoint, "a", encoding="utf-8") as handle:
+        handle.write('{"spec": "garbage", not json\n')
+        handle.write('{"spec": "wrong-spec", "cell": "x", "summaries": []}\n')
+    resumed = run_sweep(SPEC, workers=1, checkpoint_path=str(checkpoint))
+    assert resumed.complete
+    assert resumed.resumed == 2
+    assert resumed.cells == uninterrupted.cells
+
+
+def test_checkpoint_ignores_foreign_spec(tmp_path):
+    checkpoint = tmp_path / "sweep.jsonl"
+    run_sweep(SPEC, workers=1, checkpoint_path=str(checkpoint))
+    other = SweepSpec(
+        platforms=("CPU1",),
+        tasks=("image",),
+        envs=("memory",),
+        schemes=("Oracle", "OracleStatic", "ALERT"),
+        settings_stride=9,
+        n_inputs=11,  # different spec, same file
+        seeds=(99,),
+    )
+    cells = load_checkpoint(str(checkpoint), other.fingerprint())
+    assert cells == {}
+    result = run_sweep(other, workers=1, checkpoint_path=str(checkpoint))
+    assert result.resumed == 0
+    assert result.complete
+
+
+def test_resume_off_reruns_everything(tmp_path):
+    checkpoint = tmp_path / "sweep.jsonl"
+    run_sweep(SPEC, workers=1, checkpoint_path=str(checkpoint))
+    rerun = run_sweep(
+        SPEC, workers=1, checkpoint_path=str(checkpoint), resume=False
+    )
+    assert rerun.resumed == 0
+    assert rerun.executed == len(rerun.units)
+
+
+def test_summary_single_pass_matches_run_properties(memory_scenario):
+    # CellSummary.from_run aggregates in one pass over the records; it
+    # must reproduce the RunResult property values bit for bit.
+    goal, _grid = _realized_grid(memory_scenario)
+    state = _WorkerState()
+    key = ScenarioKey.for_scenario(memory_scenario)
+    from repro.runtime.executor import CellSpec
+
+    runs = state.execute(
+        CellSpec(
+            scenario=key,
+            goal=goal,
+            schemes=("OracleStatic", "ALERT"),
+            n_inputs=24,
+        )
+    )
+    for run in runs:
+        summary = CellSummary.from_run(run)
+        latencies = run.series("latency_s")
+        assert summary.n_inputs == run.n_inputs
+        assert summary.violation_fraction == run.violation_fraction
+        assert summary.deadline_miss_fraction == run.deadline_miss_fraction
+        assert summary.mean_quality == run.mean_quality
+        assert summary.mean_error == run.mean_error
+        assert summary.mean_energy_j == run.mean_energy_j
+        assert summary.mean_latency_s == run.mean_latency_s
+        assert summary.p50_latency_s == float(np.percentile(latencies, 50.0))
+        assert summary.p99_latency_s == float(np.percentile(latencies, 99.0))
+        assert summary.objective_value == run.objective_value
+        assert summary.setting_violated == run.setting_violated
+
+
+def test_batch_run_defers_records_and_arrays_match(memory_scenario):
+    # The batch fast path returns RunArrays plus a deferred record
+    # build.  Summarising must never materialize the O(inputs) record
+    # list, and the records — built on first access — must carry
+    # exactly the array values.
+    goal, _grid = _realized_grid(memory_scenario)
+    state = _WorkerState()
+    key = ScenarioKey.for_scenario(memory_scenario)
+    from repro.runtime.executor import CellSpec
+
+    (run,) = state.execute(
+        CellSpec(
+            scenario=key, goal=goal, schemes=("OracleStatic",), n_inputs=24
+        )
+    )
+    arrays = run.arrays
+    assert arrays is not None
+    assert run._records is None
+    summary = CellSummary.from_run(run)
+    assert run._records is None  # summarising reads the arrays only
+    records = run.records
+    assert run._records is records
+    assert len(records) == 24
+    assert np.array_equal(
+        arrays.latency_s, [r.outcome.latency_s for r in records]
+    )
+    assert np.array_equal(arrays.quality, [r.outcome.quality for r in records])
+    assert np.array_equal(
+        arrays.energy_j, [r.outcome.energy_j for r in records]
+    )
+    assert np.array_equal(
+        arrays.metric_value, [r.outcome.metric_value for r in records]
+    )
+    assert np.array_equal(arrays.violated, [r.violated for r in records])
+    assert np.array_equal(
+        arrays.latency_violation, [r.latency_violation for r in records]
+    )
+    # A record-backed result over the materialized records summarises
+    # to the same cell, closing the arrays == records loop.
+    record_backed = RunResult(run.scheduler_name, run.goal, records)
+    assert CellSummary.from_run(record_backed) == summary
+
+
+def test_deferred_run_pickles_with_records(memory_scenario):
+    # The materializer is a local closure; pickling materializes the
+    # records first so the receiver sees a complete, equal result.
+    import pickle
+
+    goal, _grid = _realized_grid(memory_scenario)
+    state = _WorkerState()
+    key = ScenarioKey.for_scenario(memory_scenario)
+    from repro.runtime.executor import CellSpec
+
+    (run,) = state.execute(
+        CellSpec(
+            scenario=key, goal=goal, schemes=("OracleStatic",), n_inputs=12
+        )
+    )
+    assert run._records is None
+    clone = pickle.loads(pickle.dumps(run))
+    assert run._records is not None  # pickling forced the build
+    assert clone.n_inputs == run.n_inputs
+    assert clone.records == run.records
+    assert np.array_equal(clone.arrays.latency_s, run.arrays.latency_s)
+    assert CellSummary.from_run(clone) == CellSummary.from_run(run)
+
+
+def test_summary_json_round_trip():
+    result = run_sweep(SPEC, workers=1, cell_limit=1)
+    for summary in result.cells[0]:
+        payload = json.loads(json.dumps(summary.to_json()))
+        assert CellSummary.from_json(payload) == summary
+
+
+def test_normalized_score_anchors_on_oracle_static():
+    result = run_sweep(SPEC, workers=1, cell_limit=1)
+    summaries = {s.scheme: s for s in result.cells[0]}
+    static = summaries["OracleStatic"]
+    assert static.normalized_score == pytest.approx(1.0)
+    for summary in summaries.values():
+        assert summary.normalized_score == pytest.approx(
+            summary.objective_value / static.objective_value
+        )
+
+
+# ----------------------------------------------------------------------
+# Satellite: bounded, LRU worker caches
+# ----------------------------------------------------------------------
+def test_worker_caches_are_bounded():
+    state = _WorkerState()
+    for i in range(_SCENARIO_CACHE_CAPACITY * 2 + 3):
+        state._cache_put(
+            state._scenarios, ("key", i), object(), _SCENARIO_CACHE_CAPACITY
+        )
+        state._cache_put(
+            state._spaces, ("key", i), object(), _SCENARIO_CACHE_CAPACITY
+        )
+        state._cache_put(
+            state._realisations, ("key", i), object(), _SCENARIO_CACHE_CAPACITY
+        )
+        state._cache_put(
+            state._factories, f"path{i}", object(), _FACTORY_CACHE_CAPACITY
+        )
+        state._cache_put(
+            state._grids, ("grid", i), object(), _GRID_CACHE_CAPACITY
+        )
+    assert len(state._scenarios) <= _SCENARIO_CACHE_CAPACITY
+    assert len(state._spaces) <= _SCENARIO_CACHE_CAPACITY
+    assert len(state._realisations) <= _SCENARIO_CACHE_CAPACITY
+    assert len(state._factories) <= _FACTORY_CACHE_CAPACITY
+    assert len(state._grids) <= _GRID_CACHE_CAPACITY
+
+
+def test_grid_cache_eviction_is_lru_not_fifo():
+    state = _WorkerState()
+    for i in range(_GRID_CACHE_CAPACITY):
+        state._cache_put(state._grids, i, f"grid{i}", _GRID_CACHE_CAPACITY)
+    # Touch the oldest entry: a hit must refresh recency...
+    assert state._cache_get(state._grids, 0) == "grid0"
+    state._cache_put(state._grids, "new", "gridN", _GRID_CACHE_CAPACITY)
+    # ...so the eviction victim is entry 1, not the refreshed entry 0.
+    assert state._cache_get(state._grids, 0) == "grid0"
+    assert state._cache_get(state._grids, 1) is None
+
+
+# ----------------------------------------------------------------------
+# Satellite: shared-buffer grids are read-only
+# ----------------------------------------------------------------------
+def _realized_grid(scenario):
+    goal = Goal(
+        objective=ObjectiveKind.MINIMIZE_ENERGY,
+        deadline_s=scenario.anchor_latency_s(),
+        accuracy_min=0.9,
+    )
+    return goal, timing_grid(scenario, goal, 6)
+
+
+def test_adopted_grid_arrays_are_read_only(memory_scenario):
+    _goal, grid = _realized_grid(memory_scenario)
+    meta, arrays = shared_grid_payload(grid)
+    buffer = bytearray(meta["nbytes"])
+    write_shared_grid(meta, arrays, buffer)
+    adopted = adopt_shared_grid(grid.configs, meta, buffer)
+    for name in SHARED_GRID_ARRAYS:
+        array = getattr(adopted, name)
+        assert not array.flags.writeable, name
+        with pytest.raises(ValueError):
+            array[(0,) * array.ndim] = 0
+    # Parity: the adopted grid is the realised grid, bit for bit.
+    for name in SHARED_GRID_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(adopted, name), getattr(grid, name)
+        )
+    assert adopted.configs == grid.configs
+    assert adopted.deadline_s == grid.deadline_s
+    assert adopted.period_s == grid.period_s
+
+
+def test_store_round_trip_is_read_only_and_exact(memory_scenario):
+    goal, grid = _realized_grid(memory_scenario)
+    key = ScenarioKey.for_scenario(memory_scenario)
+    space = memory_scenario.space()
+    store_key = (
+        key,
+        goal.deadline_s,
+        goal.period,
+        6,
+        structural_space_fingerprint(space),
+    )
+    with SharedGridStore() as store:
+        client = store.client()
+        published = client.get_or_realize(store_key, tuple(space), lambda: grid)
+        attached = client.get_or_realize(
+            store_key,
+            tuple(space),
+            lambda: pytest.fail("second lookup must attach, not realise"),
+        )
+        for adopted in (published, attached):
+            for name in SHARED_GRID_ARRAYS:
+                array = getattr(adopted, name)
+                assert not array.flags.writeable, name
+                np.testing.assert_array_equal(array, getattr(grid, name))
+            with pytest.raises(ValueError):
+                adopted.latency_s[0, 0] = 0.0
+        assert store.stats() == {
+            "grids": 1,
+            "nbytes": store.stats()["nbytes"],
+            "failed": 0,
+            "pending": 0,
+            "pooled": 0,
+        }
+
+
+def test_layout_matches_payload_of_realized_grid(memory_scenario):
+    # shared_grid_layout sizes the segment *before* the grid exists; it
+    # must agree exactly with what shared_grid_payload derives from the
+    # realised grid, or zero-copy realisation would write fields at
+    # offsets the attachers don't read from.
+    _goal, grid = _realized_grid(memory_scenario)
+    meta, _arrays = shared_grid_payload(grid)
+    fields, nbytes = shared_grid_layout(grid.n_configs, grid.n_inputs)
+    assert fields == meta["fields"]
+    assert nbytes == meta["nbytes"]
+
+
+def test_zero_copy_publish_is_bit_identical(memory_scenario):
+    goal, plain = _realized_grid(memory_scenario)
+    key = ScenarioKey.for_scenario(memory_scenario)
+    space = memory_scenario.space()
+    store_key = (
+        key,
+        goal.deadline_s,
+        goal.period,
+        6,
+        structural_space_fingerprint(space),
+    )
+    seen_allocators = []
+
+    def realize(allocator=None):
+        seen_allocators.append(allocator)
+        return timing_grid(
+            memory_scenario, goal, 6, space=space, allocator=allocator
+        )
+
+    with SharedGridStore() as store:
+        client = store.client()
+        published = client.get_or_realize(
+            store_key, tuple(space), realize, n_inputs=6
+        )
+        # The winner realised straight into the segment (no copy pass).
+        assert seen_allocators == [seen_allocators[0]]
+        assert seen_allocators[0] is not None
+        for name in SHARED_GRID_ARRAYS:
+            array = getattr(published, name)
+            assert not array.flags.writeable, name
+            np.testing.assert_array_equal(array, getattr(plain, name))
+        assert published.deadline_s == plain.deadline_s
+        assert published.period_s == plain.period_s
+        assert store.stats()["grids"] == 1
+        assert store.stats()["failed"] == 0
+
+
+def test_preallocated_segments_are_claimed_and_reclaimed(memory_scenario):
+    goal, plain = _realized_grid(memory_scenario)
+    key = ScenarioKey.for_scenario(memory_scenario)
+    space = memory_scenario.space()
+    store_key = (
+        key,
+        goal.deadline_s,
+        goal.period,
+        6,
+        structural_space_fingerprint(space),
+    )
+    _fields, nbytes = shared_grid_layout(len(space), 6)
+    store = SharedGridStore()
+    try:
+        store.preallocate(nbytes, 2)
+        assert store.stats()["pooled"] == 2
+
+        def realize(allocator=None):
+            return timing_grid(
+                memory_scenario, goal, 6, space=space, allocator=allocator
+            )
+
+        published = store.client().get_or_realize(
+            store_key, tuple(space), realize, n_inputs=6
+        )
+        # The publish consumed a pooled segment rather than creating one.
+        assert store.stats()["pooled"] == 1
+        assert store.stats()["grids"] == 1
+        for name in SHARED_GRID_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(published, name), getattr(plain, name)
+            )
+        pool_names = list(store._pool_names)
+    finally:
+        store.close()
+    # Close retires both the claimed and the never-claimed segments.
+    from multiprocessing import shared_memory
+
+    for name in pool_names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_zero_copy_publish_degrades_when_realize_rejects_allocator():
+    # A realize callable that predates the allocator keyword must still
+    # produce a correct grid: the claim turns *failed* and the caller
+    # gets the locally realised result.
+    sentinel = object()
+    with SharedGridStore() as store:
+        client = store.client()
+        got = client.get_or_realize(
+            ("legacy",), (), lambda: sentinel, n_inputs=6
+        )
+        assert got is sentinel
+        assert store.stats()["failed"] == 1
+        assert store.stats()["grids"] == 0
+
+
+def test_worker_state_serves_default_space_from_store(memory_scenario):
+    key = ScenarioKey.for_scenario(memory_scenario)
+    goal, _ = _realized_grid(memory_scenario)
+    with SharedGridStore() as store:
+        publisher = _WorkerState(grid_store=store.client())
+        first = publisher.grid(key, goal, 6)
+        assert store.stats()["grids"] == 1
+        # A different worker (fresh caches) attaches instead of realising.
+        attacher = _WorkerState(grid_store=store.client())
+        second = attacher.grid(key, goal, 6)
+        assert not second.latency_s.flags.writeable
+        np.testing.assert_array_equal(first.latency_s, second.latency_s)
+        assert store.stats()["grids"] == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite: memo hit-rate telemetry
+# ----------------------------------------------------------------------
+def test_snapshot_surfaces_memo_hit_rate():
+    telemetry = LockstepTelemetry()
+    assert telemetry.snapshot()["memo_hit_rate"] == 0.0
+    telemetry.memo_hits = 3
+    telemetry.memo_misses = 1
+    assert telemetry.snapshot()["memo_hit_rate"] == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_sweep_parser_flags():
+    args = build_parser().parse_args(
+        [
+            "sweep",
+            "--platforms",
+            "CPU1",
+            "GPU",
+            "--workers",
+            "2",
+            "--no-grid-store",
+            "--checkpoint",
+            "out.jsonl",
+            "--cell-limit",
+            "5",
+        ]
+    )
+    assert args.platforms == ["CPU1", "GPU"]
+    assert args.workers == 2
+    assert args.grid_store is False
+    assert args.checkpoint == "out.jsonl"
+    assert args.cell_limit == 5
+    assert args.resume is True
+    assert args.keep_runs is False
+
+
+def test_cli_sweep_smoke_writes_checkpoint(tmp_path, capsys):
+    checkpoint = tmp_path / "smoke.jsonl"
+    assert (
+        main(["sweep", "--smoke", "--checkpoint", str(checkpoint)]) == 0
+    )
+    assert checkpoint.exists()
+    lines = checkpoint.read_text().strip().splitlines()
+    assert lines
+    for line in lines:
+        payload = json.loads(line)
+        assert payload["summaries"]
+    out = capsys.readouterr().out
+    assert "cells" in out
