@@ -74,6 +74,7 @@ CHECKS = (
             "lockstep.speedup",
             "cross_scheme.speedup",
             "serving_frontend.relative_throughput",
+            "serving_frontend.batching.speedup",
         ),
         # Pool ratios only transfer between same-core-count boxes:
         # each dotted metric is compared only when the baseline

@@ -14,6 +14,7 @@ can be regenerated from a shell::
     python -m repro table5 --workers 4
     python -m repro serve --platform CPU1 --env memory --inputs 200
     python -m repro fleet --replicas 4 --arrivals poisson --policy cost-aware
+    python -m repro overload --arrivals mmpp --out overload  # policy study
     python -m repro sweep --platforms CPU1 GPU --workers 4 \
         --checkpoint sweep.jsonl   # resumable multi-scenario sweep
 
@@ -29,6 +30,13 @@ bit-identically.
 with its own ALERT controller) behind a bounded admission queue and a
 load-balancing policy, driven by a seeded arrival process on a
 deterministic virtual clock — same seeds, same metrics, every run.
+The fleet can adapt itself: ``--autoscaler signal`` churns replicas
+from queue/drop/violation signals, ``--budget xi-weighted`` partitions
+the power budget by each kernel's slowdown belief, ``--batch-size``
+amortises kernel decisions under burst, and ``--clock wall`` runs the
+same event flow live on asyncio.  ``overload`` sweeps the adaptivity
+matrix (policies x autoscaling x budget) under one bursty arrival
+timeline and emits a fig-style JSON/CSV comparison.
 
 The grid-evaluating commands (``table4``, ``table5``, ``fig08``) take
 ``--workers N`` to fan their (goal × scheme) run plans out over a
@@ -51,17 +59,25 @@ hatches for measuring or debugging the isolated paths).
 from __future__ import annotations
 
 import argparse
+import warnings
 
 from repro import experiments
 from repro._version import __version__
 from repro.baselines import make_alert
 from repro.core.goals import Goal, ObjectiveKind
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import SimulationError
 from repro.runtime.loop import ServingLoop
-from repro.serve import FleetFrontend, PowerBudget, Replica, make_policy
-from repro.serve.policies import POLICY_KINDS
+from repro.serve import (
+    AUTOSCALER_KINDS,
+    BUDGET_KINDS,
+    POLICY_KINDS,
+    FleetConfig,
+    FleetFrontend,
+)
+from repro.serve import build_fleet as _assemble_fleet
+from repro.serve.fleet import CLOCK_KINDS
 from repro.workloads.scenarios import build_scenario
-from repro.workloads.traces import ARRIVAL_KINDS, make_arrivals
+from repro.workloads.traces import ARRIVAL_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -231,7 +247,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--power-budget",
         type=float,
         default=None,
-        help="fleet-wide power budget in W, split across replicas",
+        help="fleet-wide power budget in W, partitioned across replicas",
+    )
+    fleet.add_argument(
+        "--budget",
+        choices=BUDGET_KINDS,
+        default="equal",
+        help=(
+            "power-budget partition policy: equal split, or weighted "
+            "by each replica kernel's slowdown belief"
+        ),
+    )
+    fleet.add_argument(
+        "--autoscaler",
+        choices=AUTOSCALER_KINDS,
+        default="none",
+        help="replica autoscaling from queue/drop/violation signals",
+    )
+    fleet.add_argument(
+        "--min-replicas",
+        type=int,
+        default=1,
+        help="autoscaler floor (active replicas never drop below)",
+    )
+    fleet.add_argument(
+        "--max-replicas",
+        type=int,
+        default=None,
+        help="autoscaler ceiling (default 2 x --replicas)",
+    )
+    fleet.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help=(
+            "max queued same-goal requests dispatched through one "
+            "kernel decide"
+        ),
+    )
+    fleet.add_argument(
+        "--clock",
+        choices=CLOCK_KINDS,
+        default="virtual",
+        help=(
+            "time authority: deterministic virtual time, or a live "
+            "asyncio wall clock (real seconds)"
+        ),
     )
     fleet.add_argument(
         "--duration",
@@ -258,6 +319,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="short CI run: 2 replicas, 20 virtual seconds, asserts traffic",
+    )
+
+    overload = sub.add_parser(
+        "overload",
+        help="policy x autoscaling overload study under bursty arrivals",
+        description=(
+            "Drive the same bursty arrival timeline (MMPP or diurnal) "
+            "through every load-balancing policy x {static, autoscaled} "
+            "x {equal, xi-weighted budget} fleet and compare tail "
+            "behaviour: violations, p99 response, drops, energy.  "
+            "Deterministic virtual time, fig-style JSON/CSV artifact "
+            "via --out."
+        ),
+    )
+    overload.add_argument("--platform", default="CPU1")
+    overload.add_argument("--task", default="image")
+    overload.add_argument("--env", default="memory")
+    overload.add_argument(
+        "--arrivals",
+        choices=[k for k in ARRIVAL_KINDS if k != "poisson"],
+        default="mmpp",
+        help="bursty arrival shape driving the overload",
+    )
+    overload.add_argument(
+        "--duration",
+        type=float,
+        default=240.0,
+        help="virtual-time horizon in seconds per fleet",
+    )
+    overload.add_argument("--seed", type=int, default=20200417)
+    overload.add_argument("--arrival-seed", type=int, default=7)
+    overload.add_argument(
+        "--out",
+        default=None,
+        help="artifact prefix: writes <out>.json and <out>.csv",
+    )
+    overload.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "short CI run: shorter horizon, asserts every cell served "
+            "traffic and the adaptive fleet dominates the static one"
+        ),
     )
 
     sweep = sub.add_parser(
@@ -370,52 +474,42 @@ def build_fleet(
     arrival_seed: int = 7,
     trace=None,
 ) -> FleetFrontend:
-    """Assemble a deterministic virtual-time fleet for one scenario.
+    """Deprecated kwarg shim over :func:`repro.serve.build_fleet`.
 
-    Every replica gets its own engine realisation and its own ALERT
-    controller from the same scenario seed (identical twins — the
-    determinism the parity tests pin).  When ``rate_hz`` is ``None``
-    the arrival rate is set to ~0.7 of the fleet's aggregate capacity
-    at the anchor latency, a comfortably loaded open-loop operating
-    point.
+    Fleet assembly moved behind :class:`repro.serve.FleetConfig`; this
+    wrapper only survives so callers migrating from the old CLI helper
+    get a pointer instead of an ImportError.  It builds exactly the
+    fleet the equivalent config would.
     """
-    if replicas < 1:
-        raise ConfigurationError(f"need at least one replica, got {replicas}")
-    scenario = build_scenario(platform, task, env, "standard", seed)
-    goal = Goal(
-        objective=ObjectiveKind.MINIMIZE_ENERGY,
-        deadline_s=deadline_factor * scenario.anchor_latency_s(),
-        accuracy_min=accuracy_min,
+    warnings.warn(
+        "repro.cli.build_fleet is deprecated; build a "
+        "repro.serve.FleetConfig and pass it to repro.serve.build_fleet",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if rate_hz is None:
-        rate_hz = 0.7 * replicas / scenario.anchor_latency_s()
-    lanes = [
-        Replica(
-            replica_id=i,
-            engine=scenario.make_engine(),
-            scheduler=make_alert(scenario.profile()),
-            clock=None,
-            metrics=None,
+    return _assemble_fleet(
+        FleetConfig(
+            platform=platform,
+            task=task,
+            env=env,
+            replicas=replicas,
+            arrivals=arrivals,
+            rate_hz=rate_hz,
+            policy=policy,
+            power_budget_w=power_budget_w,
+            queue_capacity=queue_capacity,
+            deadline_factor=deadline_factor,
+            accuracy_min=accuracy_min,
+            seed=seed,
+            arrival_seed=arrival_seed,
+            trace=trace,
         )
-        for i in range(replicas)
-    ]
-    return FleetFrontend(
-        lanes,
-        make_arrivals(arrivals, rate_hz, seed=arrival_seed),
-        scenario.make_stream(),
-        goal,
-        make_policy(policy),
-        queue_capacity=queue_capacity,
-        budget=PowerBudget(power_budget_w),
-        trace=trace,
     )
 
 
-def _run_fleet(args: argparse.Namespace) -> str:
-    if args.smoke:
-        args.replicas = 2
-        args.duration = 20.0
-    fleet = build_fleet(
+def _fleet_config(args: argparse.Namespace) -> FleetConfig:
+    """Map the ``repro fleet`` argument namespace onto a FleetConfig."""
+    return FleetConfig(
         platform=args.platform,
         task=args.task,
         env=args.env,
@@ -423,20 +517,33 @@ def _run_fleet(args: argparse.Namespace) -> str:
         arrivals=args.arrivals,
         rate_hz=args.rate,
         policy=args.policy,
+        budget=args.budget,
         power_budget_w=args.power_budget,
+        autoscaler=args.autoscaler,
+        min_replicas=args.min_replicas,
+        max_replicas=args.max_replicas,
+        batch_size=args.batch_size,
         queue_capacity=args.queue_capacity,
         deadline_factor=args.deadline_factor,
         accuracy_min=args.accuracy_min,
         seed=args.seed,
         arrival_seed=args.arrival_seed,
+        clock=args.clock,
     )
-    summary = fleet.run(args.duration)
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    if args.smoke:
+        args.replicas = 2
+        args.duration = 20.0
+    fleet = _assemble_fleet(_fleet_config(args))
+    summary = fleet.serve(args.duration)
     if args.smoke and summary["served"] == 0:
         raise SimulationError("fleet smoke run served no requests")
     lines = [
         f"fleet: {args.replicas} x {args.platform}/{args.task}/{args.env}"
         f"  policy={args.policy}  arrivals={args.arrivals}"
-        f"  duration={args.duration:g}s (virtual)",
+        f"  duration={args.duration:g}s ({args.clock})",
         f"  arrived={summary['arrived']}  admitted={summary['admitted']}"
         f"  served={summary['served']}  dropped={summary['dropped']}",
         f"  violations={summary['violations']}"
@@ -447,7 +554,31 @@ def _run_fleet(args: argparse.Namespace) -> str:
         f"  energy={summary['energy_j']:.1f} J"
         f"  per-replica={summary['per_replica_served']}",
     ]
+    scaling = summary.get("autoscaler")
+    if scaling is not None:
+        lines.append(
+            f"  autoscaler: {scaling['scale_ups']} up /"
+            f" {scaling['scale_downs']} down"
+            f"  max_active={scaling['max_active']}"
+            f"  (corridor {scaling['min_replicas']}"
+            f"..{scaling['max_replicas']})"
+        )
     return "\n".join(lines)
+
+
+def _run_overload(args: argparse.Namespace) -> str:
+    result = experiments.overload_study.run(
+        platform=args.platform,
+        task=args.task,
+        env=args.env,
+        arrivals=args.arrivals,
+        duration_s=args.duration,
+        seed=args.seed,
+        arrival_seed=args.arrival_seed,
+        smoke=args.smoke,
+        out_prefix=args.out,
+    )
+    return result.describe()
 
 
 def _run_sweep(args: argparse.Namespace) -> str:
@@ -548,6 +679,8 @@ def main(argv: list[str] | None = None) -> int:
         print(_run_serve(args))
     elif args.command == "fleet":
         print(_run_fleet(args))
+    elif args.command == "overload":
+        print(_run_overload(args))
     elif args.command == "sweep":
         print(_run_sweep(args))
     else:  # pragma: no cover - argparse enforces the choices

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig09_trace,
     fig10_alert_star,
     fig11_xi_distribution,
+    overload_study,
     table4_overall,
     table5_dnn_sets,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "fig09_trace",
     "fig10_alert_star",
     "fig11_xi_distribution",
+    "overload_study",
     "table4_overall",
     "table5_dnn_sets",
     "SCHEMES",

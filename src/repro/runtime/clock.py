@@ -186,10 +186,12 @@ class WallClock:
     """The same scheduling surface on a live :mod:`asyncio` loop.
 
     ``schedule`` maps to ``loop.call_later`` and ``now`` to the loop's
-    monotonic time, so front-end code written against
-    :class:`VirtualClock` drives real traffic unchanged.  The caller
-    owns the loop's lifecycle (the front-end never calls ``run`` on
-    this clock — the event loop is already running).
+    monotonic time *relative to this clock's construction instant*, so
+    a wall run shares the virtual clocks' origin-at-zero convention —
+    arrival timelines (which start near zero) and response-time
+    arithmetic work unchanged.  The caller owns the loop's lifecycle
+    (the front-end never calls ``run`` on this clock — the event loop
+    is already running).
     """
 
     def __init__(self, loop=None) -> None:
@@ -198,9 +200,10 @@ class WallClock:
 
             loop = asyncio.get_event_loop()
         self._loop = loop
+        self._origin = loop.time()
 
     def now(self) -> float:
-        return self._loop.time()
+        return self._loop.time() - self._origin
 
     def schedule(self, delay_s: float, callback: Callable[[], None]):
         if delay_s < 0:

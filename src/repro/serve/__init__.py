@@ -5,11 +5,32 @@ logic clock-free; this package is the second driver of that kernel —
 an event-loop serving system beside the paper's closed-loop batch
 harness.  Arrivals come from seeded open-loop processes, a bounded
 queue admits or drops, a policy balances across N replicas (each with
-its own controller state), and everything runs deterministically on
-virtual time.  Entry point: ``repro fleet`` (see :mod:`repro.cli`).
+its own controller state), a power budget is partitioned over the
+active lanes (equally, or weighted by each kernel's ξ belief), and an
+optional autoscaler churns the fleet from its own serving signals.
+Everything runs deterministically on virtual time (or live on a wall
+clock via ``FleetFrontend.run_wall``).
+
+The stable construction surface is :class:`FleetConfig` +
+:func:`build_fleet` — one value that names every fleet decision by
+its registry kind (``make_arrivals`` / ``make_policy`` /
+``make_budget`` / ``make_autoscaler``).  Entry points: ``repro
+fleet`` and ``repro overload`` (see :mod:`repro.cli`).
 """
 
-from repro.serve.budget import PowerBudget
+from repro.serve.autoscaler import (
+    AUTOSCALER_KINDS,
+    Autoscaler,
+    ScaleEvent,
+    make_autoscaler,
+)
+from repro.serve.budget import (
+    BUDGET_KINDS,
+    PowerBudget,
+    XiWeightedBudget,
+    make_budget,
+)
+from repro.serve.fleet import FleetConfig, build_fleet
 from repro.serve.frontend import FleetFrontend, Request
 from repro.serve.metrics import FleetMetrics
 from repro.serve.policies import (
@@ -23,7 +44,16 @@ from repro.serve.policies import (
 from repro.serve.replica import Replica
 
 __all__ = [
+    "AUTOSCALER_KINDS",
+    "Autoscaler",
+    "ScaleEvent",
+    "make_autoscaler",
+    "BUDGET_KINDS",
     "PowerBudget",
+    "XiWeightedBudget",
+    "make_budget",
+    "FleetConfig",
+    "build_fleet",
     "FleetFrontend",
     "Request",
     "FleetMetrics",

@@ -1,0 +1,270 @@
+"""Signal-driven replica autoscaling for the fleet front-end.
+
+Replica churn was manual until now (the tests called
+``deactivate_replica`` by hand); this module closes the loop.  The
+:class:`Autoscaler` watches the three serving signals the front-end
+already produces — queue depth per active replica, drop rate, and
+deadline-violation rate — over tumbling virtual-time windows, and
+churns replicas between ``min_replicas`` and ``max_replicas`` through
+the front-end's existing machinery: scale-ups reactivate the most
+recently drained lane (its kernel keeps the beliefs it learned) or ask
+the fleet's replica factory for a fresh twin; scale-downs drain the
+highest-id active lane, re-dispatching its queue to the survivors.
+Every churn event re-partitions the global power budget, exactly as a
+manual churn would.
+
+Everything is deterministic: evaluation piggybacks on arrival and
+completion events (no free-running timers, so a drain-to-empty run
+still terminates), windows are measured on the fleet's own clock, and
+a ``cooldown_s`` hysteresis keeps an MMPP burst from flapping the
+fleet up and down faster than the signals can mean anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ScaleEvent",
+    "Autoscaler",
+    "AUTOSCALER_KINDS",
+    "make_autoscaler",
+]
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling action, for traces, tests, and artifacts."""
+
+    time_s: float
+    direction: str  # "up" | "down"
+    reason: str  # "backlog" | "drops" | "violations" | "idle"
+    n_active: int  # active replicas *after* the action
+
+
+class Autoscaler:
+    """Churn replicas from windowed queue/drop/violation signals.
+
+    Parameters
+    ----------
+    min_replicas / max_replicas:
+        The active-replica corridor; the autoscaler never leaves it.
+    interval_s:
+        Minimum virtual-time spacing between evaluations.  Evaluations
+        fire on the first arrival/completion event past the boundary,
+        so a window can stretch longer under sparse traffic (which is
+        itself scale-down evidence).
+    cooldown_s:
+        Minimum spacing between *actions*.  Scaling changes the very
+        signals the next decision reads (a drained queue re-dispatches,
+        a new lane starts cold), so back-to-back actions would chase
+        their own wake — the hysteresis that prevents flapping.
+    up_backlog / down_backlog:
+        Queue-depth thresholds in requests per active replica: above
+        ``up_backlog`` the fleet is falling behind, below
+        ``down_backlog`` it is over-provisioned.
+    up_drop_rate / up_violation_rate / down_violation_rate:
+        Window-rate thresholds: any drops beyond ``up_drop_rate`` or a
+        violation rate beyond ``up_violation_rate`` scale up;
+        scale-down additionally requires a drop-free window with a
+        violation rate below ``down_violation_rate``.
+    """
+
+    kind = "signal"
+
+    def __init__(
+        self,
+        *,
+        min_replicas: int = 1,
+        max_replicas: int = 8,
+        interval_s: float = 5.0,
+        cooldown_s: float = 10.0,
+        up_backlog: float = 2.0,
+        up_drop_rate: float = 0.0,
+        up_violation_rate: float = 0.25,
+        down_backlog: float = 0.5,
+        down_violation_rate: float = 0.05,
+    ) -> None:
+        if min_replicas < 1:
+            raise ConfigurationError(
+                f"min_replicas must be >= 1, got {min_replicas}"
+            )
+        if max_replicas < min_replicas:
+            raise ConfigurationError(
+                f"max_replicas ({max_replicas}) must be >= min_replicas "
+                f"({min_replicas})"
+            )
+        if interval_s <= 0:
+            raise ConfigurationError(
+                f"interval must be positive, got {interval_s}"
+            )
+        if cooldown_s < 0:
+            raise ConfigurationError(
+                f"cooldown must be >= 0, got {cooldown_s}"
+            )
+        if down_backlog >= up_backlog:
+            raise ConfigurationError(
+                f"down_backlog ({down_backlog}) must sit below up_backlog "
+                f"({up_backlog}) or the corridor flaps"
+            )
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.interval_s = interval_s
+        self.cooldown_s = cooldown_s
+        self.up_backlog = up_backlog
+        self.up_drop_rate = up_drop_rate
+        self.up_violation_rate = up_violation_rate
+        self.down_backlog = down_backlog
+        self.down_violation_rate = down_violation_rate
+        self.events: list[ScaleEvent] = []
+        self.max_active_seen = 0
+        self._fleet = None
+        self._next_eval_s = 0.0
+        self._last_action_s: float | None = None
+        self._window_counts = (0, 0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, fleet) -> None:
+        """Bind to a front-end and anchor the first window at its now.
+
+        Called by the front-end on construction (and again if the
+        fleet is re-bound to a different clock), so windows always
+        measure the clock the fleet actually runs on.
+        """
+        self._fleet = fleet
+        now = fleet.clock.now()
+        self._next_eval_s = now + self.interval_s
+        self._last_action_s = None
+        self._window_counts = self._counts()
+        self.max_active_seen = max(
+            self.max_active_seen, len(fleet.active_replicas)
+        )
+
+    def _counts(self) -> tuple[int, int, int, int]:
+        metrics = self._fleet.metrics
+        return (
+            metrics.arrived,
+            metrics.dropped,
+            metrics.served,
+            metrics.violations,
+        )
+
+    # ------------------------------------------------------------------
+    # The decision step
+    # ------------------------------------------------------------------
+    def maybe_evaluate(self) -> None:
+        """Run one evaluation if the current window has closed.
+
+        The front-end calls this on every arrival and every service
+        completion; between window boundaries it is a single float
+        comparison.
+        """
+        fleet = self._fleet
+        if fleet is None:
+            raise ConfigurationError("autoscaler evaluated before attach()")
+        now = fleet.clock.now()
+        if now < self._next_eval_s:
+            return
+        self._next_eval_s = now + self.interval_s
+
+        arrived0, dropped0, served0, violations0 = self._window_counts
+        arrived, dropped, served, violations = self._counts()
+        self._window_counts = (arrived, dropped, served, violations)
+        arrived_w = arrived - arrived0
+        dropped_w = dropped - dropped0
+        served_w = served - served0
+        violations_w = violations - violations0
+
+        active = fleet.active_replicas
+        n_active = len(active)
+        backlog = fleet.backlog() / n_active if n_active else 0.0
+        drop_rate = dropped_w / arrived_w if arrived_w else 0.0
+        violation_rate = violations_w / served_w if served_w else 0.0
+
+        reason = None
+        if backlog > self.up_backlog:
+            reason = "backlog"
+        elif dropped_w > 0 and drop_rate > self.up_drop_rate:
+            reason = "drops"
+        elif violation_rate > self.up_violation_rate:
+            reason = "violations"
+        if reason is not None:
+            if n_active < self.max_replicas and self._cooled(now):
+                self._act(fleet, now, "up", reason)
+            return
+
+        idle = (
+            backlog < self.down_backlog
+            and dropped_w == 0
+            and violation_rate < self.down_violation_rate
+        )
+        if idle and n_active > self.min_replicas and self._cooled(now):
+            self._act(fleet, now, "down", "idle")
+
+    def _cooled(self, now: float) -> bool:
+        return (
+            self._last_action_s is None
+            or now - self._last_action_s >= self.cooldown_s
+        )
+
+    def _act(self, fleet, now: float, direction: str, reason: str) -> None:
+        replica = (
+            fleet.scale_up() if direction == "up" else fleet.scale_down()
+        )
+        if replica is None:
+            return  # no factory / already at the structural floor
+        self._last_action_s = now
+        n_active = len(fleet.active_replicas)
+        self.max_active_seen = max(self.max_active_seen, n_active)
+        self.events.append(
+            ScaleEvent(
+                time_s=now,
+                direction=direction,
+                reason=reason,
+                n_active=n_active,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Counters for the fleet summary and the overload artifact."""
+        ups = sum(1 for event in self.events if event.direction == "up")
+        downs = len(self.events) - ups
+        return {
+            "kind": self.kind,
+            "events": len(self.events),
+            "scale_ups": ups,
+            "scale_downs": downs,
+            "max_active": self.max_active_seen,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+        }
+
+
+#: Autoscaler kinds the factory (and the ``repro fleet`` CLI) accepts.
+AUTOSCALER_KINDS = ("none", "signal")
+
+
+def make_autoscaler(kind: str, **params) -> Autoscaler | None:
+    """Instantiate an autoscaler by CLI name (``"none"`` -> ``None``).
+
+    Keyword parameters go to the autoscaler's constructor; ``"none"``
+    rejects parameters rather than silently dropping scaling intent.
+    """
+    if kind == "none":
+        if params:
+            raise ConfigurationError(
+                f"autoscaler 'none' takes no parameters, got {sorted(params)}"
+            )
+        return None
+    if kind == "signal":
+        return Autoscaler(**params)
+    raise ConfigurationError(
+        f"unknown autoscaler kind {kind!r}; expected one of {AUTOSCALER_KINDS}"
+    )

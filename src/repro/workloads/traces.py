@@ -355,31 +355,51 @@ ARRIVAL_KINDS = ("poisson", "mmpp", "diurnal")
 
 
 def make_arrivals(
-    kind: str, rate_hz: float, seed: int = 0
+    kind: str,
+    rate_hz: float,
+    seed: int = 0,
+    *,
+    calm_factor: float = 0.5,
+    burst_factor: float = 1.5,
+    dwell_arrivals: float = 40.0,
+    period_arrivals: float = 200.0,
+    depth: float = 0.8,
 ) -> ArrivalProcess:
     """Build an arrival process by CLI name with derived parameters.
 
     ``rate_hz`` is always the long-run mean rate.  The MMPP variant
-    alternates a calm regime at half the mean and a burst regime at
-    1.5× the mean (equal expected dwell ≈ 40 mean inter-arrivals, so
-    the time-averaged rate stays at the mean and regimes last long
-    enough to be visible in windowed rates); the diurnal variant
-    cycles one full day/night period per ~200 mean inter-arrivals at
-    depth 0.8.
+    alternates a calm regime at ``calm_factor`` × the mean and a burst
+    regime at ``burst_factor`` × the mean (equal expected dwell ≈
+    ``dwell_arrivals`` mean inter-arrivals, so the time-averaged rate
+    stays at the mean and regimes last long enough to be visible in
+    windowed rates); the diurnal variant cycles one full day/night
+    period per ``period_arrivals`` mean inter-arrivals at ``depth``.
+    The keyword shape parameters default to the historical constants,
+    so existing call sites are unchanged; overload studies override
+    them to sharpen or soften the burst without writing their own
+    process wiring.
     """
     if rate_hz <= 0:
         raise ConfigurationError(f"rate must be positive, got {rate_hz}")
+    if not 0 < calm_factor < burst_factor:
+        raise ConfigurationError(
+            f"need 0 < calm_factor < burst_factor, got "
+            f"({calm_factor}, {burst_factor})"
+        )
     if kind == "poisson":
         return PoissonArrivals(rate_hz, seed=seed)
     if kind == "mmpp":
         return MMPPArrivals(
-            rates_hz=(0.5 * rate_hz, 1.5 * rate_hz),
-            mean_dwell_s=40.0 / rate_hz,
+            rates_hz=(calm_factor * rate_hz, burst_factor * rate_hz),
+            mean_dwell_s=dwell_arrivals / rate_hz,
             seed=seed,
         )
     if kind == "diurnal":
         return DiurnalArrivals(
-            rate_hz, period_s=200.0 / rate_hz, depth=0.8, seed=seed
+            rate_hz,
+            period_s=period_arrivals / rate_hz,
+            depth=depth,
+            seed=seed,
         )
     raise ConfigurationError(
         f"unknown arrival kind {kind!r}; expected one of {ARRIVAL_KINDS}"

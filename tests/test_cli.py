@@ -10,9 +10,55 @@ from repro.cli import build_parser, main
 def test_parser_knows_all_commands():
     parser = build_parser()
     for command in ("fig02", "fig03", "fig06", "fig09", "fig10", "fig11",
-                    "table4", "table5", "serve"):
+                    "table4", "table5", "serve", "fleet", "overload"):
         args = parser.parse_args([command])
         assert args.command == command
+
+
+def test_fleet_adaptive_arguments_parsed():
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "fleet", "--autoscaler", "signal", "--min-replicas", "2",
+            "--max-replicas", "6", "--budget", "xi-weighted",
+            "--power-budget", "90", "--batch-size", "4",
+            "--clock", "virtual",
+        ]
+    )
+    assert args.autoscaler == "signal"
+    assert (args.min_replicas, args.max_replicas) == (2, 6)
+    assert args.budget == "xi-weighted"
+    assert args.power_budget == 90.0
+    assert args.batch_size == 4
+    assert args.clock == "virtual"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fleet", "--budget", "proportional"])
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fleet", "--autoscaler", "reactive"])
+
+
+def test_overload_arguments_parsed():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["overload", "--arrivals", "diurnal", "--out", "study", "--smoke"]
+    )
+    assert args.arrivals == "diurnal"
+    assert args.out == "study"
+    assert args.smoke
+    # The study is about bursts; steady poisson is not a valid shape.
+    with pytest.raises(SystemExit):
+        parser.parse_args(["overload", "--arrivals", "poisson"])
+
+
+def test_fleet_smoke_runs_end_to_end(capsys):
+    code = main(
+        ["fleet", "--smoke", "--autoscaler", "signal",
+         "--budget", "xi-weighted", "--power-budget", "90"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fleet: 2 x" in out
+    assert "autoscaler:" in out
 
 
 def test_serve_arguments_parsed():

@@ -8,10 +8,9 @@ top of the clock-free decision kernel.
 
 import pytest
 
-from repro.cli import build_fleet
 from repro.errors import ConfigurationError
 from repro.runtime.clock import SimulatedClock, VirtualClock, WallClock
-from repro.serve import PowerBudget, make_policy
+from repro.serve import FleetConfig, PowerBudget, build_fleet, make_policy
 from repro.serve.policies import (
     POLICY_KINDS,
     CostAwarePolicy,
@@ -79,14 +78,16 @@ def test_virtual_clock_run_until_lands_exactly_on_horizon():
     assert fired == [1, 5]
 
 
-def test_wall_clock_rejects_past_scheduling():
+def test_wall_clock_starts_at_zero_and_rejects_past_scheduling():
     import asyncio
 
     loop = asyncio.new_event_loop()
     try:
         clock = WallClock(loop)
-        before = loop.time()
-        assert clock.now() >= before
+        # Origin-at-construction: the wall clock shares the virtual
+        # clocks' starts-near-zero convention, so arrival timelines
+        # and response arithmetic transfer unchanged.
+        assert 0.0 <= clock.now() < 1.0
         with pytest.raises(ConfigurationError):
             clock.schedule(-0.5, lambda: None)
     finally:
@@ -152,11 +153,13 @@ def test_power_budget_partition():
 
 
 def test_budget_clamps_replica_power_decisions():
-    capped = build_fleet(replicas=2, power_budget_w=40.0, seed=7)
+    capped = build_fleet(FleetConfig(replicas=2, power_budget_w=40.0, seed=7))
     for replica in capped.replicas:
         assert replica.power_cap_w == 20.0
     capped_summary = capped.run(duration_s=20.0)
-    uncapped = build_fleet(replicas=2, power_budget_w=None, seed=7)
+    uncapped = build_fleet(
+        FleetConfig(replicas=2, power_budget_w=None, seed=7)
+    )
     uncapped_summary = uncapped.run(duration_s=20.0)
     assert capped_summary["served"] > 0
     # A 20 W per-replica cap forces lower-power (slower) configurations
@@ -167,7 +170,7 @@ def test_budget_clamps_replica_power_decisions():
 
 
 def test_churn_repartitions_budget_and_redispatches():
-    fleet = build_fleet(replicas=3, power_budget_w=90.0, seed=13)
+    fleet = build_fleet(FleetConfig(replicas=3, power_budget_w=90.0, seed=13))
     assert [r.power_cap_w for r in fleet.replicas] == [30.0, 30.0, 30.0]
     # Drain replica 0 mid-run; its queue must flow to the survivors
     # and the survivors' power share must grow to 45 W each.
@@ -192,14 +195,18 @@ def test_churn_repartitions_budget_and_redispatches():
 def test_bounded_queue_drops_and_accounts():
     scenario_rate = None  # default ~0.7 utilisation
     comfortable = build_fleet(
-        replicas=2, rate_hz=scenario_rate, queue_capacity=64, seed=3
+        FleetConfig(
+            replicas=2, rate_hz=scenario_rate, queue_capacity=64, seed=3
+        )
     ).run(duration_s=20.0)
     assert comfortable["dropped"] == 0
     overloaded = build_fleet(
-        replicas=2,
-        rate_hz=40.0,  # far beyond two replicas' capacity
-        queue_capacity=4,
-        seed=3,
+        FleetConfig(
+            replicas=2,
+            rate_hz=40.0,  # far beyond two replicas' capacity
+            queue_capacity=4,
+            seed=3,
+        )
     ).run(duration_s=20.0)
     assert overloaded["drops"]["queue_full"] > 0
     assert (
@@ -221,8 +228,12 @@ def test_contention_shifts_fleet_tails():
     changes.  Memory contention slows inference, so the loaded fleet's
     response tail and violation count must move.
     """
-    quiet = build_fleet(env="default", replicas=2, seed=21).run(90.0)
-    contended = build_fleet(env="memory", replicas=2, seed=21).run(90.0)
+    quiet = build_fleet(
+        FleetConfig(env="default", replicas=2, seed=21)
+    ).run(90.0)
+    contended = build_fleet(
+        FleetConfig(env="memory", replicas=2, seed=21)
+    ).run(90.0)
     assert contended["p99_response_s"] > quiet["p99_response_s"]
     assert contended["violations"] >= quiet["violations"]
     assert contended["mean_service_s"] > quiet["mean_service_s"]
@@ -237,7 +248,7 @@ def test_requirement_trace_changes_goals_mid_run():
         [RequirementChange(start_index=25, deadline_s=tight)]
     )
     served = []
-    fleet = build_fleet(replicas=2, seed=5, trace=trace)
+    fleet = build_fleet(FleetConfig(replicas=2, seed=5, trace=trace))
     fleet.on_served = lambda request, outcome: served.append(
         (request.index, request.goal.deadline_s, outcome.deadline_s)
     )

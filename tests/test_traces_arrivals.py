@@ -11,11 +11,10 @@ import numpy as np
 import pytest
 
 from repro.baselines.mean_only import make_alert
-from repro.cli import build_fleet
 from repro.core.goals import Goal, ObjectiveKind
 from repro.errors import ConfigurationError
 from repro.runtime.loop import ServingLoop
-from repro.serve import FleetFrontend, Replica, make_policy
+from repro.serve import FleetConfig, build_fleet
 from repro.workloads.scenarios import build_scenario
 from repro.workloads.traces import (
     ARRIVAL_KINDS,
@@ -119,8 +118,10 @@ def test_diurnal_day_half_beats_night_half():
 def test_fleet_same_seed_is_bit_identical(kind):
     def summary():
         fleet = build_fleet(
-            replicas=3, arrivals=kind, policy="cost-aware", seed=99,
-            arrival_seed=5,
+            FleetConfig(
+                replicas=3, arrivals=kind, policy="cost-aware", seed=99,
+                arrival_seed=5,
+            )
         )
         return fleet.run(duration_s=25.0)
 
@@ -149,15 +150,18 @@ def test_single_replica_fleet_matches_serving_loop():
     ).run(n)
 
     outcomes = []
-    fleet = FleetFrontend(
-        [Replica(0, scenario.make_engine(), make_alert(scenario.profile()),
-                 None, None)],
-        make_arrivals("poisson", 1.0 / goal.deadline_s, seed=3),
-        scenario.make_stream(),
-        goal,
-        make_policy("round-robin"),
-        on_served=lambda request, outcome: outcomes.append(outcome),
+    # Built through the one construction path; the config's scenario is
+    # a seeded twin of the harness's, so outcomes must still match.
+    fleet = build_fleet(
+        FleetConfig(
+            platform="CPU1", task="image", env="memory", seed=20200417,
+            deadline_factor=1.25, accuracy_min=0.90,
+            replicas=1, policy="round-robin", queue_capacity=None,
+            arrivals="poisson", rate_hz=1.0 / goal.deadline_s,
+            arrival_seed=3,
+        )
     )
+    fleet.on_served = lambda request, outcome: outcomes.append(outcome)
     summary = fleet.run_requests(n)
 
     assert summary["served"] == n
